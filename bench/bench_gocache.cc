@@ -1,0 +1,131 @@
+// Figure 7: go-cache benchmarks — direct RWMutex map reads (the >100%
+// speedup group) and library-cached accesses, lock vs GOCC at 1/2/4/8
+// cores.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workloads/gocache.h"
+
+namespace gocc::bench {
+namespace {
+
+using workloads::GoCache;
+
+template <typename Policy>
+std::shared_ptr<GoCache<Policy>> MakeCache() {
+  auto cache = std::make_shared<GoCache<Policy>>();
+  for (uint64_t k = 1; k <= 64; ++k) {
+    cache->Set(k, static_cast<int64_t>(k), GoCache<Policy>::kNoExpiration);
+  }
+  cache->Set(1000, 5, /*expiry=*/1 << 30);  // expiring item
+  return cache;
+}
+
+// Direct map read under the RWMutex ("RWMutexMapGet" family).
+template <typename Policy>
+std::function<void(gopool::PB&)> MapGetBody() {
+  auto cache = MakeCache<Policy>();
+  return [cache](gopool::PB& pb) {
+    uint64_t k = 0;
+    int64_t v = 0;
+    while (pb.Next()) {
+      cache->MapGet((k++ % 64) + 1, &v);
+    }
+  };
+}
+
+// Library get of a non-expiring item ("CacheGetNonExp"-style).
+template <typename Policy>
+std::function<void(gopool::PB&)> CacheGetBody() {
+  auto cache = MakeCache<Policy>();
+  return [cache](gopool::PB& pb) {
+    uint64_t k = 0;
+    int64_t v = 0;
+    while (pb.Next()) {
+      cache->Get((k++ % 64) + 1, /*now=*/100, &v);
+    }
+  };
+}
+
+// Library get of an expiring item (extra expiry comparison in the CS).
+template <typename Policy>
+std::function<void(gopool::PB&)> CacheGetExpiringBody() {
+  auto cache = MakeCache<Policy>();
+  return [cache](gopool::PB& pb) {
+    int64_t v = 0;
+    while (pb.Next()) {
+      cache->Get(1000, /*now=*/100, &v);
+    }
+  };
+}
+
+std::vector<SimCase> SimCases() {
+  std::vector<SimCase> cases;
+  {
+    sim::Scenario s;
+    s.name = "RWMutexMapGet";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 5;  // one map probe
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "CacheGetNonExp";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 8;  // probe + expiry check
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "CacheGetExp";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 10;
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    // Mixed workload through the cache layer: mostly reads, rare writes —
+    // "mildly improved, but ... not degraded".
+    sim::Scenario s;
+    s.name = "CacheGetSetMixed";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 12;
+    s.shared_write_lines = 2;
+    s.write_prob = 0.02;
+    s.write_footprint_lines = 3;
+    s.outside_ns = 4;
+    cases.push_back({s.name, s});
+  }
+  return cases;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main() {
+  using gocc::bench::MeasuredCase;
+  using gocc::workloads::Elided;
+  using gocc::workloads::Pessimistic;
+
+  std::printf("== Figure 7: go-cache — lock vs GOCC ==\n");
+
+  std::vector<MeasuredCase> cases = {
+      {"RWMutexMapGet",
+       [] { return gocc::bench::MapGetBody<Pessimistic>(); },
+       [] { return gocc::bench::MapGetBody<Elided>(); }},
+      {"CacheGetNonExp",
+       [] { return gocc::bench::CacheGetBody<Pessimistic>(); },
+       [] { return gocc::bench::CacheGetBody<Elided>(); }},
+      {"CacheGetExp",
+       [] { return gocc::bench::CacheGetExpiringBody<Pessimistic>(); },
+       [] { return gocc::bench::CacheGetExpiringBody<Elided>(); }},
+  };
+  gocc::bench::RunMeasured("Figure 7 (go-cache)", cases, {1, 2, 4, 8},
+                           std::chrono::milliseconds(40));
+  gocc::bench::RunSimulated("Figure 7 (go-cache)", gocc::bench::SimCases(),
+                            {1, 2, 4, 8});
+  return 0;
+}

@@ -1,0 +1,155 @@
+// A2 ablation + microbenchmarks (google-benchmark): raw costs of the TM
+// substrate and the lock-vs-HTM crossover as critical-section size grows
+// (§2, challenge 3: "HTM has startup and commit overheads ... locks may
+// outperform HTM, particularly on tiny critical sections").
+
+#include <benchmark/benchmark.h>
+
+#include <csetjmp>
+#include <memory>
+#include <vector>
+
+#include "src/gosync/mutex.h"
+#include "src/gosync/runtime.h"
+#include "src/htm/config.h"
+#include "src/htm/shared.h"
+#include "src/htm/tx.h"
+#include "src/optilib/optilock.h"
+
+namespace {
+
+void BM_SharedLoadOutsideTx(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  gocc::htm::Shared<int64_t> cell(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Load());
+  }
+}
+BENCHMARK(BM_SharedLoadOutsideTx);
+
+void BM_SharedStoreOutsideTx(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  gocc::htm::Shared<int64_t> cell(1);
+  int64_t v = 0;
+  for (auto _ : state) {
+    cell.Store(++v);
+  }
+}
+BENCHMARK(BM_SharedStoreOutsideTx);
+
+void BM_TxBeginCommitEmpty(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  std::jmp_buf env;
+  for (auto _ : state) {
+    gocc::htm::BeginStatus status = GOCC_TX_BEGIN(env);
+    if (status.started) {
+      gocc::htm::TxCommit();
+    }
+  }
+}
+BENCHMARK(BM_TxBeginCommitEmpty);
+
+// Transactional read/write cost per access, by CS size.
+void BM_TxReadWritePerAccess(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  const int accesses = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<gocc::htm::Shared<int64_t>>> cells;
+  for (int i = 0; i < accesses; ++i) {
+    cells.push_back(std::make_unique<gocc::htm::Shared<int64_t>>(0));
+  }
+  std::jmp_buf env;
+  for (auto _ : state) {
+    gocc::htm::BeginStatus status = GOCC_TX_BEGIN(env);
+    if (status.started) {
+      for (auto& cell : cells) {
+        cell->Add(1);
+      }
+      gocc::htm::TxCommit();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_TxReadWritePerAccess)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_MutexLockUnlock_Untracked(benchmark::State& state) {
+  gocc::gosync::Mutex mu(gocc::gosync::ElisionTracking::kDisabled);
+  for (auto _ : state) {
+    mu.Lock();
+    benchmark::ClobberMemory();
+    mu.Unlock();
+  }
+}
+BENCHMARK(BM_MutexLockUnlock_Untracked);
+
+void BM_MutexLockUnlock_Tracked(benchmark::State& state) {
+  // The SimTM interop cost a mutex pays when it participates in elision
+  // (real RTM pays none of this; see DESIGN.md §4.2).
+  gocc::gosync::Mutex mu(gocc::gosync::ElisionTracking::kEnabled);
+  for (auto _ : state) {
+    mu.Lock();
+    benchmark::ClobberMemory();
+    mu.Unlock();
+  }
+}
+BENCHMARK(BM_MutexLockUnlock_Tracked);
+
+// Lock-vs-elision crossover by critical-section size, single-threaded.
+void BM_CrossoverLock(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  const int size = static_cast<int>(state.range(0));
+  gocc::gosync::Mutex mu(gocc::gosync::ElisionTracking::kDisabled);
+  std::vector<std::unique_ptr<gocc::htm::Shared<int64_t>>> cells;
+  for (int i = 0; i < size; ++i) {
+    cells.push_back(std::make_unique<gocc::htm::Shared<int64_t>>(0));
+  }
+  for (auto _ : state) {
+    mu.Lock();
+    for (auto& cell : cells) {
+      cell->Add(1);
+    }
+    mu.Unlock();
+  }
+}
+BENCHMARK(BM_CrossoverLock)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_CrossoverElided(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  gocc::optilib::MutableOptiConfig() = gocc::optilib::OptiConfig{};
+  gocc::optilib::GlobalPerceptron().Reset();
+  int prev = gocc::gosync::SetMaxProcs(4);  // enable HTM attempts
+  const int size = static_cast<int>(state.range(0));
+  gocc::gosync::Mutex mu;
+  std::vector<std::unique_ptr<gocc::htm::Shared<int64_t>>> cells;
+  for (int i = 0; i < size; ++i) {
+    cells.push_back(std::make_unique<gocc::htm::Shared<int64_t>>(0));
+  }
+  gocc::optilib::OptiLock opti_lock;
+  for (auto _ : state) {
+    opti_lock.WithLock(&mu, [&] {
+      for (auto& cell : cells) {
+        cell->Add(1);
+      }
+    });
+  }
+  gocc::gosync::SetMaxProcs(prev);
+}
+BENCHMARK(BM_CrossoverElided)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_OptiLockFastPathRoundTrip(benchmark::State& state) {
+  gocc::htm::ForceSimBackend();
+  gocc::optilib::MutableOptiConfig() = gocc::optilib::OptiConfig{};
+  gocc::optilib::GlobalPerceptron().Reset();
+  int prev = gocc::gosync::SetMaxProcs(4);
+  gocc::gosync::Mutex mu;
+  gocc::htm::Shared<int64_t> cell(0);
+  gocc::optilib::OptiLock opti_lock;
+  for (auto _ : state) {
+    opti_lock.WithLock(&mu, [&] { cell.Add(1); });
+  }
+  gocc::gosync::SetMaxProcs(prev);
+}
+BENCHMARK(BM_OptiLockFastPathRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Figure 8: go-datastructures/set — Len (~10x at 8 cores), Exists,
+// Flatten (conflicts at 8 cores flatten the gain), Clear (true conflicts,
+// no speedup but no collapse).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workloads/cset.h"
+
+namespace gocc::bench {
+namespace {
+
+using workloads::ConcurrentSet;
+
+template <typename Policy>
+std::shared_ptr<ConcurrentSet<Policy>> MakeSet(int items) {
+  auto set = std::make_shared<ConcurrentSet<Policy>>();
+  for (int i = 1; i <= items; ++i) {
+    set->Add(static_cast<uint64_t>(i));
+  }
+  return set;
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> LenBody() {
+  auto set = MakeSet<Policy>(64);
+  return [set](gopool::PB& pb) {
+    while (pb.Next()) {
+      set->Len();
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> ExistsBody() {
+  // The paper: "each goroutine searches one item in a set containing only
+  // one item".
+  auto set = MakeSet<Policy>(1);
+  return [set](gopool::PB& pb) {
+    while (pb.Next()) {
+      set->Exists(1);
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> FlattenBody() {
+  auto set = MakeSet<Policy>(60);
+  return [set](gopool::PB& pb) {
+    uint64_t out[ConcurrentSet<Policy>::kFlattenCount];
+    uint64_t n = 0;
+    while (pb.Next()) {
+      set->Flatten(out);
+      // Periodic add invalidates the cache (the conflict source that
+      // erases Flatten's speedup at 8 cores).
+      if ((++n & 0x3f) == 0) {
+        set->Add((n % 800) + 1);
+      }
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> ClearBody() {
+  auto set = MakeSet<Policy>(32);
+  return [set](gopool::PB& pb) {
+    uint64_t n = 0;
+    while (pb.Next()) {
+      set->Add((++n % 32) + 1);
+      set->Clear();
+    }
+  };
+}
+
+std::vector<SimCase> SimCases() {
+  std::vector<SimCase> cases;
+  {
+    sim::Scenario s;
+    s.name = "Len";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 2;  // read one counter: the shortest CS in the suite
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "Exists";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 5;  // one probe: more work amortizes RWMutex's overhead
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "Flatten";
+    s.kind = sim::LockKind::kMutex;
+    s.cs_ns = 40;               // copy 50 cached elements
+    s.shared_write_lines = 2;   // cache rebuild writes
+    s.write_prob = 0.05;        // invalidations are occasional
+    s.write_footprint_lines = 8;
+    s.outside_ns = 5;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "Clear";
+    s.kind = sim::LockKind::kRWWrite;
+    s.cs_ns = 60;               // write every occupied slot
+    s.shared_write_lines = 6;   // true conflicts on the table lines
+    s.write_prob = 1.0;
+    s.write_footprint_lines = 12;
+    s.outside_ns = 5;
+    cases.push_back({s.name, s});
+  }
+  return cases;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main() {
+  using gocc::bench::MeasuredCase;
+  using gocc::workloads::Elided;
+  using gocc::workloads::Pessimistic;
+
+  std::printf("== Figure 8: go-datastructures/set — lock vs GOCC ==\n");
+
+  std::vector<MeasuredCase> cases = {
+      {"Len", [] { return gocc::bench::LenBody<Pessimistic>(); },
+       [] { return gocc::bench::LenBody<Elided>(); }},
+      {"Exists", [] { return gocc::bench::ExistsBody<Pessimistic>(); },
+       [] { return gocc::bench::ExistsBody<Elided>(); }},
+      {"Flatten", [] { return gocc::bench::FlattenBody<Pessimistic>(); },
+       [] { return gocc::bench::FlattenBody<Elided>(); }},
+      {"Clear", [] { return gocc::bench::ClearBody<Pessimistic>(); },
+       [] { return gocc::bench::ClearBody<Elided>(); }},
+  };
+  gocc::bench::RunMeasured("Figure 8 (set)", cases, {1, 2, 4, 8},
+                           std::chrono::milliseconds(40));
+  gocc::bench::RunSimulated("Figure 8 (set)", gocc::bench::SimCases(),
+                            {1, 2, 4, 8});
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 6: Tally benchmarks — HistogramExisting, ScopeReporting1/10,
+// CounterAllocation (and the sensitive-group geomean), lock vs GOCC at
+// 1/2/4/8 cores.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/workloads/tally.h"
+
+namespace gocc::bench {
+namespace {
+
+using workloads::Elided;
+using workloads::MetricId;
+using workloads::Pessimistic;
+using workloads::TallyScope;
+
+// Builds a scope with the metrics the benchmarks touch.
+template <typename Policy>
+std::shared_ptr<TallyScope<Policy>> MakeScope() {
+  auto scope = std::make_shared<TallyScope<Policy>>();
+  scope->RegisterHistogram(MetricId("request_latency"));
+  for (int i = 0; i < 10; ++i) {
+    uint64_t id = MetricId("metric" + std::to_string(i));
+    scope->RegisterCounter(id, 1);
+    scope->RegisterGauge(id, 2);
+    scope->RegisterReportingHistogram(id, 3);
+  }
+  return scope;
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> HistogramExistingBody() {
+  auto scope = MakeScope<Policy>();
+  uint64_t id = MetricId("request_latency");
+  return [scope, id](gopool::PB& pb) {
+    while (pb.Next()) {
+      scope->HistogramExists(id);
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> ScopeReportingBody(int per_registry) {
+  auto scope = MakeScope<Policy>();
+  auto ids = std::make_shared<std::vector<uint64_t>>();
+  for (int i = 0; i < 10; ++i) {
+    ids->push_back(MetricId("metric" + std::to_string(i)));
+  }
+  return [scope, ids, per_registry](gopool::PB& pb) {
+    while (pb.Next()) {
+      scope->Report(ids->data(), per_registry);
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> CounterAllocationBody() {
+  auto scope = MakeScope<Policy>();
+  return [scope](gopool::PB& pb) {
+    uint64_t n = 0;
+    while (pb.Next()) {
+      scope->AllocateCounter(++n);
+    }
+  };
+}
+
+std::vector<SimCase> SimCases() {
+  std::vector<SimCase> cases;
+  {
+    sim::Scenario s;
+    s.name = "HistogramExisting";
+    s.kind = sim::LockKind::kMutex;  // tally guards Exists with a Mutex
+    s.cs_ns = 6;
+    s.outside_ns = 3;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "ScopeReporting1";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 6;
+    s.lock_round_trips = 3;  // three independent RWMutexes per report
+    s.outside_ns = 4;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "ScopeReporting10";
+    s.kind = sim::LockKind::kRWRead;
+    s.cs_ns = 45;  // 10x the per-registry work
+    s.lock_round_trips = 3;
+    s.outside_ns = 4;
+    cases.push_back({s.name, s});
+  }
+  {
+    sim::Scenario s;
+    s.name = "CounterAllocation";
+    s.kind = sim::LockKind::kMutex;
+    s.cs_ns = 60;               // pool initialization
+    s.shared_write_lines = 2;   // allocation cursor and pool header
+    s.write_prob = 1.0;
+    s.write_footprint_lines = 17;
+    s.outside_ns = 5;
+    cases.push_back({s.name, s});
+  }
+  return cases;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main() {
+  using gocc::bench::MeasuredCase;
+
+  std::printf("== Figure 6: Tally — lock vs GOCC ==\n");
+
+  std::vector<MeasuredCase> cases = {
+      {"HistogramExisting",
+       [] { return gocc::bench::HistogramExistingBody<
+                gocc::workloads::Pessimistic>(); },
+       [] { return gocc::bench::HistogramExistingBody<
+                gocc::workloads::Elided>(); }},
+      {"ScopeReporting1",
+       [] { return gocc::bench::ScopeReportingBody<
+                gocc::workloads::Pessimistic>(1); },
+       [] { return gocc::bench::ScopeReportingBody<
+                gocc::workloads::Elided>(1); }},
+      {"ScopeReporting10",
+       [] { return gocc::bench::ScopeReportingBody<
+                gocc::workloads::Pessimistic>(10); },
+       [] { return gocc::bench::ScopeReportingBody<
+                gocc::workloads::Elided>(10); }},
+      {"CounterAllocation",
+       [] { return gocc::bench::CounterAllocationBody<
+                gocc::workloads::Pessimistic>(); },
+       [] { return gocc::bench::CounterAllocationBody<
+                gocc::workloads::Elided>(); }},
+  };
+  gocc::bench::RunMeasured("Figure 6 (Tally)", cases, {1, 2, 4, 8},
+                           std::chrono::milliseconds(40));
+  gocc::bench::RunSimulated("Figure 6 (Tally)", gocc::bench::SimCases(),
+                            {1, 2, 4, 8});
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "src/htm/config.h"
+#include "src/htm/stats.h"
+#include "src/optilib/optilock.h"
+#include "src/support/stats.h"
+
+namespace gocc::bench {
+
+namespace {
+
+// Probe once: measured sections run on real RTM when the hardware commits
+// transactions, otherwise on SimTM.
+bool UseRtm() {
+  static const bool rtm = htm::EnableRtmIfSupported();
+  return rtm;
+}
+
+}  // namespace
+
+void ResetRuntimeState() {
+  if (!UseRtm()) {
+    htm::ForceSimBackend();
+  }
+  htm::GlobalTxStats().Reset();
+  optilib::GlobalOptiStats().Reset();
+  optilib::GlobalPerceptron().Reset();
+}
+
+void PrintRuntimeStats() {
+  std::printf("  optiLib: %s\n",
+              optilib::GlobalOptiStats().ToString().c_str());
+  std::printf("  tm:      %s\n", htm::GlobalTxStats().ToString().c_str());
+}
+
+void RunMeasured(const std::string& figure,
+                 const std::vector<MeasuredCase>& cases,
+                 const std::vector<int>& thread_counts,
+                 std::chrono::milliseconds window) {
+  unsigned hw = std::thread::hardware_concurrency();
+  ResetRuntimeState();
+  const char* backend =
+      htm::ActiveBackend() == htm::Backend::kRtm ? "Intel RTM" : "SimTM";
+  std::printf("\n[measured] %s — real optiLib runtime (%s backend)\n",
+              figure.c_str(), backend);
+  if (hw < 8) {
+    std::printf(
+        "  NOTE: host has %u hardware thread(s); threads time-share, so "
+        "wall-clock\n  scaling is not meaningful here — see the [simulated] "
+        "section for scaling\n  shapes. This section validates the runtime "
+        "end to end. On SimTM the GOCC\n  column additionally pays "
+        "software instrumentation (~10ns/shared access)\n  that real RTM "
+        "does not.\n",
+        hw);
+  }
+  std::printf("  %-24s %8s %12s %12s %10s\n", "benchmark", "threads",
+              "lock ns/op", "GOCC ns/op", "speedup");
+
+  for (const MeasuredCase& benchmark : cases) {
+    for (int threads : thread_counts) {
+      ResetRuntimeState();
+      auto lock_body = benchmark.make_lock_body();
+      gopool::BenchResult lock =
+          gopool::RunParallel(threads, window, lock_body);
+
+      ResetRuntimeState();
+      auto elided_body = benchmark.make_elided_body();
+      gopool::BenchResult elided =
+          gopool::RunParallel(threads, window, elided_body);
+
+      std::printf("  %-24s %8d %12.2f %12.2f %+9.1f%%\n",
+                  benchmark.name.c_str(), threads, lock.ns_per_op,
+                  elided.ns_per_op,
+                  SpeedupPercent(lock.ns_per_op, elided.ns_per_op));
+    }
+  }
+  PrintRuntimeStats();
+}
+
+void RunSimulated(const std::string& figure,
+                  const std::vector<SimCase>& cases,
+                  const std::vector<int>& core_counts,
+                  bool with_perceptron) {
+  std::printf("\n[simulated] %s — DES concurrency-cost model (8-core "
+              "machine model)\n",
+              figure.c_str());
+  std::printf("  %-24s %6s %12s %12s %10s %10s\n", "benchmark", "cores",
+              "lock ns/op", "GOCC ns/op", "speedup", "aborts/op");
+
+  for (const SimCase& benchmark : cases) {
+    for (int cores : core_counts) {
+      sim::SimResult lock = sim::Simulate(benchmark.scenario, cores,
+                                          sim::RunMode::kLockBaseline);
+      sim::SimResult htm = sim::Simulate(
+          benchmark.scenario, cores,
+          with_perceptron ? sim::RunMode::kElided
+                          : sim::RunMode::kElidedNoPerceptron);
+      double aborts_per_op =
+          htm.total_ops > 0
+              ? static_cast<double>(htm.htm_aborts) /
+                    static_cast<double>(htm.total_ops)
+              : 0.0;
+      std::printf("  %-24s %6d %12.2f %12.2f %+9.1f%% %10.3f\n",
+                  benchmark.name.c_str(), cores, lock.ns_per_op,
+                  htm.ns_per_op,
+                  SpeedupPercent(lock.ns_per_op, htm.ns_per_op),
+                  aborts_per_op);
+    }
+  }
+}
+
+}  // namespace gocc::bench

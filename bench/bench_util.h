@@ -1,0 +1,62 @@
+// Shared harness for the figure benchmarks.
+//
+// Each figure binary prints two sections:
+//  * [measured] — the real optiLib/SimTM runtime driven by
+//    gopool::RunParallel across thread counts. This exercises every line of
+//    the production code path; on a single-CPU host the threads time-share,
+//    so wall-clock scaling is not expected to match the paper (the header
+//    warns when that is the case).
+//  * [simulated] — the DES concurrency-cost model at 1/2/4/8 cores, which
+//    reproduces the paper's scaling shapes (see DESIGN.md §1).
+
+#ifndef GOCC_BENCH_BENCH_UTIL_H_
+#define GOCC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/gopool/gopool.h"
+#include "src/sim/desim.h"
+
+namespace gocc::bench {
+
+// One measured benchmark: bodies for the pessimistic and elided builds.
+// `make_lock_body` / `make_elided_body` are invoked freshly per cell so
+// workload state does not leak across thread counts.
+struct MeasuredCase {
+  std::string name;
+  std::function<std::function<void(gopool::PB&)>()> make_lock_body;
+  std::function<std::function<void(gopool::PB&)>()> make_elided_body;
+};
+
+// Runs every case at each thread count and prints paper-style rows:
+// name, threads, lock ns/op, GOCC ns/op, speedup %.
+void RunMeasured(const std::string& figure,
+                 const std::vector<MeasuredCase>& cases,
+                 const std::vector<int>& thread_counts,
+                 std::chrono::milliseconds window);
+
+// One simulated benchmark: the scenario descriptor derived from the
+// workload implementation.
+struct SimCase {
+  std::string name;
+  sim::Scenario scenario;
+};
+
+// Prints the DES sweep (lock vs elided ns/op and speedup per core count).
+void RunSimulated(const std::string& figure,
+                  const std::vector<SimCase>& cases,
+                  const std::vector<int>& core_counts,
+                  bool with_perceptron = true);
+
+// Resets global TM/optiLib state between cells (perceptron, stats).
+void ResetRuntimeState();
+
+// Prints the accumulated optiLib and TM statistics for the section.
+void PrintRuntimeStats();
+
+}  // namespace gocc::bench
+
+#endif  // GOCC_BENCH_BENCH_UTIL_H_

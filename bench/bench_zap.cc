@@ -1,0 +1,126 @@
+// §6.1 Zap results: IO-heavy logging — few locks rewritten, mild gains
+// (~4% geomean reported, worst slowdown 7%). The Check hot path is
+// transformed; the Write path keeps its lock (IO).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+#include "src/workloads/zaplog.h"
+
+namespace gocc::bench {
+namespace {
+
+using workloads::LogLevel;
+using workloads::ZapLogger;
+
+template <typename Policy>
+std::function<void(gopool::PB&)> CheckBody() {
+  auto logger = std::make_shared<ZapLogger<Policy>>();
+  return [logger](gopool::PB& pb) {
+    while (pb.Next()) {
+      logger->Check(LogLevel::kWarn);
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> WriteBody() {
+  auto logger = std::make_shared<ZapLogger<Policy>>();
+  return [logger](gopool::PB& pb) {
+    uint64_t n = 0;
+    while (pb.Next()) {
+      logger->Write(LogLevel::kWarn, ++n);
+    }
+  };
+}
+
+template <typename Policy>
+std::function<void(gopool::PB&)> MixedBody() {
+  auto logger = std::make_shared<ZapLogger<Policy>>();
+  return [logger](gopool::PB& pb) {
+    uint64_t n = 0;
+    while (pb.Next()) {
+      // Realistic logger traffic: most records are filtered out by Check.
+      if ((++n & 0xf) == 0) {
+        logger->Write(LogLevel::kError, n);
+      } else {
+        logger->Check(LogLevel::kDebug);
+      }
+    }
+  };
+}
+
+std::vector<SimCase> SimCases() {
+  std::vector<SimCase> cases;
+  {
+    sim::Scenario s;
+    s.name = "CheckLevel";
+    s.kind = sim::LockKind::kMutex;
+    s.cs_ns = 3;
+    s.outside_ns = 4;
+    cases.push_back({s.name, s});
+  }
+  {
+    // Write keeps its lock in both builds (IO): identical costs.
+    sim::Scenario s;
+    s.name = "Write(untransformed)";
+    s.kind = sim::LockKind::kMutex;
+    s.cs_ns = 45;
+    s.transformed = false;
+    s.outside_ns = 5;
+    cases.push_back({s.name, s});
+  }
+  // Zap's large non-sensitive group: benchmarks that never touch a
+  // transformed lock (encoding, field cloning, sampling) — flat in both
+  // builds, diluting the suite geomean exactly as in the paper.
+  for (const char* name : {"JSONEncode", "FieldsClone", "SamplerCheck",
+                           "ConsoleEncode", "ArrayMarshal"}) {
+    sim::Scenario s;
+    s.name = name;
+    s.kind = sim::LockKind::kMutex;
+    s.cs_ns = 30;
+    s.transformed = false;
+    s.outside_ns = 20;
+    cases.push_back({s.name, s});
+  }
+  return cases;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main() {
+  using gocc::bench::MeasuredCase;
+  using gocc::workloads::Elided;
+  using gocc::workloads::Pessimistic;
+
+  std::printf("== §6.1 Zap — lock vs GOCC (IO-heavy: mild effects) ==\n");
+
+  std::vector<MeasuredCase> cases = {
+      {"CheckLevel", [] { return gocc::bench::CheckBody<Pessimistic>(); },
+       [] { return gocc::bench::CheckBody<Elided>(); }},
+      {"Write", [] { return gocc::bench::WriteBody<Pessimistic>(); },
+       [] { return gocc::bench::WriteBody<Elided>(); }},
+      {"CheckWriteMixed", [] { return gocc::bench::MixedBody<Pessimistic>(); },
+       [] { return gocc::bench::MixedBody<Elided>(); }},
+  };
+  gocc::bench::RunMeasured("Zap", cases, {1, 2, 4, 8},
+                           std::chrono::milliseconds(40));
+  gocc::bench::RunSimulated("Zap", gocc::bench::SimCases(), {1, 2, 4, 8});
+
+  // Geomean summary over the simulated suite at 4 cores (paper: ~4%).
+  std::vector<double> ratios;
+  for (const auto& benchmark : gocc::bench::SimCases()) {
+    auto lock = gocc::sim::Simulate(benchmark.scenario, 4,
+                                    gocc::sim::RunMode::kLockBaseline);
+    auto htm = gocc::sim::Simulate(benchmark.scenario, 4,
+                                   gocc::sim::RunMode::kElided);
+    ratios.push_back(lock.ns_per_op / htm.ns_per_op);
+  }
+  std::printf("\n  simulated 4-core geomean speedup: %+.1f%% (paper: mild "
+              "~4%% geomean;\n  the transformed Check path dominates the "
+              "gain, the IO Write path is flat)\n",
+              (gocc::GeoMean(ratios) - 1.0) * 100.0);
+  return 0;
+}

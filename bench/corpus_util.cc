@@ -1,0 +1,64 @@
+#include "bench/corpus_util.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/strings.h"
+
+namespace gocc::bench {
+
+std::string DefaultCorpusDir() {
+#ifdef GOCC_CORPUS_DIR
+  return GOCC_CORPUS_DIR;
+#else
+  return "corpus";
+#endif
+}
+
+std::vector<CorpusRepo> CorpusRepos(const std::string& corpus_dir) {
+  auto path = [&](const std::string& rel) { return corpus_dir + "/" + rel; };
+  return {
+      {"tally",
+       {path("tally/scope.go"), path("tally/counters.go")},
+       path("tally/tally.profile")},
+      {"zap", {path("zap/logger.go")}, path("zap/zap.profile")},
+      {"go-cache", {path("gocache/cache.go")}, path("gocache/gocache.profile")},
+      {"fastcache",
+       {path("fastcache/fastcache.go")},
+       path("fastcache/fastcache.profile")},
+      {"set", {path("set/set.go")}, path("set/set.profile")},
+  };
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
+                                             bool use_profile) {
+  analysis::PipelineInput input;
+  for (const std::string& file : repo.go_files) {
+    auto content = ReadFileToString(file);
+    if (!content.ok()) {
+      return content.status();
+    }
+    input.sources.push_back({file, std::move(*content)});
+  }
+  if (use_profile && !repo.profile_file.empty()) {
+    auto profile = ReadFileToString(repo.profile_file);
+    if (!profile.ok()) {
+      return profile.status();
+    }
+    input.profile_text = std::move(*profile);
+    input.has_profile = true;
+  }
+  return analysis::RunPipeline(input);
+}
+
+}  // namespace gocc::bench

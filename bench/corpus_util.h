@@ -1,0 +1,36 @@
+// Shared helper: loads a mini-Go corpus package (sources + profile) and
+// runs the GOCC pipeline on it.
+
+#ifndef GOCC_BENCH_CORPUS_UTIL_H_
+#define GOCC_BENCH_CORPUS_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+#include "src/support/status.h"
+
+namespace gocc::bench {
+
+struct CorpusRepo {
+  std::string name;  // "tally", "zap", ...
+  std::vector<std::string> go_files;
+  std::string profile_file;  // may be empty
+};
+
+// The five evaluated packages, in Table 1 order.
+std::vector<CorpusRepo> CorpusRepos(const std::string& corpus_dir);
+
+// Reads a whole file; aborts with a message on failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Runs the pipeline over a repo (with its profile when `use_profile`).
+StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
+                                             bool use_profile);
+
+// Default corpus location: the GOCC_CORPUS_DIR compile definition.
+std::string DefaultCorpusDir();
+
+}  // namespace gocc::bench
+
+#endif  // GOCC_BENCH_CORPUS_UTIL_H_

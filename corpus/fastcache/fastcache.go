@@ -1,0 +1,112 @@
+package fastcache
+
+import (
+	"sync"
+	"atomic"
+)
+
+type bucket struct {
+	mu sync.RWMutex
+	entries map[uint64]int64
+	gen int64
+}
+
+type Stats struct {
+	statsMu sync.Mutex
+	GetCalls int64
+	SetCalls int64
+	Misses int64
+}
+
+type Cache struct {
+	buckets []bucket
+	stats Stats
+	ring []int64
+	ringMu sync.Mutex
+}
+
+func (s *Stats) noteGet() {
+	s.statsMu.Lock()
+	s.GetCalls++
+	s.statsMu.Unlock()
+}
+
+func (s *Stats) noteMiss() {
+	s.statsMu.Lock()
+	s.Misses++
+	s.statsMu.Unlock()
+}
+
+func (b *bucket) get(key uint64, stats *Stats) (int64, bool) {
+	b.mu.RLock()
+	stats.noteGet()
+	v, ok := b.entries[key]
+	if !ok {
+		stats.noteMiss()
+	}
+	b.mu.RUnlock()
+	return v, ok
+}
+
+func (b *bucket) has(key uint64) bool {
+	b.mu.RLock()
+	_, ok := b.entries[key]
+	b.mu.RUnlock()
+	return ok
+}
+
+func validateValue(size int64) {
+	if size > 65536 {
+		panic("fastcache: value too big")
+	}
+}
+
+func (b *bucket) set(key uint64, value int64, size int64) {
+	b.mu.Lock()
+	validateValue(size)
+	b.entries[key] = value
+	b.gen++
+	b.mu.Unlock()
+}
+
+func (b *bucket) del(key uint64) {
+	b.mu.Lock()
+	delete(b.entries, key)
+	b.mu.Unlock()
+}
+
+func (c *Cache) Get(key uint64) (int64, bool) {
+	b := c.bucketFor(key)
+	return b.get(key, &c.stats)
+}
+
+func (c *Cache) Has(key uint64) bool {
+	b := c.bucketFor(key)
+	return b.has(key)
+}
+
+func (c *Cache) Set(key uint64, value int64) {
+	b := c.bucketFor(key)
+	b.set(key, value, 8)
+}
+
+func (c *Cache) bucketFor(key uint64) *bucket {
+	ix := key % 512
+	return &c.buckets[ix]
+}
+
+func (c *Cache) UpdateGeneration() {
+	c.ringMu.Lock()
+	for i := range c.ring {
+		c.ring[i] = atomic.AddInt64(&c.stats.GetCalls, 0)
+	}
+	c.ringMu.Unlock()
+}
+
+func (c *Cache) ResetStats() {
+	c.stats.statsMu.Lock()
+	defer c.stats.statsMu.Unlock()
+	c.stats.GetCalls = 0
+	c.stats.SetCalls = 0
+	c.stats.Misses = 0
+}

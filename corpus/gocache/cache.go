@@ -1,0 +1,127 @@
+package gocache
+
+import (
+	"sync"
+	"fmt"
+	"time"
+)
+
+type Item struct {
+	Value int64
+	Expiration int64
+}
+
+type Cache struct {
+	mu sync.RWMutex
+	items map[string]Item
+	count int64
+}
+
+func New() *Cache {
+	c := &Cache{}
+	c.items = make(map[string]Item)
+	return c
+}
+
+// The go-cache pattern the paper's Table 1 calls out: unlocks on early
+// return paths that do not post-dominate the lock point.
+func (c *Cache) Get(key string, now int64) (int64, bool) {
+	c.mu.RLock()
+	item, found := c.items[key]
+	if !found {
+		c.mu.RUnlock()
+		return 0, false
+	}
+	if item.Expiration > 0 {
+		if now > item.Expiration {
+			c.mu.RUnlock()
+			return 0, false
+		}
+	}
+	c.mu.RUnlock()
+	return item.Value, true
+}
+
+func (c *Cache) GetWithExpiration(key string, now int64) (int64, int64, bool) {
+	c.mu.RLock()
+	item, found := c.items[key]
+	if !found {
+		c.mu.RUnlock()
+		return 0, 0, false
+	}
+	c.mu.RUnlock()
+	return item.Value, item.Expiration, true
+}
+
+func (c *Cache) MapGet(key string) (int64, bool) {
+	c.mu.RLock()
+	item, found := c.items[key]
+	c.mu.RUnlock()
+	return item.Value, found
+}
+
+func (c *Cache) MapGetStruct(key string) (Item, bool) {
+	c.mu.RLock()
+	item, found := c.items[key]
+	c.mu.RUnlock()
+	return item, found
+}
+
+func (c *Cache) Set(key string, value int64, expiration int64) {
+	c.mu.Lock()
+	c.items[key] = Item{Value: value, Expiration: expiration}
+	c.count++
+	c.mu.Unlock()
+}
+
+func (c *Cache) SetDefault(key string, value int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items[key] = Item{Value: value}
+}
+
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	delete(c.items, key)
+	c.mu.Unlock()
+}
+
+func (c *Cache) ItemCount() int {
+	c.mu.RLock()
+	n := len(c.items)
+	c.mu.RUnlock()
+	return n
+}
+
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.items = make(map[string]Item)
+	c.mu.Unlock()
+}
+
+func (c *Cache) DeleteExpired(now int64) {
+	c.mu.Lock()
+	for k, v := range c.items {
+		if v.Expiration > 0 {
+			if now > v.Expiration {
+				delete(c.items, k)
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) DebugDump() {
+	c.mu.RLock()
+	for k, v := range c.items {
+		fmt.Println(k, v.Value)
+	}
+	c.mu.RUnlock()
+}
+
+func (c *Cache) Janitor(interval int64) {
+	for {
+		time.Sleep(interval)
+		c.DeleteExpired(0)
+	}
+}

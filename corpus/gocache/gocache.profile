@@ -1,0 +1,12 @@
+# CPU profile of the go-cache benchmark suite.
+Cache.MapGet            0.34
+Cache.Get               0.21
+Cache.MapGetStruct      0.12
+Cache.Set               0.06
+Cache.ItemCount         0.02
+Cache.GetWithExpiration 0.008
+Cache.SetDefault        0.006
+Cache.Delete            0.004
+Cache.Flush             0.002
+Cache.DeleteExpired     0.002
+Cache.DebugDump         0.0001

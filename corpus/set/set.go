@@ -1,0 +1,78 @@
+package set
+
+import "sync"
+
+type Set struct {
+	rw sync.RWMutex
+	flattenMu sync.Mutex
+	items map[int64]bool
+	cache []int64
+	cacheValid bool
+}
+
+func New() *Set {
+	s := &Set{}
+	s.items = make(map[int64]bool)
+	return s
+}
+
+func (s *Set) Add(item int64) {
+	s.rw.Lock()
+	s.items[item] = true
+	s.cacheValid = false
+	s.rw.Unlock()
+}
+
+func (s *Set) Remove(item int64) {
+	s.rw.Lock()
+	delete(s.items, item)
+	s.cacheValid = false
+	s.rw.Unlock()
+}
+
+func (s *Set) Exists(item int64) bool {
+	s.rw.RLock()
+	_, ok := s.items[item]
+	s.rw.RUnlock()
+	return ok
+}
+
+func (s *Set) Len() int {
+	s.rw.RLock()
+	n := len(s.items)
+	s.rw.RUnlock()
+	return n
+}
+
+func (s *Set) Flatten() []int64 {
+	s.flattenMu.Lock()
+	defer s.flattenMu.Unlock()
+	if s.cacheValid {
+		return s.cache
+	}
+	out := make([]int64, 0)
+	s.rw.RLock()
+	for k := range s.items {
+		out = append(out, k)
+	}
+	s.rw.RUnlock()
+	s.cache = out
+	s.cacheValid = true
+	return s.cache
+}
+
+func (s *Set) Clear() {
+	s.rw.Lock()
+	s.items = make(map[int64]bool)
+	s.cacheValid = false
+	s.rw.Unlock()
+}
+
+func (s *Set) AddAll(items []int64) {
+	s.rw.Lock()
+	for _, it := range items {
+		s.items[it] = true
+	}
+	s.cacheValid = false
+	s.rw.Unlock()
+}

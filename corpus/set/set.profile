@@ -1,0 +1,8 @@
+# CPU profile of the set benchmark suite.
+Set.Len      0.28
+Set.Exists   0.24
+Set.Flatten  0.18
+Set.Clear    0.09
+Set.Add      0.05
+Set.Remove   0.004
+Set.AddAll   0.003

@@ -1,0 +1,51 @@
+package tally
+
+import "sync"
+
+// Tally-style cached counter with an anonymous (embedded) mutex — the
+// pattern §5.3 "Go anonymous fields" handles: operations lock through the
+// struct variable itself and the transformer must suffix the access path
+// with the promoted field name.
+type CachedCount struct {
+	sync.Mutex
+	cached int64
+	dirty bool
+}
+
+func (c *CachedCount) Bump(delta int64) {
+	c.Lock()
+	c.cached += delta
+	c.dirty = true
+	c.Unlock()
+}
+
+func (c *CachedCount) Read() int64 {
+	c.Lock()
+	defer c.Unlock()
+	return c.cached
+}
+
+// A pointer-mutex field (Listing 11's *sync.Mutex flavour): the receiver
+// path is already a pointer and must be passed as-is.
+type SharedBucket struct {
+	mu *sync.Mutex
+	total int64
+}
+
+func NewSharedBucket(mu *sync.Mutex) *SharedBucket {
+	b := &SharedBucket{}
+	b.mu = mu
+	return b
+}
+
+func (b *SharedBucket) AddSample(v int64) {
+	b.mu.Lock()
+	b.total += v
+	b.mu.Unlock()
+}
+
+func (b *SharedBucket) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

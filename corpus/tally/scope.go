@@ -1,0 +1,154 @@
+package tally
+
+import (
+	"sync"
+	"fmt"
+)
+
+type Counter struct {
+	mu sync.Mutex
+	value int64
+}
+
+type Gauge struct {
+	mu sync.Mutex
+	value int64
+}
+
+type Histogram struct {
+	mu sync.Mutex
+	samples []int64
+}
+
+type Scope struct {
+	cm sync.RWMutex
+	gm sync.RWMutex
+	hm sync.RWMutex
+	registry sync.Mutex
+	counters map[string]int64
+	gauges map[string]int64
+	histograms map[string]int64
+	reporting bool
+}
+
+func NewScope() *Scope {
+	s := &Scope{}
+	s.counters = make(map[string]int64)
+	s.gauges = make(map[string]int64)
+	s.histograms = make(map[string]int64)
+	return s
+}
+
+func (s *Scope) HistogramExists(name string) bool {
+	s.registry.Lock()
+	_, ok := s.histograms[name]
+	s.registry.Unlock()
+	return ok
+}
+
+func (s *Scope) RegisterHistogram(name string) {
+	s.registry.Lock()
+	defer s.registry.Unlock()
+	s.histograms[name] = 0
+}
+
+func (s *Scope) CounterValue(name string) int64 {
+	s.cm.RLock()
+	v := s.counters[name]
+	s.cm.RUnlock()
+	return v
+}
+
+func (s *Scope) GaugeValue(name string) int64 {
+	s.gm.RLock()
+	v := s.gauges[name]
+	s.gm.RUnlock()
+	return v
+}
+
+func (s *Scope) HistogramValue(name string) int64 {
+	s.hm.RLock()
+	v := s.histograms[name]
+	s.hm.RUnlock()
+	return v
+}
+
+func (s *Scope) ReportOnce(names []string) int64 {
+	total := int64(0)
+	s.cm.RLock()
+	for _, n := range names {
+		total += s.counters[n]
+	}
+	s.cm.RUnlock()
+	s.gm.RLock()
+	for _, n := range names {
+		total += s.gauges[n]
+	}
+	s.gm.RUnlock()
+	s.hm.RLock()
+	for _, n := range names {
+		total += s.histograms[n]
+	}
+	s.hm.RUnlock()
+	return total
+}
+
+func (s *Scope) IncCounter(name string, delta int64) {
+	s.cm.Lock()
+	defer s.cm.Unlock()
+	s.counters[name] += delta
+}
+
+func (s *Scope) SetGauge(name string, v int64) {
+	s.gm.Lock()
+	s.gauges[name] = v
+	s.gm.Unlock()
+}
+
+func (s *Scope) Snapshot(names []string) map[string]int64 {
+	out := make(map[string]int64)
+	s.cm.RLock()
+	for _, n := range names {
+		out[n] = s.counters[n]
+	}
+	s.cm.RUnlock()
+	return out
+}
+
+func (s *Scope) DumpDebug(names []string) {
+	s.registry.Lock()
+	for _, n := range names {
+		fmt.Println(n, s.histograms[n])
+	}
+	s.registry.Unlock()
+}
+
+func (c *Counter) Inc(delta int64) {
+	c.mu.Lock()
+	c.value += delta
+	c.mu.Unlock()
+}
+
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+func (g *Gauge) Update(v int64) {
+	g.mu.Lock()
+	g.value = v
+	g.mu.Unlock()
+}
+
+func (h *Histogram) Record(v int64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+func (h *Histogram) Report(s *Scope, name string) {
+	h.mu.Lock()
+	s.IncCounter(name, 1)
+	h.mu.Unlock()
+}

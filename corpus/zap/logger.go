@@ -1,0 +1,59 @@
+package zap
+
+import (
+	"sync"
+	"os"
+)
+
+type CheckedEntry struct {
+	mu sync.Mutex
+	level int64
+	sampled int64
+}
+
+type Logger struct {
+	levelMu sync.Mutex
+	level int64
+	writeMu sync.Mutex
+	buffered int64
+}
+
+func (l *Logger) Enabled(level int64) bool {
+	l.levelMu.Lock()
+	ok := level >= l.level
+	l.levelMu.Unlock()
+	return ok
+}
+
+func (l *Logger) SetLevel(level int64) {
+	l.levelMu.Lock()
+	l.level = level
+	l.levelMu.Unlock()
+}
+
+func (l *Logger) Check(level int64, ce *CheckedEntry) bool {
+	if !l.Enabled(level) {
+		return false
+	}
+	ce.mu.Lock()
+	ce.level = level
+	ce.sampled++
+	ce.mu.Unlock()
+	return true
+}
+
+func (l *Logger) Write(msg string) {
+	l.writeMu.Lock()
+	l.buffered++
+	if l.buffered > 64 {
+		os.Stdout.Write(msg)
+		l.buffered = 0
+	}
+	l.writeMu.Unlock()
+}
+
+func (l *Logger) Sync() {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	os.Stdout.Sync()
+}

@@ -1,0 +1,6 @@
+# CPU profile of the zap benchmark suite.
+Logger.Enabled  0.24
+Logger.Check    0.12
+Logger.Write    0.30
+Logger.SetLevel 0.004
+Logger.Sync     0.002

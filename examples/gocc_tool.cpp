@@ -1,0 +1,127 @@
+// gocc_tool: the end-to-end source-to-source transformation CLI (Figure 1).
+//
+// Consumes mini-Go source files (and an optional pprof-style profile),
+// runs the full GOCC pipeline — type resolution, points-to analysis, call
+// graph, LU-pair matching and filtering, profile-based hot filtering — and
+// prints the analysis funnel plus the unified diff a developer would
+// review.
+//
+// Usage:
+//   gocc_tool [--profile prof.txt] file1.go [file2.go ...]
+//   gocc_tool --demo          # runs on a built-in example
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/pipeline.h"
+#include "src/support/strings.h"
+
+namespace {
+
+constexpr char kDemoSource[] = R"(package demo
+
+import "sync"
+
+type Account struct {
+	mu sync.Mutex
+	balance int64
+}
+
+func (a *Account) Deposit(amount int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+}
+
+func (a *Account) Balance() int64 {
+	a.mu.Lock()
+	b := a.balance
+	a.mu.Unlock()
+	return b
+}
+)";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gocc::analysis::PipelineInput input;
+  bool demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      if (!ReadFile(argv[++i], &input.profile_text)) {
+        std::fprintf(stderr, "cannot read profile %s\n", argv[i]);
+        return 1;
+      }
+      input.has_profile = true;
+    } else {
+      std::string content;
+      if (!ReadFile(argv[i], &content)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[i]);
+        return 1;
+      }
+      input.sources.push_back({argv[i], std::move(content)});
+    }
+  }
+  if (demo || input.sources.empty()) {
+    if (!demo) {
+      std::fprintf(stderr, "no inputs; running the built-in demo "
+                           "(use --demo to silence this note)\n\n");
+    }
+    input.sources.push_back({"demo.go", kDemoSource});
+  }
+
+  auto output = gocc::analysis::RunPipeline(input);
+  if (!output.ok()) {
+    std::fprintf(stderr, "gocc: %s\n", output.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto& counts = output->analysis.counts;
+  std::printf("== GOCC analysis ==\n");
+  std::printf("lock points:          %d\n", counts.lock_points);
+  std::printf("unlock points:        %d (%d defer)\n", counts.unlock_points,
+              counts.defer_unlock_points);
+  std::printf("dominance violations: %d\n", counts.dominance_violations);
+  std::printf("candidate pairs:      %d\n", counts.candidate_pairs);
+  std::printf("unfit for HTM:        %d intra / %d inter\n",
+              counts.unfit_intra, counts.unfit_inter);
+  std::printf("nested aliased locks: %d intra / %d inter\n",
+              counts.nested_alias_intra, counts.nested_alias_inter);
+  std::printf("transformed pairs:    %d (%d defer)\n", counts.transformed,
+              counts.transformed_defer);
+  if (input.has_profile) {
+    std::printf("  after >=1%% profile filter: %d (%d defer)\n",
+                counts.transformed_with_profile,
+                counts.transformed_defer_with_profile);
+  }
+
+  std::printf("\n== Proposed patch ==\n");
+  bool any = false;
+  for (const auto& file : output->transform.files) {
+    if (!file.diff.empty()) {
+      std::printf("%s\n", file.diff.c_str());
+      any = true;
+    }
+  }
+  if (!any) {
+    std::printf("(no changes — nothing profitable to transform)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// kvstore: a go-cache-style concurrent key/value store under elision.
+//
+// The second domain scenario from the paper's evaluation: a read-mostly
+// in-memory cache with TTLs. Mixed readers and writers run against the
+// pessimistic and the GOCC-elided builds; the example verifies the two
+// builds agree on every observable result while printing runtime stats.
+//
+// Build & run:  ./build/examples/kvstore
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/gosync/runtime.h"
+#include "src/htm/config.h"
+#include "src/htm/stats.h"
+#include "src/optilib/optilock.h"
+#include "src/workloads/gocache.h"
+#include "src/workloads/policy.h"
+
+namespace {
+
+using gocc::workloads::GoCache;
+
+struct PhaseResult {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  int64_t final_count = 0;
+  int64_t checksum = 0;
+};
+
+template <typename Policy>
+PhaseResult RunPhase() {
+  auto cache = std::make_unique<GoCache<Policy>>();
+  constexpr int kReaders = 3;
+  constexpr int kKeys = 128;
+  constexpr int kWriterRounds = 400;
+
+  // Seed half the keyspace.
+  for (uint64_t k = 1; k <= kKeys / 2; ++k) {
+    cache->Set(k, static_cast<int64_t>(k * 3),
+               GoCache<Policy>::kNoExpiration);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t n = static_cast<uint64_t>(t) * 31;
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t v = 0;
+        if (cache->Get((n++ % kKeys) + 1, /*now=*/10, &v)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Writer fills the other half with TTLs, then expires a stripe of keys.
+  for (int round = 0; round < kWriterRounds; ++round) {
+    uint64_t k = static_cast<uint64_t>(kKeys / 2) +
+                 static_cast<uint64_t>(round % (kKeys / 2)) + 1;
+    cache->Set(k, static_cast<int64_t>(k * 3), /*expiry=*/1000);
+    if (round % 16 == 15) {
+      cache->Expire(k, /*now=*/5);
+    }
+    gocc::gosync::Gosched();
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+
+  PhaseResult result;
+  result.hits = hits.load();
+  result.misses = misses.load();
+  result.final_count = cache->ItemCount();
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    int64_t v = 0;
+    if (cache->Get(k, /*now=*/10, &v)) {
+      result.checksum += v;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  gocc::htm::EnableRtmIfSupported();
+  gocc::gosync::SetMaxProcs(4);
+
+  std::printf("kvstore: 3 readers + 1 writer, 128 keys, TTL churn\n\n");
+
+  PhaseResult lock = RunPhase<gocc::workloads::Pessimistic>();
+  std::printf("  pessimistic: %llu hits, %llu misses, %lld items, "
+              "checksum %lld\n",
+              static_cast<unsigned long long>(lock.hits),
+              static_cast<unsigned long long>(lock.misses),
+              static_cast<long long>(lock.final_count),
+              static_cast<long long>(lock.checksum));
+
+  gocc::htm::GlobalTxStats().Reset();
+  gocc::optilib::GlobalOptiStats().Reset();
+  gocc::optilib::GlobalPerceptron().Reset();
+
+  PhaseResult elided = RunPhase<gocc::workloads::Elided>();
+  std::printf("  GOCC-elided: %llu hits, %llu misses, %lld items, "
+              "checksum %lld\n",
+              static_cast<unsigned long long>(elided.hits),
+              static_cast<unsigned long long>(elided.misses),
+              static_cast<long long>(elided.final_count),
+              static_cast<long long>(elided.checksum));
+
+  std::printf("\n  optiLib (elided run): %s\n",
+              gocc::optilib::GlobalOptiStats().ToString().c_str());
+  std::printf("  tm (elided run):      %s\n",
+              gocc::htm::GlobalTxStats().ToString().c_str());
+
+  bool consistent = lock.final_count == elided.final_count &&
+                    lock.checksum == elided.checksum;
+  std::printf("\n  deterministic state (items, checksum) %s between "
+              "builds\n",
+              consistent ? "MATCHES" : "DIFFERS");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+#include "src/analysis/callgraph.h"
+
+#include <deque>
+
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+namespace {
+
+bool HasPrefix(const std::string& name, const char* prefix) {
+  return StartsWith(name, prefix);
+}
+
+}  // namespace
+
+bool IsUnfriendlyCallee(const std::string& callee) {
+  if (callee.empty()) {
+    return true;  // call through a function value: unresolvable
+  }
+  // Goroutine spawn, parking, IO, syscalls, panics: all abort transactions.
+  if (callee == "go" || callee == "panic" || callee == "print" ||
+      callee == "println") {
+    return true;
+  }
+  if (HasPrefix(callee, "fmt.") || HasPrefix(callee, "os.") ||
+      HasPrefix(callee, "io.") || HasPrefix(callee, "net.") ||
+      HasPrefix(callee, "syscall.") || HasPrefix(callee, "log.") ||
+      HasPrefix(callee, "time.") || HasPrefix(callee, "sync.") ||
+      HasPrefix(callee, "runtime.")) {
+    return true;
+  }
+  // Friendly builtins and pure externals. Note that allocation (make, new,
+  // append) is deliberately friendly: the paper filters only statically
+  // certain aborts (IO); allocation-heavy sections are left to the
+  // perceptron (CounterAllocation in §6.2).
+  if (callee == "len" || callee == "cap" || callee == "make" ||
+      callee == "new" || callee == "append" || callee == "delete" ||
+      callee == "copy" || HasPrefix(callee, "atomic.") ||
+      HasPrefix(callee, "math.") || HasPrefix(callee, "strconv.") ||
+      HasPrefix(callee, "errors.") || HasPrefix(callee, "sort.") ||
+      HasPrefix(callee, "bytes.")) {
+    return false;
+  }
+  // Builtin conversions (int64(x), string(b), ...).
+  if (callee == "int" || callee == "int8" || callee == "int16" ||
+      callee == "int32" || callee == "int64" || callee == "uint" ||
+      callee == "uint8" || callee == "uint16" || callee == "uint32" ||
+      callee == "uint64" || callee == "uintptr" || callee == "byte" ||
+      callee == "rune" || callee == "float32" || callee == "float64" ||
+      callee == "bool" || callee == "string") {
+    return false;
+  }
+  // Unknown externals: conservative.
+  return true;
+}
+
+std::unique_ptr<CallGraph> CallGraph::Build(const gosrc::TypeInfo& types,
+                                            const PointsTo& points_to) {
+  auto graph = std::unique_ptr<CallGraph>(new CallGraph());
+  for (const gosrc::FuncDecl* fd : types.functions()) {
+    FunctionSummary summary;
+    summary.key = gosrc::FuncKey(*fd);
+
+    // Summaries describe the function's own body (the top-level scope).
+    // Closures only execute through function values, whose call sites are
+    // classified unfriendly anyway.
+    FuncScope scope{fd, nullptr};
+    auto cfg = Cfg::Build(scope, types);
+    if (!cfg.ok()) {
+      summary.unfriendly_direct = true;
+      summary.unfriendly_reason = cfg.status().message();
+    } else {
+      for (const auto& block : (*cfg)->blocks()) {
+        for (const Instr& instr : block->instrs) {
+          if (instr.kind != Instr::Kind::kCall) {
+            continue;
+          }
+          if (!instr.callee_internal && IsUnfriendlyCallee(instr.callee)) {
+            summary.unfriendly_direct = true;
+            if (summary.unfriendly_reason.empty()) {
+              summary.unfriendly_reason =
+                  StrFormat("calls %s", instr.callee.empty()
+                                            ? "<function value>"
+                                            : instr.callee.c_str());
+            }
+          } else if (instr.callee_internal) {
+            summary.internal_callees.insert(instr.callee);
+          }
+        }
+      }
+    }
+
+    // P: union of points-to sets over the function's lock/unlock points
+    // (including those in its closures — conservative, they share locks).
+    for (const gosrc::LockOp* op : types.LockOpsIn(fd)) {
+      const PtsSet& m = points_to.MutexesOf(*op);
+      summary.lock_points_to.insert(m.begin(), m.end());
+    }
+
+    graph->summaries_.emplace(summary.key, std::move(summary));
+  }
+  return graph;
+}
+
+const FunctionSummary* CallGraph::SummaryOf(const std::string& key) const {
+  auto it = summaries_.find(key);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+bool CallGraph::TransitivelyUnfriendly(const std::string& key) const {
+  auto memo = unfriendly_memo_.find(key);
+  if (memo != unfriendly_memo_.end()) {
+    return memo->second;
+  }
+  // Iterative DFS with cycle tolerance: mark optimistically, then fix up.
+  std::set<std::string> visited;
+  std::deque<std::string> queue{key};
+  bool unfriendly = false;
+  while (!queue.empty() && !unfriendly) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    const FunctionSummary* summary = SummaryOf(cur);
+    if (summary == nullptr) {
+      unfriendly = true;  // callee without a body: unknown
+      break;
+    }
+    if (summary->unfriendly_direct) {
+      unfriendly = true;
+      break;
+    }
+    for (const std::string& callee : summary->internal_callees) {
+      queue.push_back(callee);
+    }
+  }
+  unfriendly_memo_[key] = unfriendly;
+  return unfriendly;
+}
+
+const PtsSet& CallGraph::TransitiveLockPointsTo(const std::string& key) const {
+  auto memo = pts_memo_.find(key);
+  if (memo != pts_memo_.end()) {
+    return memo->second;
+  }
+  PtsSet result;
+  std::set<std::string> visited;
+  std::deque<std::string> queue{key};
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    const FunctionSummary* summary = SummaryOf(cur);
+    if (summary == nullptr) {
+      continue;
+    }
+    result.insert(summary->lock_points_to.begin(),
+                  summary->lock_points_to.end());
+    for (const std::string& callee : summary->internal_callees) {
+      queue.push_back(callee);
+    }
+  }
+  auto [it, inserted] = pts_memo_.emplace(key, std::move(result));
+  return it->second;
+}
+
+}  // namespace gocc::analysis

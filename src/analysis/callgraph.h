@@ -1,0 +1,66 @@
+// Static call graph and per-function summaries (§5.2.4).
+//
+// The call graph is built with rapid-type-analysis-style resolution over
+// the concrete receiver types the type resolver established. Each function
+// gets a summary: (a) whether its own body contains HTM-unfriendly
+// instructions (IO, syscalls, goroutine spawns, parking sync primitives,
+// panics, or calls that cannot be resolved — conservative), and (b) the
+// union P of points-to sets over all its lock/unlock points. Transitive
+// closures over the call graph answer conditions (3) and (4) of
+// Definition 5.4 for critical sections containing calls.
+
+#ifndef GOCC_SRC_ANALYSIS_CALLGRAPH_H_
+#define GOCC_SRC_ANALYSIS_CALLGRAPH_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/pointsto.h"
+#include "src/gosrc/types.h"
+
+namespace gocc::analysis {
+
+struct FunctionSummary {
+  std::string key;
+  // Direct HTM-unfriendliness of the body (before transitive closure).
+  bool unfriendly_direct = false;
+  std::string unfriendly_reason;
+  // Internal callees (keys into the summary table).
+  std::set<std::string> internal_callees;
+  // Union of M over every lock/unlock point in the function (paper's P).
+  PtsSet lock_points_to;
+};
+
+// Classifies an external/builtin callee name. Returns true when calling it
+// inside a hardware transaction is unsafe or guaranteed to abort.
+bool IsUnfriendlyCallee(const std::string& callee);
+
+class CallGraph {
+ public:
+  // Builds summaries for every function with a body. CFG construction
+  // failures (multi-defer functions) yield conservative summaries.
+  static std::unique_ptr<CallGraph> Build(const gosrc::TypeInfo& types,
+                                          const PointsTo& points_to);
+
+  const FunctionSummary* SummaryOf(const std::string& key) const;
+
+  // Transitive-closure queries (memoized; cycles handled).
+  bool TransitivelyUnfriendly(const std::string& key) const;
+  const PtsSet& TransitiveLockPointsTo(const std::string& key) const;
+
+ private:
+  CallGraph() = default;
+
+  std::unordered_map<std::string, FunctionSummary> summaries_;
+  mutable std::unordered_map<std::string, bool> unfriendly_memo_;
+  mutable std::unordered_map<std::string, PtsSet> pts_memo_;
+  PtsSet empty_;
+};
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_CALLGRAPH_H_

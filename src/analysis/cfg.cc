@@ -1,0 +1,678 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+
+using gosrc::AssignStmt;
+using gosrc::BasicLit;
+using gosrc::BinaryExpr;
+using gosrc::Block;
+using gosrc::BranchStmt;
+using gosrc::CallExpr;
+using gosrc::CompositeLit;
+using gosrc::DeferStmt;
+using gosrc::Expr;
+using gosrc::ExprStmt;
+using gosrc::ForStmt;
+using gosrc::FuncDecl;
+using gosrc::FuncLit;
+using gosrc::GoStmt;
+using gosrc::Ident;
+using gosrc::IfStmt;
+using gosrc::IncDecStmt;
+using gosrc::IndexExpr;
+using gosrc::KeyValueExpr;
+using gosrc::LockOp;
+using gosrc::ParenExpr;
+using gosrc::RangeStmt;
+using gosrc::ReturnStmt;
+using gosrc::SelectorExpr;
+using gosrc::Stmt;
+using gosrc::Tok;
+using gosrc::TypeInfo;
+using gosrc::TypeRef;
+using gosrc::UnaryExpr;
+using gosrc::VarDeclStmt;
+
+std::string FuncScope::Name() const {
+  std::string base = gosrc::FuncKey(*func);
+  if (lit != nullptr) {
+    base += StrFormat("$lit@%d", lit->pos.line);
+  }
+  return base;
+}
+
+const Instr* BasicBlock::LockInstr() const {
+  if (!instrs.empty() && instrs.front().kind == Instr::Kind::kLock) {
+    return &instrs.front();
+  }
+  return nullptr;
+}
+
+const Instr* BasicBlock::UnlockInstr() const {
+  if (!instrs.empty() && instrs.back().kind == Instr::Kind::kUnlock) {
+    return &instrs.back();
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Collects function literals nested directly or transitively in an
+// expression/statement, without descending into the literals' own bodies
+// more than once (each literal is reported exactly once, outermost first).
+class FuncLitCollector {
+ public:
+  std::vector<const FuncLit*> lits;
+
+  void WalkStmt(const Stmt* stmt) {
+    if (stmt == nullptr) {
+      return;
+    }
+    if (const auto* block = dynamic_cast<const Block*>(stmt)) {
+      for (const Stmt* s : block->stmts) {
+        WalkStmt(s);
+      }
+    } else if (const auto* decl = dynamic_cast<const VarDeclStmt*>(stmt)) {
+      WalkExpr(decl->init);
+    } else if (const auto* assign = dynamic_cast<const AssignStmt*>(stmt)) {
+      for (const Expr* e : assign->lhs) {
+        WalkExpr(e);
+      }
+      for (const Expr* e : assign->rhs) {
+        WalkExpr(e);
+      }
+    } else if (const auto* es = dynamic_cast<const ExprStmt*>(stmt)) {
+      WalkExpr(es->x);
+    } else if (const auto* inc = dynamic_cast<const IncDecStmt*>(stmt)) {
+      WalkExpr(inc->x);
+    } else if (const auto* ifs = dynamic_cast<const IfStmt*>(stmt)) {
+      WalkStmt(ifs->init);
+      WalkExpr(ifs->cond);
+      WalkStmt(ifs->then_block);
+      WalkStmt(ifs->else_stmt);
+    } else if (const auto* loop = dynamic_cast<const ForStmt*>(stmt)) {
+      WalkStmt(loop->init);
+      WalkExpr(loop->cond);
+      WalkStmt(loop->post);
+      WalkStmt(loop->body);
+    } else if (const auto* range = dynamic_cast<const RangeStmt*>(stmt)) {
+      WalkExpr(range->x);
+      WalkStmt(range->body);
+    } else if (const auto* ret = dynamic_cast<const ReturnStmt*>(stmt)) {
+      for (const Expr* e : ret->results) {
+        WalkExpr(e);
+      }
+    } else if (const auto* defer_stmt = dynamic_cast<const DeferStmt*>(stmt)) {
+      WalkExpr(defer_stmt->call);
+    } else if (const auto* go_stmt = dynamic_cast<const GoStmt*>(stmt)) {
+      WalkExpr(go_stmt->call);
+    }
+  }
+
+  void WalkExpr(const Expr* expr) {
+    if (expr == nullptr) {
+      return;
+    }
+    if (const auto* lit = dynamic_cast<const FuncLit*>(expr)) {
+      lits.push_back(lit);
+      WalkStmt(lit->body);  // nested literals are scopes of their own too
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(expr)) {
+      WalkExpr(sel->x);
+    } else if (const auto* call = dynamic_cast<const CallExpr*>(expr)) {
+      WalkExpr(call->fn);
+      for (const Expr* a : call->args) {
+        WalkExpr(a);
+      }
+    } else if (const auto* idx = dynamic_cast<const IndexExpr*>(expr)) {
+      WalkExpr(idx->x);
+      WalkExpr(idx->index);
+    } else if (const auto* un = dynamic_cast<const UnaryExpr*>(expr)) {
+      WalkExpr(un->x);
+    } else if (const auto* bin = dynamic_cast<const BinaryExpr*>(expr)) {
+      WalkExpr(bin->x);
+      WalkExpr(bin->y);
+    } else if (const auto* paren = dynamic_cast<const ParenExpr*>(expr)) {
+      WalkExpr(paren->x);
+    } else if (const auto* kv = dynamic_cast<const KeyValueExpr*>(expr)) {
+      WalkExpr(kv->key);
+      WalkExpr(kv->value);
+    } else if (const auto* comp = dynamic_cast<const CompositeLit*>(expr)) {
+      for (const Expr* e : comp->elts) {
+        WalkExpr(e);
+      }
+    }
+  }
+};
+
+// Builds the CFG for one function scope.
+class Builder {
+ public:
+  Builder(const FuncScope& scope, const TypeInfo& types, Cfg* cfg)
+      : scope_(scope), types_(types), cfg_(*cfg) {}
+
+  Status Run() {
+    // Index this scope's lock ops by call-expr node for O(1) lookup, and
+    // collect defer-unlock ops (normalized per §5.2.5).
+    for (const LockOp& op : types_.lock_ops()) {
+      if (op.func != scope_.func || op.inner_func != scope_.lit) {
+        continue;
+      }
+      ops_by_call_[op.call->id] = &op;
+      if (op.in_defer && !IsAcquire(op.op)) {
+        defer_unlocks_.push_back(&op);
+      }
+    }
+    if (defer_unlocks_.size() > 1) {
+      return FailedPreconditionError(StrFormat(
+          "%s: multiple defer-unlock statements; function discarded "
+          "(§5.2.5)",
+          scope_.Name().c_str()));
+    }
+
+    entry_ = NewBlock();
+    exit_ = NewBlock();
+    current_ = entry_;
+    WalkBlock(scope_.body());
+    if (current_ != nullptr) {
+      Link(current_, exit_);  // fallthrough off the end of the function
+    }
+    // §5.2.5: a defer-unlock executes when the function exits, wherever the
+    // exit is. Planting ONE synthetic unlock in the unified exit block
+    // preserves post-dominance for multi-return functions (per-return
+    // copies would never post-dominate the lock).
+    for (const LockOp* op : defer_unlocks_) {
+      Instr instr;
+      instr.kind = Instr::Kind::kUnlock;
+      instr.stmt = op->defer_stmt;
+      instr.lock_op = op;
+      instr.synthetic_defer = true;
+      exit_->instrs.push_back(std::move(instr));
+    }
+
+    PruneUnreachable();
+    cfg_.set_entry(entry_);
+    cfg_.set_exit(exit_);
+    cfg_.set_exit_reachable(ExitReachableFromAll());
+    return Status::Ok();
+  }
+
+ private:
+  BasicBlock* NewBlock() {
+    auto block = std::make_unique<BasicBlock>();
+    block->id = static_cast<int>(cfg_.mutable_blocks().size());
+    BasicBlock* raw = block.get();
+    cfg_.mutable_blocks().push_back(std::move(block));
+    return raw;
+  }
+
+  static void Link(BasicBlock* from, BasicBlock* to) {
+    from->succs.push_back(to);
+    to->preds.push_back(from);
+  }
+
+  // Appends an instruction, honoring the splitting rules: a lock instr
+  // must be the first of its block; an unlock instr must be the last.
+  void Append(Instr instr) {
+    if (current_ == nullptr) {
+      // Unreachable code after return/break/continue: park it in a dead
+      // block (pruned later).
+      current_ = NewBlock();
+    }
+    if (instr.kind == Instr::Kind::kLock && !current_->instrs.empty()) {
+      BasicBlock* next = NewBlock();
+      Link(current_, next);
+      current_ = next;
+    }
+    current_->instrs.push_back(std::move(instr));
+    if (current_->instrs.back().kind == Instr::Kind::kUnlock) {
+      BasicBlock* next = NewBlock();
+      Link(current_, next);
+      current_ = next;
+    }
+  }
+
+  // Emits instrs for the calls and lock ops inside an expression, in
+  // left-to-right evaluation order. Does not descend into function
+  // literals (separate scopes).
+  void EmitExpr(const Expr* expr, const Stmt* stmt) {
+    if (expr == nullptr) {
+      return;
+    }
+    if (dynamic_cast<const FuncLit*>(expr) != nullptr) {
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(expr)) {
+      EmitExpr(sel->x, stmt);
+      return;
+    }
+    if (const auto* call = dynamic_cast<const CallExpr*>(expr)) {
+      // Arguments evaluate before the call.
+      if (const auto* sel = dynamic_cast<const SelectorExpr*>(call->fn)) {
+        EmitExpr(sel->x, stmt);
+      }
+      for (const Expr* a : call->args) {
+        EmitExpr(a, stmt);
+      }
+      auto it = ops_by_call_.find(call->id);
+      if (it != ops_by_call_.end()) {
+        const LockOp* op = it->second;
+        if (op->in_defer && !IsAcquire(op->op)) {
+          // Textual position of a defer-unlock is discarded (§5.2.5).
+          return;
+        }
+        Instr instr;
+        instr.kind = IsAcquire(op->op) ? Instr::Kind::kLock
+                                       : Instr::Kind::kUnlock;
+        instr.stmt = stmt;
+        instr.lock_op = op;
+        Append(std::move(instr));
+        return;
+      }
+      Instr instr;
+      instr.kind = Instr::Kind::kCall;
+      instr.stmt = stmt;
+      instr.call = call;
+      ResolveCallee(call, &instr);
+      Append(std::move(instr));
+      return;
+    }
+    if (const auto* idx = dynamic_cast<const IndexExpr*>(expr)) {
+      EmitExpr(idx->x, stmt);
+      EmitExpr(idx->index, stmt);
+      return;
+    }
+    if (const auto* un = dynamic_cast<const UnaryExpr*>(expr)) {
+      EmitExpr(un->x, stmt);
+      return;
+    }
+    if (const auto* bin = dynamic_cast<const BinaryExpr*>(expr)) {
+      EmitExpr(bin->x, stmt);
+      EmitExpr(bin->y, stmt);
+      return;
+    }
+    if (const auto* paren = dynamic_cast<const ParenExpr*>(expr)) {
+      EmitExpr(paren->x, stmt);
+      return;
+    }
+    if (const auto* kv = dynamic_cast<const KeyValueExpr*>(expr)) {
+      EmitExpr(kv->key, stmt);
+      EmitExpr(kv->value, stmt);
+      return;
+    }
+    if (const auto* comp = dynamic_cast<const CompositeLit*>(expr)) {
+      for (const Expr* e : comp->elts) {
+        EmitExpr(e, stmt);
+      }
+      return;
+    }
+  }
+
+  // Resolves the static callee of a call for summary lookups.
+  void ResolveCallee(const CallExpr* call, Instr* instr) {
+    if (const auto* ident = dynamic_cast<const Ident*>(call->fn)) {
+      if (types_.FindFunc(ident->name) != nullptr) {
+        instr->callee = ident->name;
+        instr->callee_internal = true;
+      } else {
+        instr->callee = ident->name;  // builtin or unknown
+      }
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(call->fn)) {
+      const TypeRef* base = types_.TypeOf(sel->x);
+      if (base->kind == TypeRef::Kind::kPackage) {
+        instr->callee = base->name + "." + sel->sel;
+        return;
+      }
+      const TypeRef* target = base;
+      if (target->kind == TypeRef::Kind::kPointer && target->elem != nullptr) {
+        target = target->elem;
+      }
+      if (target->kind == TypeRef::Kind::kStruct) {
+        std::string key = target->name + "." + sel->sel;
+        if (types_.FindFunc(key) != nullptr) {
+          instr->callee = key;
+          instr->callee_internal = true;
+          return;
+        }
+      }
+      instr->callee = sel->sel;
+      return;
+    }
+    instr->callee = "";  // call through a function value
+  }
+
+  void WalkBlock(const Block* block) {
+    for (const Stmt* stmt : block->stmts) {
+      if (current_ == nullptr) {
+        current_ = NewBlock();  // unreachable trailing code
+      }
+      WalkStmt(stmt);
+    }
+  }
+
+  void WalkStmt(const Stmt* stmt) {
+    if (const auto* block = dynamic_cast<const Block*>(stmt)) {
+      WalkBlock(block);
+      return;
+    }
+    if (const auto* decl = dynamic_cast<const VarDeclStmt*>(stmt)) {
+      EmitExpr(decl->init, stmt);
+      AppendGeneric(stmt);
+      return;
+    }
+    if (const auto* assign = dynamic_cast<const AssignStmt*>(stmt)) {
+      for (const Expr* e : assign->rhs) {
+        EmitExpr(e, stmt);
+      }
+      for (const Expr* e : assign->lhs) {
+        EmitExpr(e, stmt);
+      }
+      AppendGeneric(stmt);
+      return;
+    }
+    if (const auto* es = dynamic_cast<const ExprStmt*>(stmt)) {
+      EmitExpr(es->x, stmt);
+      return;
+    }
+    if (const auto* inc = dynamic_cast<const IncDecStmt*>(stmt)) {
+      EmitExpr(inc->x, stmt);
+      AppendGeneric(stmt);
+      return;
+    }
+    if (const auto* ifs = dynamic_cast<const IfStmt*>(stmt)) {
+      if (ifs->init != nullptr) {
+        WalkStmt(ifs->init);
+      }
+      EmitExpr(ifs->cond, stmt);
+      BasicBlock* cond_block = current_;
+      if (cond_block == nullptr) {
+        cond_block = current_ = NewBlock();
+      }
+
+      BasicBlock* then_entry = NewBlock();
+      Link(cond_block, then_entry);
+      current_ = then_entry;
+      WalkBlock(ifs->then_block);
+      BasicBlock* then_end = current_;
+
+      BasicBlock* else_end = nullptr;
+      BasicBlock* else_entry = nullptr;
+      if (ifs->else_stmt != nullptr) {
+        else_entry = NewBlock();
+        Link(cond_block, else_entry);
+        current_ = else_entry;
+        WalkStmt(ifs->else_stmt);
+        else_end = current_;
+      }
+
+      BasicBlock* join = NewBlock();
+      if (ifs->else_stmt == nullptr) {
+        Link(cond_block, join);
+      }
+      if (then_end != nullptr) {
+        Link(then_end, join);
+      }
+      if (else_end != nullptr) {
+        Link(else_end, join);
+      }
+      current_ = join;
+      return;
+    }
+    if (const auto* loop = dynamic_cast<const ForStmt*>(stmt)) {
+      if (loop->init != nullptr) {
+        WalkStmt(loop->init);
+      }
+      BasicBlock* header = NewBlock();
+      if (current_ != nullptr) {
+        Link(current_, header);
+      }
+      current_ = header;
+      if (loop->cond != nullptr) {
+        EmitExpr(loop->cond, stmt);
+      }
+      BasicBlock* header_end = current_;  // cond emission may split blocks
+
+      BasicBlock* after = NewBlock();
+      BasicBlock* body_entry = NewBlock();
+      Link(header_end, body_entry);
+      if (loop->cond != nullptr) {
+        Link(header_end, after);
+      }
+
+      // The latch runs the post statement; `continue` jumps here so the
+      // post statement still executes (Go semantics).
+      BasicBlock* latch = NewBlock();
+      break_targets_.push_back(after);
+      continue_targets_.push_back(latch);
+      current_ = body_entry;
+      WalkBlock(loop->body);
+      if (current_ != nullptr) {
+        Link(current_, latch);
+      }
+      break_targets_.pop_back();
+      continue_targets_.pop_back();
+      current_ = latch;
+      if (loop->post != nullptr) {
+        WalkStmt(loop->post);
+      }
+      if (current_ != nullptr) {
+        Link(current_, header);
+      }
+      current_ = after;
+      return;
+    }
+    if (const auto* range = dynamic_cast<const RangeStmt*>(stmt)) {
+      EmitExpr(range->x, stmt);
+      BasicBlock* header = NewBlock();
+      if (current_ != nullptr) {
+        Link(current_, header);
+      }
+      BasicBlock* after = NewBlock();
+      BasicBlock* body_entry = NewBlock();
+      Link(header, body_entry);
+      Link(header, after);
+
+      break_targets_.push_back(after);
+      continue_targets_.push_back(header);
+      current_ = body_entry;
+      WalkBlock(range->body);
+      if (current_ != nullptr) {
+        Link(current_, header);
+      }
+      break_targets_.pop_back();
+      continue_targets_.pop_back();
+      current_ = after;
+      return;
+    }
+    if (const auto* ret = dynamic_cast<const ReturnStmt*>(stmt)) {
+      for (const Expr* e : ret->results) {
+        EmitExpr(e, stmt);
+      }
+      Instr instr;
+      instr.kind = Instr::Kind::kReturn;
+      instr.stmt = stmt;
+      Append(std::move(instr));
+      Link(current_, exit_);
+      current_ = nullptr;
+      return;
+    }
+    if (const auto* branch = dynamic_cast<const BranchStmt*>(stmt)) {
+      auto& targets = branch->kind == Tok::kBreak ? break_targets_
+                                                  : continue_targets_;
+      if (!targets.empty() && current_ != nullptr) {
+        Link(current_, targets.back());
+      }
+      current_ = nullptr;
+      return;
+    }
+    if (const auto* defer_stmt = dynamic_cast<const DeferStmt*>(stmt)) {
+      auto it = ops_by_call_.find(defer_stmt->call->id);
+      if (it != ops_by_call_.end()) {
+        if (IsAcquire(it->second->op)) {
+          // `defer m.Lock()` — legal Go, bizarre; keep it at its textual
+          // position so the pairing logic rejects it naturally.
+          Instr instr;
+          instr.kind = Instr::Kind::kLock;
+          instr.stmt = stmt;
+          instr.lock_op = it->second;
+          Append(std::move(instr));
+        }
+        // defer-unlock: textual position discarded; synthesized at exits.
+        return;
+      }
+      // Deferred ordinary call: executes at function exit; model it as a
+      // call at the defer site (conservative for HTM-unfriendliness, since
+      // a critical section extending past this point reaches the exit too).
+      EmitExpr(defer_stmt->call, stmt);
+      return;
+    }
+    if (const auto* go_stmt = dynamic_cast<const GoStmt*>(stmt)) {
+      // Spawning a goroutine is a runtime call (HTM-unfriendly inside a
+      // critical section).
+      Instr instr;
+      instr.kind = Instr::Kind::kCall;
+      instr.stmt = stmt;
+      instr.call = go_stmt->call;
+      instr.callee = "go";
+      Append(std::move(instr));
+      return;
+    }
+    AppendGeneric(stmt);
+  }
+
+  void AppendGeneric(const Stmt* stmt) {
+    Instr instr;
+    instr.kind = Instr::Kind::kGeneric;
+    instr.stmt = stmt;
+    Append(std::move(instr));
+  }
+
+  // Removes blocks unreachable from the entry.
+  void PruneUnreachable() {
+    std::unordered_set<BasicBlock*> reachable;
+    std::deque<BasicBlock*> queue{entry_};
+    reachable.insert(entry_);
+    while (!queue.empty()) {
+      BasicBlock* block = queue.front();
+      queue.pop_front();
+      for (BasicBlock* succ : block->succs) {
+        if (reachable.insert(succ).second) {
+          queue.push_back(succ);
+        }
+      }
+    }
+    for (auto& block : cfg_.mutable_blocks()) {
+      auto& preds = block->preds;
+      preds.erase(std::remove_if(preds.begin(), preds.end(),
+                                 [&](BasicBlock* b) {
+                                   return reachable.count(b) == 0;
+                                 }),
+                  preds.end());
+    }
+    // Exit must stay even if currently unreachable (degenerate functions).
+    std::vector<std::unique_ptr<BasicBlock>> kept;
+    for (auto& block : cfg_.mutable_blocks()) {
+      if (reachable.count(block.get()) != 0 || block.get() == exit_) {
+        kept.push_back(std::move(block));
+      }
+    }
+    cfg_.mutable_blocks() = std::move(kept);
+    for (size_t i = 0; i < cfg_.mutable_blocks().size(); ++i) {
+      cfg_.mutable_blocks()[i]->id = static_cast<int>(i);
+    }
+  }
+
+  bool ExitReachableFromAll() const {
+    // Reverse reachability from the exit.
+    std::unordered_set<const BasicBlock*> reaches;
+    std::deque<const BasicBlock*> queue{exit_};
+    reaches.insert(exit_);
+    while (!queue.empty()) {
+      const BasicBlock* block = queue.front();
+      queue.pop_front();
+      for (const BasicBlock* pred : block->preds) {
+        if (reaches.insert(pred).second) {
+          queue.push_back(pred);
+        }
+      }
+    }
+    for (const auto& block : cfg_.mutable_blocks()) {
+      if (reaches.count(block.get()) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const FuncScope& scope_;
+  const TypeInfo& types_;
+  Cfg& cfg_;
+  BasicBlock* entry_ = nullptr;
+  BasicBlock* exit_ = nullptr;
+  BasicBlock* current_ = nullptr;
+  std::vector<BasicBlock*> break_targets_;
+  std::vector<BasicBlock*> continue_targets_;
+  std::unordered_map<int, const LockOp*> ops_by_call_;
+  std::vector<const LockOp*> defer_unlocks_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Cfg>> Cfg::Build(const FuncScope& scope,
+                                          const gosrc::TypeInfo& types) {
+  auto cfg = std::unique_ptr<Cfg>(new Cfg());
+  cfg->scope_ = scope;
+  Builder builder(scope, types, cfg.get());
+  Status status = builder.Run();
+  if (!status.ok()) {
+    return status;
+  }
+  return cfg;
+}
+
+std::vector<const Instr*> Cfg::LockPoints() const {
+  std::vector<const Instr*> points;
+  for (const auto& block : blocks_) {
+    for (const Instr& instr : block->instrs) {
+      if (instr.kind == Instr::Kind::kLock) {
+        points.push_back(&instr);
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<const Instr*> Cfg::UnlockPoints() const {
+  std::vector<const Instr*> points;
+  for (const auto& block : blocks_) {
+    for (const Instr& instr : block->instrs) {
+      if (instr.kind == Instr::Kind::kUnlock) {
+        points.push_back(&instr);
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<FuncScope> Cfg::ScopesOf(const gosrc::FuncDecl* func) {
+  std::vector<FuncScope> scopes;
+  scopes.push_back(FuncScope{func, nullptr});
+  FuncLitCollector collector;
+  collector.WalkStmt(func->body);
+  for (const FuncLit* lit : collector.lits) {
+    scopes.push_back(FuncScope{func, lit});
+  }
+  return scopes;
+}
+
+}  // namespace gocc::analysis

@@ -1,0 +1,117 @@
+// Control-flow graphs over mini-Go function bodies (§5.2.1).
+//
+// Basic blocks are split so that every lock-point begins a block and every
+// unlock-point ends a block (at most one of each per block), which reduces
+// instruction-level dominance queries to block-level ones. `defer
+// m.Unlock()` is normalized per §5.2.5: a synthetic unlock instruction is
+// planted at every function exit and the textual occurrence is discarded
+// from the analysis.
+//
+// Function literals (closures, anonymous goroutines) get their own CFGs:
+// GOCC only pairs lock/unlock points within one procedure scope (§4.1).
+
+#ifndef GOCC_SRC_ANALYSIS_CFG_H_
+#define GOCC_SRC_ANALYSIS_CFG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gosrc/ast.h"
+#include "src/gosrc/types.h"
+#include "src/support/status.h"
+
+namespace gocc::analysis {
+
+// A procedure scope: either a top-level function body or one function
+// literal nested inside it.
+struct FuncScope {
+  const gosrc::FuncDecl* func = nullptr;
+  const gosrc::FuncLit* lit = nullptr;  // null for the top-level body
+
+  const gosrc::Block* body() const {
+    return lit != nullptr ? lit->body : func->body;
+  }
+  std::string Name() const;
+
+  bool operator==(const FuncScope& other) const {
+    return func == other.func && lit == other.lit;
+  }
+};
+
+struct Instr {
+  enum class Kind {
+    kGeneric,  // statement without analysis-relevant effects
+    kLock,     // lock-point (Lock or RLock)
+    kUnlock,   // unlock-point (Unlock or RUnlock)
+    kCall,     // function call (for summaries / interprocedural checks)
+    kReturn,
+  };
+
+  Kind kind = Kind::kGeneric;
+  const gosrc::Stmt* stmt = nullptr;
+  const gosrc::LockOp* lock_op = nullptr;  // kLock / kUnlock
+  const gosrc::CallExpr* call = nullptr;   // kCall
+  std::string callee;        // resolved callee key ("Cache.Get", "fmt.Println")
+  bool callee_internal = false;  // callee is defined in this program
+  bool synthetic_defer = false;  // synthetic exit unlock from a defer
+};
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<Instr> instrs;
+  std::vector<BasicBlock*> succs;
+  std::vector<BasicBlock*> preds;
+
+  // The lock instr (always first) or unlock instr (always last), if any.
+  const Instr* LockInstr() const;
+  const Instr* UnlockInstr() const;
+};
+
+class Cfg {
+ public:
+  // Builds the CFG for `scope`. Returns a FailedPrecondition status for
+  // shapes the analysis rejects wholesale (multiple defer-unlocks, §5.2.5).
+  static StatusOr<std::unique_ptr<Cfg>> Build(const FuncScope& scope,
+                                              const gosrc::TypeInfo& types);
+
+  const FuncScope& scope() const { return scope_; }
+  BasicBlock* entry() const { return entry_; }
+  BasicBlock* exit() const { return exit_; }
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+
+  // True when every block can reach the unified exit (infinite loops break
+  // post-dominance; such functions are skipped).
+  bool exit_reachable() const { return exit_reachable_; }
+
+  // All lock/unlock instructions, in block order.
+  std::vector<const Instr*> LockPoints() const;
+  std::vector<const Instr*> UnlockPoints() const;
+
+  // Lists every function scope nested in `func` (the body itself first,
+  // then function literals in source order).
+  static std::vector<FuncScope> ScopesOf(const gosrc::FuncDecl* func);
+
+  // Mutation surface for the internal builder; not part of the public API.
+  std::vector<std::unique_ptr<BasicBlock>>& mutable_blocks() {
+    return blocks_;
+  }
+  void set_entry(BasicBlock* block) { entry_ = block; }
+  void set_exit(BasicBlock* block) { exit_ = block; }
+  void set_exit_reachable(bool reachable) { exit_reachable_ = reachable; }
+
+ private:
+  Cfg() = default;
+
+  FuncScope scope_;
+  BasicBlock* entry_ = nullptr;
+  BasicBlock* exit_ = nullptr;
+  bool exit_reachable_ = true;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_CFG_H_

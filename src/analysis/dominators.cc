@@ -1,0 +1,137 @@
+#include "src/analysis/dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gocc::analysis {
+namespace {
+
+// Reverse post-order over the (possibly reversed) CFG.
+void Dfs(const BasicBlock* block, bool post,
+         std::vector<bool>* visited, std::vector<const BasicBlock*>* order) {
+  (*visited)[static_cast<size_t>(block->id)] = true;
+  const auto& next = post ? block->preds : block->succs;
+  for (const BasicBlock* n : next) {
+    if (!(*visited)[static_cast<size_t>(n->id)]) {
+      Dfs(n, post, visited, order);
+    }
+  }
+  order->push_back(block);
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Cfg& cfg, bool post)
+    : cfg_(cfg), post_(post) {
+  const size_t n = cfg.blocks().size();
+  idom_.assign(n, -1);
+  depth_.assign(n, -1);
+
+  const BasicBlock* root = post ? cfg.exit() : cfg.entry();
+  std::vector<bool> visited(n, false);
+  std::vector<const BasicBlock*> postorder;
+  Dfs(root, post, &visited, &postorder);
+
+  // rpo_index[b] = position in reverse post-order (root first).
+  std::vector<int> rpo_index(n, -1);
+  std::vector<const BasicBlock*> rpo(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<size_t>(rpo[i]->id)] = static_cast<int>(i);
+  }
+
+  auto intersect = [&](int b1, int b2) {
+    while (b1 != b2) {
+      while (rpo_index[static_cast<size_t>(b1)] >
+             rpo_index[static_cast<size_t>(b2)]) {
+        b1 = idom_[static_cast<size_t>(b1)];
+      }
+      while (rpo_index[static_cast<size_t>(b2)] >
+             rpo_index[static_cast<size_t>(b1)]) {
+        b2 = idom_[static_cast<size_t>(b2)];
+      }
+    }
+    return b1;
+  };
+
+  idom_[static_cast<size_t>(root->id)] = root->id;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock* block : rpo) {
+      if (block == root) {
+        continue;
+      }
+      const auto& preds = post ? block->succs : block->preds;
+      int new_idom = -1;
+      for (const BasicBlock* pred : preds) {
+        if (idom_[static_cast<size_t>(pred->id)] == -1) {
+          continue;  // not yet processed / unreachable
+        }
+        new_idom = new_idom == -1 ? pred->id : intersect(pred->id, new_idom);
+      }
+      if (new_idom != -1 &&
+          idom_[static_cast<size_t>(block->id)] != new_idom) {
+        idom_[static_cast<size_t>(block->id)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Depths (root = 0). Follow idom chains; roots self-reference.
+  for (const BasicBlock* block : rpo) {
+    if (block == root) {
+      depth_[static_cast<size_t>(block->id)] = 0;
+      continue;
+    }
+    int d = 0;
+    int b = block->id;
+    bool ok = true;
+    while (b != root->id) {
+      int up = idom_[static_cast<size_t>(b)];
+      if (up == -1 || up == b) {
+        ok = false;
+        break;
+      }
+      b = up;
+      ++d;
+      if (d > static_cast<int>(n)) {
+        ok = false;
+        break;
+      }
+    }
+    depth_[static_cast<size_t>(block->id)] = ok ? d : -1;
+  }
+}
+
+const BasicBlock* DominatorTree::Idom(const BasicBlock* block) const {
+  int idom = idom_[static_cast<size_t>(block->id)];
+  if (idom == -1 || idom == block->id) {
+    return nullptr;
+  }
+  return cfg_.blocks()[static_cast<size_t>(idom)].get();
+}
+
+bool DominatorTree::Dominates(const BasicBlock* a,
+                              const BasicBlock* b) const {
+  int da = depth_[static_cast<size_t>(a->id)];
+  int db = depth_[static_cast<size_t>(b->id)];
+  if (da < 0 || db < 0) {
+    return false;
+  }
+  const BasicBlock* cursor = b;
+  int depth = db;
+  while (depth > da) {
+    cursor = Idom(cursor);
+    if (cursor == nullptr) {
+      return false;
+    }
+    --depth;
+  }
+  return cursor == a;
+}
+
+int DominatorTree::Depth(const BasicBlock* block) const {
+  return depth_[static_cast<size_t>(block->id)];
+}
+
+}  // namespace gocc::analysis

@@ -1,0 +1,44 @@
+// Dominator and post-dominator trees (Cooper-Harvey-Kennedy iterative
+// algorithm) over the LU-split CFG. Condition (2) of Feasible-HTM-Pair
+// requires L Dom U and U PDom L (§5.2.2); the Appendix-B splicing walks
+// both trees.
+
+#ifndef GOCC_SRC_ANALYSIS_DOMINATORS_H_
+#define GOCC_SRC_ANALYSIS_DOMINATORS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace gocc::analysis {
+
+class DominatorTree {
+ public:
+  // Builds the dominator tree rooted at cfg.entry(), or the post-dominator
+  // tree rooted at cfg.exit() when `post` is true.
+  DominatorTree(const Cfg& cfg, bool post);
+
+  // Immediate (post-)dominator; null for the root and unreachable blocks.
+  const BasicBlock* Idom(const BasicBlock* block) const;
+
+  // True when `a` (post-)dominates `b` (reflexive).
+  bool Dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  // Depth in the tree (root = 0); -1 for unreachable blocks.
+  int Depth(const BasicBlock* block) const;
+
+  bool is_post() const { return post_; }
+
+ private:
+  int IndexOf(const BasicBlock* block) const;
+
+  const Cfg& cfg_;
+  bool post_;
+  std::vector<int> idom_;   // by block id; -1 = none/self-root
+  std::vector<int> depth_;  // by block id; -1 = unreachable
+};
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_DOMINATORS_H_

@@ -1,0 +1,432 @@
+#include "src/analysis/lupair.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/analysis/dominators.h"
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+
+using gosrc::LockOp;
+using gosrc::LockOpKind;
+
+const char* PairFateName(PairFate fate) {
+  switch (fate) {
+    case PairFate::kTransformed:
+      return "transformed";
+    case PairFate::kColdFunction:
+      return "cold-function";
+    case PairFate::kUnfitIntra:
+      return "unfit-intra";
+    case PairFate::kUnfitInter:
+      return "unfit-inter";
+    case PairFate::kNestedAliasIntra:
+      return "nested-alias-intra";
+    case PairFate::kNestedAliasInter:
+      return "nested-alias-inter";
+  }
+  return "?";
+}
+
+std::vector<const LUPair*> AnalysisResult::TransformList(
+    bool use_profile) const {
+  std::vector<const LUPair*> list;
+  for (const FunctionReport& report : functions) {
+    for (const LUPair& pair : report.pairs) {
+      if (pair.fate == PairFate::kTransformed ||
+          (!use_profile && pair.fate == PairFate::kColdFunction)) {
+        list.push_back(&pair);
+      }
+    }
+  }
+  return list;
+}
+
+namespace {
+
+// Lock/RLock pair only with Unlock/RUnlock of the same flavour.
+bool KindsCompatible(LockOpKind lock, LockOpKind unlock) {
+  if (lock == LockOpKind::kLock) {
+    return unlock == LockOpKind::kUnlock;
+  }
+  if (lock == LockOpKind::kRLock) {
+    return unlock == LockOpKind::kRUnlock;
+  }
+  return false;
+}
+
+class ScopeAnalyzer {
+ public:
+  ScopeAnalyzer(const Cfg& cfg, const gosrc::TypeInfo& types,
+                const PointsTo& points_to, const CallGraph& call_graph)
+      : cfg_(cfg),
+        types_(types),
+        points_to_(points_to),
+        call_graph_(call_graph),
+        dom_(cfg, /*post=*/false),
+        pdom_(cfg, /*post=*/true) {}
+
+  void Run(FunctionReport* report) {
+    CollectPoints(report);
+    MatchPairs(report);
+    for (LUPair& pair : report->pairs) {
+      ClassifyPair(&pair);
+    }
+    report->dominance_violations = static_cast<int>(
+        unmatched_locks_.size() + unmatched_unlocks_.size());
+  }
+
+ private:
+  struct Point {
+    const Instr* instr;
+    const BasicBlock* block;
+    bool matched = false;
+  };
+
+  void CollectPoints(FunctionReport* report) {
+    for (const auto& block : cfg_.blocks()) {
+      for (const Instr& instr : block->instrs) {
+        if (instr.kind == Instr::Kind::kLock) {
+          locks_.push_back(Point{&instr, block.get()});
+          ++report->lock_points;
+        } else if (instr.kind == Instr::Kind::kUnlock) {
+          unlocks_.push_back(Point{&instr, block.get()});
+          ++report->unlock_points;
+          if (instr.lock_op->in_defer) {
+            ++report->defer_unlock_points;
+          }
+        }
+      }
+    }
+  }
+
+  const PtsSet& M(const Instr* instr) const {
+    return points_to_.MutexesOf(*instr->lock_op);
+  }
+
+  // Appendix B: deepest lock points match first (post-order over the
+  // dominator tree); each lock seeks its nearest post-dominating unmatched
+  // unlock, then the reverse test must come back to the same lock.
+  void MatchPairs(FunctionReport* report) {
+    std::vector<Point*> order;
+    for (Point& p : locks_) {
+      order.push_back(&p);
+    }
+    std::sort(order.begin(), order.end(), [&](const Point* a, const Point* b) {
+      int da = dom_.Depth(a->block);
+      int db = dom_.Depth(b->block);
+      if (da != db) {
+        return da > db;  // deepest first
+      }
+      return a->block->id < b->block->id;
+    });
+
+    for (Point* lock : order) {
+      if (dom_.Depth(lock->block) < 0) {
+        continue;  // unreachable
+      }
+      Point* unlock = FindMatchingUnlock(*lock);
+      if (unlock == nullptr) {
+        continue;
+      }
+      lock->matched = true;
+      unlock->matched = true;
+      LUPair pair;
+      pair.lock_op = lock->instr->lock_op;
+      pair.unlock_op = unlock->instr->lock_op;
+      pair.scope = cfg_.scope();
+      pair.defer_unlock = unlock->instr->lock_op->in_defer;
+      pair_blocks_.push_back({lock->block, unlock->block});
+      report->pairs.push_back(pair);
+    }
+    for (Point& p : locks_) {
+      if (!p.matched) {
+        unmatched_locks_.push_back(&p);
+      }
+    }
+    for (Point& p : unlocks_) {
+      if (!p.matched) {
+        unmatched_unlocks_.push_back(&p);
+      }
+    }
+  }
+
+  // Walks the post-dominator chain of the lock's block looking for an
+  // unlock candidate; validates with the reverse dominator walk.
+  Point* FindMatchingUnlock(const Point& lock) {
+    const PtsSet& lock_set = M(lock.instr);
+    if (lock_set.empty()) {
+      return nullptr;  // unresolved receiver: be conservative
+    }
+    const BasicBlock* cursor = lock.block;
+    while (cursor != nullptr) {
+      Point* unlock = UnlockIn(cursor);
+      if (unlock != nullptr && !unlock->matched &&
+          KindsCompatible(lock.instr->lock_op->op,
+                          unlock->instr->lock_op->op) &&
+          PointsTo::Intersects(lock_set, M(unlock->instr))) {
+        // Reverse test: the nearest dominating unmatched lock of the
+        // unlock's block must be this very lock.
+        const Point* back = NearestDominatingLock(*unlock);
+        if (back == &lock) {
+          return unlock;
+        }
+        // Otherwise keep walking up (the unlock belongs to another lock).
+      }
+      cursor = pdom_.Idom(cursor);
+    }
+    return nullptr;
+  }
+
+  Point* UnlockIn(const BasicBlock* block) {
+    for (Point& p : unlocks_) {
+      if (p.block == block) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  const Point* NearestDominatingLock(const Point& unlock) {
+    const PtsSet& unlock_set = M(unlock.instr);
+    const BasicBlock* cursor = unlock.block;
+    while (cursor != nullptr) {
+      for (const Point& p : locks_) {
+        if (p.block == cursor && !p.matched &&
+            KindsCompatible(p.instr->lock_op->op,
+                            unlock.instr->lock_op->op) &&
+            PointsTo::Intersects(M(p.instr), unlock_set)) {
+          return &p;
+        }
+      }
+      cursor = dom_.Idom(cursor);
+    }
+    return nullptr;
+  }
+
+  // Blocks of the critical section guarded by pair i:
+  // { B : lockBlock dom B and unlockBlock pdom B }.
+  std::vector<const BasicBlock*> CriticalSectionBlocks(size_t pair_idx) const {
+    const auto& [lock_block, unlock_block] = pair_blocks_[pair_idx];
+    std::vector<const BasicBlock*> cs;
+    for (const auto& block : cfg_.blocks()) {
+      if (dom_.Dominates(lock_block, block.get()) &&
+          pdom_.Dominates(unlock_block, block.get())) {
+        cs.push_back(block.get());
+      }
+    }
+    return cs;
+  }
+
+  void ClassifyPair(LUPair* pair) {
+    size_t idx = static_cast<size_t>(pair - &pair_blocks_owner()->pairs[0]);
+    const auto cs_blocks = CriticalSectionBlocks(idx);
+
+    PtsSet pair_set = points_to_.MutexesOf(*pair->lock_op);
+    const PtsSet& unlock_set = points_to_.MutexesOf(*pair->unlock_op);
+    pair_set.insert(unlock_set.begin(), unlock_set.end());
+
+    // Condition (3), intra: no other LU-point in the CS may alias.
+    for (const BasicBlock* block : cs_blocks) {
+      for (const Instr& instr : block->instrs) {
+        if (instr.kind != Instr::Kind::kLock &&
+            instr.kind != Instr::Kind::kUnlock) {
+          continue;
+        }
+        if (instr.lock_op == pair->lock_op ||
+            instr.lock_op == pair->unlock_op) {
+          continue;
+        }
+        if (PointsTo::Intersects(points_to_.MutexesOf(*instr.lock_op),
+                                 pair_set)) {
+          pair->fate = PairFate::kNestedAliasIntra;
+          pair->reason = StrFormat(
+              "aliasing %s point at %d:%d inside the critical section",
+              instr.kind == Instr::Kind::kLock ? "lock" : "unlock",
+              instr.lock_op->call->pos.line, instr.lock_op->call->pos.column);
+          return;
+        }
+      }
+    }
+
+    // Conditions (4) intra and (3)/(4) inter over calls in the CS.
+    for (const BasicBlock* block : cs_blocks) {
+      for (const Instr& instr : block->instrs) {
+        if (instr.kind != Instr::Kind::kCall) {
+          continue;
+        }
+        if (!instr.callee_internal) {
+          if (IsUnfriendlyCallee(instr.callee)) {
+            pair->fate = PairFate::kUnfitIntra;
+            pair->reason = StrFormat(
+                "HTM-unfriendly call to %s at %d:%d",
+                instr.callee.empty() ? "<function value>"
+                                     : instr.callee.c_str(),
+                instr.call->pos.line, instr.call->pos.column);
+            return;
+          }
+          continue;
+        }
+        if (call_graph_.TransitivelyUnfriendly(instr.callee)) {
+          pair->fate = PairFate::kUnfitInter;
+          pair->reason = StrFormat(
+              "callee %s transitively contains HTM-unfriendly code",
+              instr.callee.c_str());
+          return;
+        }
+        if (PointsTo::Intersects(
+                call_graph_.TransitiveLockPointsTo(instr.callee), pair_set)) {
+          pair->fate = PairFate::kNestedAliasInter;
+          pair->reason = StrFormat(
+              "callee %s transitively locks an aliasing mutex",
+              instr.callee.c_str());
+          return;
+        }
+      }
+    }
+
+    pair->fate = PairFate::kTransformed;
+  }
+
+  // ClassifyPair needs the report to index pair_blocks_; stash it.
+ public:
+  FunctionReport* pair_blocks_owner() { return report_; }
+  void set_report(FunctionReport* report) { report_ = report; }
+
+ private:
+  const Cfg& cfg_;
+  const gosrc::TypeInfo& types_;
+  const PointsTo& points_to_;
+  const CallGraph& call_graph_;
+  DominatorTree dom_;
+  DominatorTree pdom_;
+  std::vector<Point> locks_;
+  std::vector<Point> unlocks_;
+  std::vector<Point*> unmatched_locks_;
+  std::vector<Point*> unmatched_unlocks_;
+  std::vector<std::pair<const BasicBlock*, const BasicBlock*>> pair_blocks_;
+  FunctionReport* report_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
+                                        const PointsTo& points_to,
+                                        const CallGraph& call_graph,
+                                        const profile::Profile* profile) {
+  AnalysisResult result;
+  for (const gosrc::FuncDecl* fd : types.functions()) {
+    for (const FuncScope& scope : Cfg::ScopesOf(fd)) {
+      FunctionReport report;
+      report.scope = scope;
+
+      // Count this scope's LU points up front so skipped functions still
+      // contribute to the totals.
+      int scope_locks = 0;
+      int scope_unlocks = 0;
+      int scope_defers = 0;
+      for (const LockOp& op : types.lock_ops()) {
+        if (op.func != scope.func || op.inner_func != scope.lit) {
+          continue;
+        }
+        if (IsAcquire(op.op)) {
+          ++scope_locks;
+        } else {
+          ++scope_unlocks;
+          if (op.in_defer) {
+            ++scope_defers;
+          }
+        }
+      }
+      if (scope_locks == 0 && scope_unlocks == 0) {
+        continue;  // nothing to analyze in this scope
+      }
+
+      auto cfg = Cfg::Build(scope, types);
+      if (!cfg.ok()) {
+        report.skipped = true;
+        report.skip_reason = cfg.status().message();
+        report.lock_points = scope_locks;
+        report.unlock_points = scope_unlocks;
+        report.defer_unlock_points = scope_defers;
+        report.dominance_violations = scope_locks + scope_unlocks;
+        result.functions.push_back(std::move(report));
+        continue;
+      }
+      if (!(*cfg)->exit_reachable()) {
+        report.skipped = true;
+        report.skip_reason = "exit unreachable (infinite loop)";
+        report.lock_points = scope_locks;
+        report.unlock_points = scope_unlocks;
+        report.defer_unlock_points = scope_defers;
+        report.dominance_violations = scope_locks + scope_unlocks;
+        result.functions.push_back(std::move(report));
+        continue;
+      }
+
+      ScopeAnalyzer analyzer(**cfg, types, points_to, call_graph);
+      analyzer.set_report(&report);
+      analyzer.Run(&report);
+      result.functions.push_back(std::move(report));
+    }
+  }
+
+  // Profile filtering: demote transformed pairs in cold functions.
+  for (FunctionReport& report : result.functions) {
+    for (LUPair& pair : report.pairs) {
+      if (pair.fate == PairFate::kTransformed && profile != nullptr &&
+          !profile->IsHot(gosrc::FuncKey(*report.scope.func))) {
+        pair.fate = PairFate::kColdFunction;
+        pair.reason = "function below the 1% execution-time threshold";
+      }
+    }
+  }
+
+  // Funnel counters.
+  FunnelCounts& counts = result.counts;
+  for (const FunctionReport& report : result.functions) {
+    counts.lock_points += report.lock_points;
+    counts.unlock_points += report.unlock_points;
+    counts.defer_unlock_points += report.defer_unlock_points;
+    counts.dominance_violations += report.dominance_violations;
+    for (const LUPair& pair : report.pairs) {
+      ++counts.candidate_pairs;
+      switch (pair.fate) {
+        case PairFate::kUnfitIntra:
+          ++counts.unfit_intra;
+          break;
+        case PairFate::kUnfitInter:
+          ++counts.unfit_inter;
+          break;
+        case PairFate::kNestedAliasIntra:
+          ++counts.nested_alias_intra;
+          break;
+        case PairFate::kNestedAliasInter:
+          ++counts.nested_alias_inter;
+          break;
+        case PairFate::kTransformed:
+        case PairFate::kColdFunction: {
+          ++counts.transformed;
+          if (pair.defer_unlock) {
+            ++counts.transformed_defer;
+          }
+          if (pair.fate == PairFate::kTransformed) {
+            ++counts.transformed_with_profile;
+            if (pair.defer_unlock) {
+              ++counts.transformed_defer_with_profile;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (profile == nullptr) {
+    counts.transformed_with_profile = counts.transformed;
+    counts.transformed_defer_with_profile = counts.transformed_defer;
+  }
+  return result;
+}
+
+}  // namespace gocc::analysis

@@ -1,0 +1,94 @@
+// The analyzer: LU-pair identification and filtering (§5.2, Appendix B).
+//
+// Per function scope: build the LU-split CFG, match each lock point to its
+// nearest post-dominating unlock point (with the reverse dominator test and
+// points-to intersection — Appendix B's splicing, innermost matches first),
+// then apply Definition 5.4's conditions: (3) no aliasing LU-point inside
+// the critical section (intra- and inter-procedurally) and (4) no
+// HTM-unfriendly instructions (intra- and inter-procedurally). Finally,
+// profile-based filtering keeps only pairs in hot functions (§5.2.6).
+
+#ifndef GOCC_SRC_ANALYSIS_LUPAIR_H_
+#define GOCC_SRC_ANALYSIS_LUPAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/cfg.h"
+#include "src/analysis/pointsto.h"
+#include "src/gosrc/types.h"
+#include "src/profile/profile.h"
+#include "src/support/status.h"
+
+namespace gocc::analysis {
+
+// Why a candidate pair was accepted or rejected (Table 1's funnel).
+enum class PairFate {
+  kTransformed,
+  kColdFunction,      // rejected only by the >=1% profile filter
+  kUnfitIntra,        // HTM-unfriendly instruction directly in the CS
+  kUnfitInter,        // HTM-unfriendly instruction via a callee
+  kNestedAliasIntra,  // aliasing LU-point inside the CS
+  kNestedAliasInter,  // aliasing LU-point via a callee
+};
+
+const char* PairFateName(PairFate fate);
+
+struct LUPair {
+  const gosrc::LockOp* lock_op = nullptr;
+  const gosrc::LockOp* unlock_op = nullptr;
+  FuncScope scope;
+  bool defer_unlock = false;
+  PairFate fate = PairFate::kTransformed;
+  std::string reason;  // human-readable rejection cause
+};
+
+struct FunctionReport {
+  FuncScope scope;
+  bool skipped = false;      // CFG-level rejection (multi-defer, no exit)
+  std::string skip_reason;
+  int lock_points = 0;
+  int unlock_points = 0;
+  int defer_unlock_points = 0;
+  int dominance_violations = 0;  // unmatched LU points
+  std::vector<LUPair> pairs;
+};
+
+// Table 1's per-repo funnel counters.
+struct FunnelCounts {
+  int lock_points = 0;
+  int unlock_points = 0;
+  int defer_unlock_points = 0;
+  int dominance_violations = 0;
+  int candidate_pairs = 0;
+  int unfit_intra = 0;
+  int unfit_inter = 0;
+  int nested_alias_intra = 0;
+  int nested_alias_inter = 0;
+  int transformed = 0;
+  int transformed_defer = 0;
+  int transformed_with_profile = 0;
+  int transformed_defer_with_profile = 0;
+};
+
+struct AnalysisResult {
+  std::vector<FunctionReport> functions;
+  FunnelCounts counts;
+
+  // The pairs to rewrite (fate == kTransformed; when a profile was given,
+  // cold pairs are excluded).
+  std::vector<const LUPair*> TransformList(bool use_profile) const;
+};
+
+// Runs the full analysis. `profile` may be null (no profile filtering; the
+// funnel still reports the with-profile column as equal to without).
+StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
+                                        const PointsTo& points_to,
+                                        const CallGraph& call_graph,
+                                        const profile::Profile* profile);
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_LUPAIR_H_

@@ -1,0 +1,59 @@
+#include "src/analysis/pipeline.h"
+
+#include "src/gosrc/parser.h"
+
+namespace gocc::analysis {
+
+StatusOr<PipelineOutput> RunPipeline(const PipelineInput& input) {
+  PipelineOutput output;
+  output.program = std::make_unique<gosrc::Program>();
+  for (const auto& source : input.sources) {
+    auto parsed = gosrc::ParseFile(source.name, source.content);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    output.program->files.push_back(std::move(*parsed));
+  }
+
+  auto types = gosrc::TypeInfo::Build(output.program.get());
+  if (!types.ok()) {
+    return types.status();
+  }
+  output.types = std::move(*types);
+
+  auto points_to = PointsTo::Build(*output.types);
+  if (!points_to.ok()) {
+    return points_to.status();
+  }
+  auto call_graph = CallGraph::Build(*output.types, **points_to);
+
+  profile::Profile profile;
+  const profile::Profile* profile_ptr = nullptr;
+  if (input.has_profile) {
+    auto parsed_profile = profile::Profile::Parse(input.profile_text);
+    if (!parsed_profile.ok()) {
+      return parsed_profile.status();
+    }
+    profile = std::move(*parsed_profile);
+    profile_ptr = &profile;
+  }
+
+  auto analysis = AnalyzeProgram(*output.types, **points_to, *call_graph,
+                                 profile_ptr);
+  if (!analysis.ok()) {
+    return analysis.status();
+  }
+  output.analysis = std::move(*analysis);
+
+  auto pairs = output.analysis.TransformList(/*use_profile=*/profile_ptr !=
+                                             nullptr);
+  auto transformed = transform::TransformProgram(output.program.get(),
+                                                 *output.types, pairs);
+  if (!transformed.ok()) {
+    return transformed.status();
+  }
+  output.transform = std::move(*transformed);
+  return output;
+}
+
+}  // namespace gocc::analysis

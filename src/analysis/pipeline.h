@@ -1,0 +1,44 @@
+// End-to-end GOCC pipeline (Figure 1): parse -> type-resolve -> points-to
+// -> call graph -> LU-pair analysis -> profile filter -> transform -> diff.
+
+#ifndef GOCC_SRC_ANALYSIS_PIPELINE_H_
+#define GOCC_SRC_ANALYSIS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lupair.h"
+#include "src/gosrc/types.h"
+#include "src/profile/profile.h"
+#include "src/support/status.h"
+#include "src/transform/transformer.h"
+
+namespace gocc::analysis {
+
+struct PipelineInput {
+  struct SourceFile {
+    std::string name;
+    std::string content;
+  };
+  std::vector<SourceFile> sources;
+  // Optional profile text (§5.2.6 1% filter applies when present).
+  std::string profile_text;
+  bool has_profile = false;
+};
+
+struct PipelineOutput {
+  // Owning state (the result/outcome reference into these).
+  std::unique_ptr<gosrc::Program> program;
+  std::unique_ptr<gosrc::TypeInfo> types;
+  AnalysisResult analysis;
+  transform::TransformOutcome transform;
+};
+
+// Runs the whole pipeline. When a profile is supplied, only hot pairs are
+// rewritten (the analysis funnel still reports both columns).
+StatusOr<PipelineOutput> RunPipeline(const PipelineInput& input);
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_PIPELINE_H_

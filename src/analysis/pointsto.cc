@@ -1,0 +1,825 @@
+#include "src/analysis/pointsto.h"
+
+#include <cassert>
+#include <deque>
+
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+
+using gosrc::AssignStmt;
+using gosrc::Block;
+using gosrc::CallExpr;
+using gosrc::CompositeLit;
+using gosrc::DeferStmt;
+using gosrc::Expr;
+using gosrc::ExprStmt;
+using gosrc::Field;
+using gosrc::ForStmt;
+using gosrc::FuncDecl;
+using gosrc::FuncLit;
+using gosrc::GoStmt;
+using gosrc::Ident;
+using gosrc::IfStmt;
+using gosrc::IncDecStmt;
+using gosrc::IndexExpr;
+using gosrc::KeyValueExpr;
+using gosrc::LockOp;
+using gosrc::NamedType;
+using gosrc::ParenExpr;
+using gosrc::RangeStmt;
+using gosrc::ReturnStmt;
+using gosrc::SelectorExpr;
+using gosrc::Stmt;
+using gosrc::StructInfo;
+using gosrc::Tok;
+using gosrc::TypeArgExpr;
+using gosrc::TypeInfo;
+using gosrc::TypeRef;
+using gosrc::UnaryExpr;
+using gosrc::VarDecl;
+using gosrc::VarDeclStmt;
+
+bool PointsTo::Intersects(const PtsSet& a, const PtsSet& b) {
+  const PtsSet& small = a.size() <= b.size() ? a : b;
+  const PtsSet& large = a.size() <= b.size() ? b : a;
+  for (int id : small) {
+    if (large.count(id) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const PtsSet& PointsTo::MutexesOf(const gosrc::LockOp& op) const {
+  auto it = lockop_sets_.find(op.call);
+  return it == lockop_sets_.end() ? empty_ : it->second;
+}
+
+namespace {
+
+// Per-object layout info.
+struct ObjInfo {
+  bool is_mutex = false;  // the object itself is a mutex
+  std::string struct_name;
+  // Flattened value-field paths ("mu", "inner.mu") -> mutex object id.
+  std::unordered_map<std::string, int> mutex_fields;
+  // Pointer-typed field paths -> pointer-variable node id.
+  std::unordered_map<std::string, int> pointer_fields;
+  // Subset of pointer_fields whose pointee is a mutex (seeded for formals).
+  std::unordered_map<std::string, int> mutex_pointer_fields;
+};
+
+struct PathResolveConstraint {
+  int dst;
+  std::vector<std::string> components;  // remaining path to resolve
+};
+
+struct PathStoreConstraint {
+  int src;  // value being stored
+  std::vector<std::string> components;
+};
+
+}  // namespace
+
+class PointsToBuilder {
+ public:
+  PointsToBuilder(const TypeInfo& types, PointsTo* out)
+      : types_(types), out_(*out) {}
+
+  Status Run() {
+    // Objects and constraints from globals.
+    for (const auto& file : types_.program()->files) {
+      for (gosrc::Decl* decl : file.file->decls) {
+        if (auto* vd = dynamic_cast<VarDecl*>(decl)) {
+          HandleVarDecl("global", vd->name, vd->type, vd->init, vd->pos);
+        }
+      }
+    }
+    // Seed every receiver and named parameter with a synthetic formal
+    // object. Libraries are analyzed without their callers (the paper runs
+    // on packages whose exported methods are entry points), so a formal's
+    // points-to set must not be empty; call-site bindings still flow real
+    // allocation sites in, so aliasing through actual arguments is seen.
+    // Distinct unbound formals are assumed non-aliasing — the runtime
+    // mutex-mismatch recovery covers the residual imprecision (§5.2.3).
+    for (const FuncDecl* fd : types_.functions()) {
+      std::string key = gosrc::FuncKey(*fd);
+      if (fd->recv_type != nullptr && !fd->recv_name.empty()) {
+        SeedFormal(key, fd->recv_name, fd->recv_type, fd->pos);
+      }
+      for (const gosrc::Field& param : fd->type->params) {
+        if (!param.name.empty()) {
+          SeedFormal(key, param.name, param.type, param.pos);
+        }
+      }
+    }
+    // Walk every function body.
+    for (const FuncDecl* fd : types_.functions()) {
+      scope_ = gosrc::FuncKey(*fd);
+      current_func_ = fd;
+      WalkBlock(fd->body);
+    }
+    Solve();
+    ExtractLockOpSets();
+    return Status::Ok();
+  }
+
+  void SeedFormal(const std::string& func_key, const std::string& name,
+                  const gosrc::TypeExpr* type, gosrc::Position pos) {
+    const gosrc::TypeExpr* t = type;
+    if (const auto* ptr = dynamic_cast<const gosrc::PointerType*>(t)) {
+      t = ptr->elem;
+    }
+    const auto* named = dynamic_cast<const NamedType*>(t);
+    if (named == nullptr) {
+      return;
+    }
+    int obj = -1;
+    if (named->pkg == "sync" &&
+        (named->name == "Mutex" || named->name == "RWMutex")) {
+      obj = NewObject(StrFormat("formal %s.%s@%d:%d", func_key.c_str(),
+                                name.c_str(), pos.line, pos.column),
+                      /*is_mutex=*/true, "");
+    } else if (named->pkg.empty() &&
+               types_.FindStruct(named->name) != nullptr) {
+      TypeRef ref;
+      ref.kind = TypeRef::Kind::kStruct;
+      ref.name = named->name;
+      obj = AllocObject(&ref, pos, "formal " + func_key + "." + name);
+    }
+    if (obj >= 0) {
+      AddAddrOf(VarNode(func_key, name), obj);
+      // A formal struct's pointer-to-mutex fields also need synthetic
+      // pointees: a library method locking through `b.mu` must analyze
+      // even when no caller ever built a `b` (the call-site bindings still
+      // union real objects in when callers exist).
+      for (const auto& [path, field_var] :
+           obj_info_[static_cast<size_t>(obj)].mutex_pointer_fields) {
+        int field_obj = NewObject(
+            StrFormat("formal %s.%s.%s@%d:%d", func_key.c_str(),
+                      name.c_str(), path.c_str(), pos.line, pos.column),
+            /*is_mutex=*/true, "");
+        AddAddrOf(field_var, field_obj);
+      }
+    }
+  }
+
+ private:
+  // ----- node management -----
+
+  int NodeFor(const std::string& key) {
+    auto [it, inserted] = node_ids_.try_emplace(
+        key, static_cast<int>(pts_.size()));
+    if (inserted) {
+      pts_.emplace_back();
+      copy_edges_.emplace_back();
+      resolves_.emplace_back();
+      stores_.emplace_back();
+    }
+    return it->second;
+  }
+
+  int VarNode(const std::string& scope, const std::string& name) {
+    return NodeFor("var::" + scope + "::" + name);
+  }
+
+  int TempNode(const Expr* expr) {
+    return NodeFor(StrFormat("tmp::%d", expr->id));
+  }
+
+  int FreshNode(const std::string& tag) {
+    return NodeFor(StrFormat("fresh::%s::%d", tag.c_str(), fresh_counter_++));
+  }
+
+  int RetNode(const std::string& func_key) {
+    return NodeFor("ret::" + func_key);
+  }
+
+  // ----- objects -----
+
+  int NewObject(const std::string& description, bool is_mutex,
+                const std::string& struct_name) {
+    int id = static_cast<int>(out_.objects_.size());
+    out_.objects_.push_back(MutexObject{id, description});
+    obj_info_.push_back(ObjInfo{});
+    obj_info_.back().is_mutex = is_mutex;
+    obj_info_.back().struct_name = struct_name;
+    return id;
+  }
+
+  // Creates the abstract object(s) for an allocation of type `t` at `pos`.
+  // Returns the root object id, or -1 when the type holds no mutexes.
+  int AllocObject(const TypeRef* t, gosrc::Position pos,
+                  const std::string& what) {
+    if (t == nullptr) {
+      return -1;
+    }
+    if (t->kind == TypeRef::Kind::kMutex ||
+        t->kind == TypeRef::Kind::kRWMutex) {
+      return NewObject(StrFormat("%s@%d:%d", what.c_str(), pos.line,
+                                 pos.column),
+                       /*is_mutex=*/true, "");
+    }
+    if (t->kind == TypeRef::Kind::kStruct) {
+      const StructInfo* si = types_.FindStruct(t->name);
+      if (si == nullptr) {
+        return -1;
+      }
+      int obj = NewObject(StrFormat("%s(%s)@%d:%d", what.c_str(),
+                                    t->name.c_str(), pos.line, pos.column),
+                          /*is_mutex=*/false, t->name);
+      FlattenFields(obj, si, "", pos, 0);
+      if (obj_info_[static_cast<size_t>(obj)].mutex_fields.empty() &&
+          obj_info_[static_cast<size_t>(obj)].pointer_fields.empty()) {
+        return obj;  // harmless: no mutexes inside, set stays inert
+      }
+      return obj;
+    }
+    return -1;
+  }
+
+  void FlattenFields(int obj, const StructInfo* si, const std::string& prefix,
+                     gosrc::Position pos, int depth) {
+    if (depth > 4) {
+      return;  // defensive bound against recursive struct shapes
+    }
+    ObjInfo& info = obj_info_[static_cast<size_t>(obj)];
+    for (const auto& [name, type] : si->fields) {
+      std::string path = prefix.empty() ? name : prefix + "." + name;
+      if (type->kind == TypeRef::Kind::kMutex ||
+          type->kind == TypeRef::Kind::kRWMutex) {
+        int field_obj =
+            NewObject(StrFormat("%s.%s@%d:%d", si->name.c_str(), path.c_str(),
+                                pos.line, pos.column),
+                      /*is_mutex=*/true, "");
+        obj_info_[static_cast<size_t>(obj)].mutex_fields[path] = field_obj;
+      } else if (type->kind == TypeRef::Kind::kPointer) {
+        const TypeRef* elem = type->elem;
+        if (elem != nullptr && (elem->IsMutexLike() ||
+                                elem->kind == TypeRef::Kind::kStruct)) {
+          int var = NodeFor(StrFormat("field::%d::%s", obj, path.c_str()));
+          obj_info_[static_cast<size_t>(obj)].pointer_fields[path] = var;
+          if (elem->IsMutexLike()) {
+            obj_info_[static_cast<size_t>(obj)].mutex_pointer_fields[path] =
+                var;
+          }
+        }
+      } else if (type->kind == TypeRef::Kind::kStruct) {
+        const StructInfo* nested = types_.FindStruct(type->name);
+        if (nested != nullptr) {
+          FlattenFields(obj, nested, path, pos, depth + 1);
+        }
+      }
+    }
+    (void)info;
+  }
+
+  // ----- constraints -----
+
+  void AddAddrOf(int dst, int obj) {
+    if (dst < 0 || obj < 0) {
+      return;
+    }
+    if (pts_[static_cast<size_t>(dst)].insert(obj).second) {
+      worklist_.push_back(dst);
+    }
+  }
+
+  void AddCopy(int dst, int src) {
+    if (dst < 0 || src < 0 || dst == src) {
+      return;
+    }
+    copy_edges_[static_cast<size_t>(src)].push_back(dst);
+    // Propagate immediately so constraints added after `src` was processed
+    // still see its current set; future growth flows via the worklist.
+    bool grew = false;
+    for (int obj : PtsSet(pts_[static_cast<size_t>(src)])) {
+      grew |= pts_[static_cast<size_t>(dst)].insert(obj).second;
+    }
+    if (grew) {
+      worklist_.push_back(dst);
+    }
+  }
+
+  void AddResolve(int base, int dst, std::vector<std::string> components) {
+    if (base < 0 || dst < 0) {
+      return;
+    }
+    resolves_[static_cast<size_t>(base)].push_back(
+        PathResolveConstraint{dst, components});
+    for (int obj : PtsSet(pts_[static_cast<size_t>(base)])) {
+      ResolveOnObject(obj, components, dst, -1);
+    }
+  }
+
+  void AddStore(int base, int src, std::vector<std::string> components) {
+    if (base < 0 || src < 0) {
+      return;
+    }
+    stores_[static_cast<size_t>(base)].push_back(
+        PathStoreConstraint{src, components});
+    for (int obj : PtsSet(pts_[static_cast<size_t>(base)])) {
+      ResolveOnObject(obj, components, -1, src);
+    }
+  }
+
+  // ----- expression evaluation -----
+
+  // Returns the node whose points-to set conservatively describes the
+  // pointer value of `expr` (-1 when the expression cannot carry mutexes).
+  int EvalValue(const Expr* expr) {
+    if (expr == nullptr) {
+      return -1;
+    }
+    if (const auto* paren = dynamic_cast<const ParenExpr*>(expr)) {
+      return EvalValue(paren->x);
+    }
+    if (const auto* ident = dynamic_cast<const Ident*>(expr)) {
+      if (ident->name == "nil") {
+        return -1;
+      }
+      // Locals shadow globals; flow-insensitively we just prefer the local
+      // node if the name was ever defined locally in this scope.
+      std::string local_key = "var::" + scope_ + "::" + ident->name;
+      if (node_ids_.count(local_key) != 0 || !IsGlobalName(ident->name)) {
+        return VarNode(scope_, ident->name);
+      }
+      return VarNode("global", ident->name);
+    }
+    if (const auto* unary = dynamic_cast<const UnaryExpr*>(expr)) {
+      if (unary->op == Tok::kAnd || unary->op == Tok::kMul) {
+        // &x and *x keep the same abstract objects in this model: value
+        // variables already alias their storage object, and pointers are
+        // sets of objects.
+        return EvalValue(unary->x);
+      }
+      return -1;
+    }
+    if (const auto* lit = dynamic_cast<const CompositeLit*>(expr)) {
+      int temp = TempNode(expr);
+      const TypeRef* t = types_.TypeOf(expr);
+      int obj = AllocObject(t, expr->pos, "lit");
+      if (obj >= 0) {
+        AddAddrOf(temp, obj);
+        // Keyed field initializers that store pointers into the object.
+        for (const Expr* elt : lit->elts) {
+          if (const auto* kv = dynamic_cast<const KeyValueExpr*>(elt)) {
+            if (const auto* key = dynamic_cast<const Ident*>(kv->key)) {
+              int value = EvalValue(kv->value);
+              if (value >= 0) {
+                AddStore(temp, value, {key->name});
+              }
+            }
+          }
+        }
+      }
+      return temp;
+    }
+    if (const auto* call = dynamic_cast<const CallExpr*>(expr)) {
+      return EvalCall(call);
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(expr)) {
+      return EvalPath(sel, {});
+    }
+    if (dynamic_cast<const IndexExpr*>(expr) != nullptr) {
+      return -1;  // container elements are not tracked
+    }
+    return -1;
+  }
+
+  bool IsGlobalName(const std::string& name) const {
+    return node_ids_.count("var::global::" + name) != 0;
+  }
+
+  // Evaluates a selector chain, producing a node that points to whatever
+  // the full path may name. `suffix` appends extra components (used for
+  // anonymous-mutex promotion).
+  int EvalPath(const Expr* expr, std::vector<std::string> suffix) {
+    // Collect components down to the root.
+    std::vector<std::string> components = std::move(suffix);
+    const Expr* cursor = expr;
+    while (true) {
+      if (const auto* paren = dynamic_cast<const ParenExpr*>(cursor)) {
+        cursor = paren->x;
+        continue;
+      }
+      if (const auto* unary = dynamic_cast<const UnaryExpr*>(cursor)) {
+        if (unary->op == Tok::kAnd || unary->op == Tok::kMul) {
+          cursor = unary->x;
+          continue;
+        }
+      }
+      if (const auto* sel = dynamic_cast<const SelectorExpr*>(cursor)) {
+        components.insert(components.begin(), sel->sel);
+        cursor = sel->x;
+        continue;
+      }
+      break;
+    }
+    int root = EvalValue(cursor);
+    if (root < 0) {
+      return -1;
+    }
+    if (components.empty()) {
+      return root;
+    }
+    int temp = FreshNode("path");
+    AddResolve(root, temp, components);
+    return temp;
+  }
+
+  int EvalCall(const CallExpr* call) {
+    int temp = TempNode(call);
+    // Builtins.
+    if (const auto* ident = dynamic_cast<const Ident*>(call->fn)) {
+      if (ident->name == "new" && call->args.size() == 1) {
+        const TypeRef* t = types_.TypeOf(call->args[0]);
+        int obj = AllocObject(t, call->pos, "new");
+        AddAddrOf(temp, obj);
+        return temp;
+      }
+      if (const FuncDecl* callee = types_.FindFunc(ident->name)) {
+        BindCall(call, callee, /*receiver=*/nullptr);
+        AddCopy(temp, RetNode(gosrc::FuncKey(*callee)));
+        return temp;
+      }
+      return temp;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(call->fn)) {
+      const TypeRef* base = types_.TypeOf(sel->x);
+      const TypeRef* target = base;
+      if (target->kind == TypeRef::Kind::kPointer && target->elem != nullptr) {
+        target = target->elem;
+      }
+      if (target->kind == TypeRef::Kind::kStruct) {
+        std::string key = target->name + "." + sel->sel;
+        if (const FuncDecl* callee = types_.FindFunc(key)) {
+          BindCall(call, callee, sel->x);
+          AddCopy(temp, RetNode(key));
+          return temp;
+        }
+      }
+    }
+    // Arguments of unknown calls may still be evaluated for side effects
+    // elsewhere; the returned value is untracked.
+    return temp;
+  }
+
+  void BindCall(const CallExpr* call, const FuncDecl* callee,
+                const Expr* receiver) {
+    std::string callee_key = gosrc::FuncKey(*callee);
+    if (receiver != nullptr && !callee->recv_name.empty()) {
+      int recv_value = EvalValue(receiver);
+      AddCopy(VarNode(callee_key, callee->recv_name), recv_value);
+    }
+    const auto& params = callee->type->params;
+    for (size_t i = 0; i < params.size() && i < call->args.size(); ++i) {
+      if (params[i].name.empty()) {
+        continue;
+      }
+      int arg = EvalValue(call->args[i]);
+      AddCopy(VarNode(callee_key, params[i].name), arg);
+    }
+  }
+
+  // ----- statement walking -----
+
+  void HandleVarDecl(const std::string& scope, const std::string& name,
+                     const gosrc::TypeExpr* type_expr, const Expr* init,
+                     gosrc::Position pos) {
+    int var = VarNode(scope, name);
+    if (init != nullptr) {
+      int value = EvalValue(init);
+      AddCopy(var, value);
+    }
+    // A value-typed mutex/struct variable is storage of its own.
+    const TypeRef* t = nullptr;
+    if (init != nullptr) {
+      t = types_.TypeOf(init);
+    }
+    if (type_expr != nullptr) {
+      // Resolve via an initializer-independent route: composite literals
+      // already allocate; plain `var mu sync.Mutex` needs an object here.
+      if (init == nullptr) {
+        // Infer the declared type through the type-resolver by name.
+        const auto* named = dynamic_cast<const NamedType*>(type_expr);
+        if (named != nullptr) {
+          if (named->pkg == "sync" &&
+              (named->name == "Mutex" || named->name == "RWMutex")) {
+            int obj = NewObject(StrFormat("var %s@%d:%d", name.c_str(),
+                                          pos.line, pos.column),
+                                /*is_mutex=*/true, "");
+            AddAddrOf(var, obj);
+            return;
+          }
+          if (const StructInfo* si = types_.FindStruct(named->name)) {
+            (void)si;
+            TypeRef ref;
+            ref.kind = TypeRef::Kind::kStruct;
+            ref.name = named->name;
+            int obj = AllocObject(&ref, pos, "var " + name);
+            AddAddrOf(var, obj);
+            return;
+          }
+        }
+      }
+    }
+    if (init != nullptr && t != nullptr &&
+        (t->IsMutexLike() || t->kind == TypeRef::Kind::kStruct) &&
+        dynamic_cast<const CompositeLit*>(init) == nullptr &&
+        dynamic_cast<const CallExpr*>(init) == nullptr &&
+        dynamic_cast<const UnaryExpr*>(init) == nullptr &&
+        dynamic_cast<const Ident*>(init) == nullptr &&
+        dynamic_cast<const SelectorExpr*>(init) == nullptr) {
+      int obj = AllocObject(t, pos, "var " + name);
+      AddAddrOf(var, obj);
+    }
+  }
+
+  void WalkBlock(const Block* block) {
+    for (const Stmt* stmt : block->stmts) {
+      WalkStmt(stmt);
+    }
+  }
+
+  void WalkStmt(const Stmt* stmt) {
+    if (stmt == nullptr) {
+      return;
+    }
+    if (const auto* block = dynamic_cast<const Block*>(stmt)) {
+      WalkBlock(block);
+      return;
+    }
+    if (const auto* decl = dynamic_cast<const VarDeclStmt*>(stmt)) {
+      HandleVarDecl(scope_, decl->name, decl->type, decl->init, decl->pos);
+      WalkExprForLits(decl->init);
+      return;
+    }
+    if (const auto* assign = dynamic_cast<const AssignStmt*>(stmt)) {
+      for (size_t i = 0; i < assign->lhs.size(); ++i) {
+        const Expr* rhs =
+            i < assign->rhs.size() ? assign->rhs[i] : nullptr;
+        HandleAssign(assign->lhs[i], rhs, assign->op == Tok::kDefine);
+      }
+      for (const Expr* e : assign->rhs) {
+        WalkExprForLits(e);
+      }
+      return;
+    }
+    if (const auto* es = dynamic_cast<const ExprStmt*>(stmt)) {
+      EvalValue(es->x);  // generates call-binding constraints
+      WalkExprForLits(es->x);
+      return;
+    }
+    if (const auto* inc = dynamic_cast<const IncDecStmt*>(stmt)) {
+      (void)inc;
+      return;
+    }
+    if (const auto* ifs = dynamic_cast<const IfStmt*>(stmt)) {
+      WalkStmt(ifs->init);
+      EvalValue(ifs->cond);
+      WalkExprForLits(ifs->cond);
+      WalkStmt(ifs->then_block);
+      WalkStmt(ifs->else_stmt);
+      return;
+    }
+    if (const auto* loop = dynamic_cast<const ForStmt*>(stmt)) {
+      WalkStmt(loop->init);
+      EvalValue(loop->cond);
+      WalkStmt(loop->post);
+      WalkStmt(loop->body);
+      return;
+    }
+    if (const auto* range = dynamic_cast<const RangeStmt*>(stmt)) {
+      EvalValue(range->x);
+      WalkStmt(range->body);
+      return;
+    }
+    if (const auto* ret = dynamic_cast<const ReturnStmt*>(stmt)) {
+      for (const Expr* e : ret->results) {
+        int value = EvalValue(e);
+        AddCopy(RetNode(scope_), value);
+        WalkExprForLits(e);
+      }
+      return;
+    }
+    if (const auto* defer_stmt = dynamic_cast<const DeferStmt*>(stmt)) {
+      EvalValue(defer_stmt->call);
+      WalkExprForLits(defer_stmt->call);
+      return;
+    }
+    if (const auto* go_stmt = dynamic_cast<const GoStmt*>(stmt)) {
+      EvalValue(go_stmt->call);
+      WalkExprForLits(go_stmt->call);
+      return;
+    }
+  }
+
+  void HandleAssign(const Expr* lhs, const Expr* rhs, bool define) {
+    int value = rhs != nullptr ? EvalValue(rhs) : -1;
+    if (const auto* ident = dynamic_cast<const Ident*>(lhs)) {
+      if (ident->name == "_") {
+        return;
+      }
+      int var = VarNode(scope_, ident->name);
+      AddCopy(var, value);
+      // `x := sync.Mutex{}` / struct value: the literal's object already
+      // flowed through EvalValue(CompositeLit).
+      if (define && rhs == nullptr) {
+        (void)var;
+      }
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(lhs)) {
+      // Store through a field path: s.mu = &m, s.inner.lk = mref, ...
+      std::vector<std::string> components;
+      const Expr* cursor = sel;
+      while (const auto* s = dynamic_cast<const SelectorExpr*>(cursor)) {
+        components.insert(components.begin(), s->sel);
+        cursor = s->x;
+      }
+      int base = EvalValue(cursor);
+      if (base >= 0 && value >= 0) {
+        AddStore(base, value, components);
+      }
+      return;
+    }
+    // Index or dereference targets: untracked.
+  }
+
+  // Function literals contain statements with their own constraints; the
+  // scope key stays the enclosing function's (captures unify naturally).
+  void WalkExprForLits(const Expr* expr) {
+    if (expr == nullptr) {
+      return;
+    }
+    if (const auto* lit = dynamic_cast<const FuncLit*>(expr)) {
+      WalkBlock(lit->body);
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(expr)) {
+      WalkExprForLits(sel->x);
+    } else if (const auto* call = dynamic_cast<const CallExpr*>(expr)) {
+      WalkExprForLits(call->fn);
+      for (const Expr* a : call->args) {
+        WalkExprForLits(a);
+      }
+    } else if (const auto* idx = dynamic_cast<const IndexExpr*>(expr)) {
+      WalkExprForLits(idx->x);
+      WalkExprForLits(idx->index);
+    } else if (const auto* un = dynamic_cast<const UnaryExpr*>(expr)) {
+      WalkExprForLits(un->x);
+    } else if (const auto* bin = dynamic_cast<const gosrc::BinaryExpr*>(expr)) {
+      WalkExprForLits(bin->x);
+      WalkExprForLits(bin->y);
+    } else if (const auto* paren = dynamic_cast<const ParenExpr*>(expr)) {
+      WalkExprForLits(paren->x);
+    } else if (const auto* kv = dynamic_cast<const KeyValueExpr*>(expr)) {
+      WalkExprForLits(kv->value);
+    } else if (const auto* comp = dynamic_cast<const CompositeLit*>(expr)) {
+      for (const Expr* e : comp->elts) {
+        WalkExprForLits(e);
+      }
+    }
+  }
+
+  // ----- solving -----
+
+  // Resolves `components` against object `obj`, feeding results into `dst`
+  // (or, for stores, adding a copy edge into the located pointer field).
+  void ResolveOnObject(int obj, const std::vector<std::string>& components,
+                       int dst, int store_src) {
+    const ObjInfo& info = obj_info_[static_cast<size_t>(obj)];
+    // Try every prefix: value-flattened paths may swallow several
+    // components at once ("inner.mu"), pointer fields continue recursively.
+    std::string path;
+    for (size_t i = 0; i < components.size(); ++i) {
+      path = path.empty() ? components[i] : path + "." + components[i];
+      bool last = i + 1 == components.size();
+      auto mutex_it = info.mutex_fields.find(path);
+      if (mutex_it != info.mutex_fields.end() && last) {
+        if (store_src < 0) {
+          AddAddrOf(dst, mutex_it->second);
+        }
+        return;
+      }
+      auto ptr_it = info.pointer_fields.find(path);
+      if (ptr_it != info.pointer_fields.end()) {
+        int field_var = ptr_it->second;
+        if (last) {
+          if (store_src >= 0) {
+            AddCopy(field_var, store_src);
+          } else {
+            AddCopy(dst, field_var);
+          }
+          return;
+        }
+        // Continue resolving the remaining components through the
+        // pointed-to objects.
+        std::vector<std::string> rest(components.begin() +
+                                          static_cast<long>(i) + 1,
+                                      components.end());
+        if (store_src >= 0) {
+          AddStore(field_var, store_src, rest);
+        } else {
+          AddResolve(field_var, dst, rest);
+        }
+        return;
+      }
+    }
+    // Path not found on this object: no information.
+  }
+
+  void Solve() {
+    // Worklist fixpoint. Constraint additions propagate eagerly (see the
+    // Add* helpers), so the loop only needs to push set growth through each
+    // node's outgoing constraints; all operations are idempotent over the
+    // full sets, which keeps the loop simple and obviously monotone.
+    while (!worklist_.empty()) {
+      int node = worklist_.back();
+      worklist_.pop_back();
+      PtsSet snapshot = pts_[static_cast<size_t>(node)];
+      // Copy edges.
+      for (size_t e = 0; e < copy_edges_[static_cast<size_t>(node)].size();
+           ++e) {
+        int dst = copy_edges_[static_cast<size_t>(node)][e];
+        bool grew = false;
+        for (int obj : snapshot) {
+          grew |= pts_[static_cast<size_t>(dst)].insert(obj).second;
+        }
+        if (grew) {
+          worklist_.push_back(dst);
+        }
+      }
+      // Complex constraints (index-based: ResolveOnObject may append).
+      for (size_t c = 0; c < resolves_[static_cast<size_t>(node)].size();
+           ++c) {
+        PathResolveConstraint resolve = resolves_[static_cast<size_t>(node)][c];
+        for (int obj : snapshot) {
+          ResolveOnObject(obj, resolve.components, resolve.dst, -1);
+        }
+      }
+      for (size_t c = 0; c < stores_[static_cast<size_t>(node)].size(); ++c) {
+        PathStoreConstraint store = stores_[static_cast<size_t>(node)][c];
+        for (int obj : snapshot) {
+          ResolveOnObject(obj, store.components, -1, store.src);
+        }
+      }
+      // If this node's own set grew while processing (self loops), rerun.
+      if (pts_[static_cast<size_t>(node)].size() != snapshot.size()) {
+        worklist_.push_back(node);
+      }
+    }
+  }
+
+  void ExtractLockOpSets() {
+    for (const LockOp& op : types_.lock_ops()) {
+      std::vector<std::string> suffix;
+      if (op.via_anonymous_field) {
+        suffix.push_back(op.rwmutex ? "RWMutex" : "Mutex");
+      }
+      scope_ = gosrc::FuncKey(*op.func);
+      int node = EvalPath(op.receiver_path, suffix);
+      // Evaluating paths may add constraints; settle them.
+      Solve();
+      PtsSet result;
+      if (node >= 0) {
+        for (int obj : pts_[static_cast<size_t>(node)]) {
+          if (obj_info_[static_cast<size_t>(obj)].is_mutex) {
+            result.insert(obj);
+          }
+        }
+      }
+      out_.lockop_sets_[op.call] = std::move(result);
+    }
+  }
+
+  const TypeInfo& types_;
+  PointsTo& out_;
+
+  std::unordered_map<std::string, int> node_ids_;
+  std::vector<PtsSet> pts_;
+  std::vector<std::vector<int>> copy_edges_;
+  std::vector<std::vector<PathResolveConstraint>> resolves_;
+  std::vector<std::vector<PathStoreConstraint>> stores_;
+  std::vector<ObjInfo> obj_info_;
+  std::vector<int> worklist_;
+  int fresh_counter_ = 0;
+
+  std::string scope_ = "global";
+  const FuncDecl* current_func_ = nullptr;
+};
+
+StatusOr<std::unique_ptr<PointsTo>> PointsTo::Build(
+    const gosrc::TypeInfo& types) {
+  auto out = std::unique_ptr<PointsTo>(new PointsTo());
+  PointsToBuilder builder(types, out.get());
+  Status status = builder.Run();
+  if (!status.ok()) {
+    return status;
+  }
+  return out;
+}
+
+}  // namespace gocc::analysis

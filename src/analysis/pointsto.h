@@ -1,0 +1,64 @@
+// Andersen-style flow-insensitive, inclusion-based may-alias analysis for
+// mutex objects (Definition 5.1: the points-to set M(L) of a lock point).
+//
+// Nodes are pointer variables ((scope, name) pairs and per-expression
+// temporaries), allocation-site objects, and per-object mutex fields.
+// Constraints are the classic four: address-of, copy, field load, field
+// store; parameter/argument and return-value bindings are copy constraints
+// over the RTA-resolved static call graph. The solver is a worklist
+// fixpoint; precision matches what the paper needs — distinguishing locks
+// by allocation site and field path.
+
+#ifndef GOCC_SRC_ANALYSIS_POINTSTO_H_
+#define GOCC_SRC_ANALYSIS_POINTSTO_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gosrc/types.h"
+#include "src/support/status.h"
+
+namespace gocc::analysis {
+
+// An abstract mutex object: an allocation site plus the field path that
+// reaches the mutex inside it ("" when the site itself is a mutex).
+struct MutexObject {
+  int id = 0;
+  std::string description;  // e.g. "cache.go:12 Cache.mu"
+};
+
+// Set of abstract-object ids.
+using PtsSet = std::set<int>;
+
+class PointsTo {
+ public:
+  // Runs the analysis over the whole program.
+  static StatusOr<std::unique_ptr<PointsTo>> Build(
+      const gosrc::TypeInfo& types);
+
+  // M(op): the mutex objects the receiver of a lock/unlock point may name.
+  // Empty when the receiver could not be resolved (the pairing logic then
+  // rejects the candidate, matching the paper's conservatism).
+  const PtsSet& MutexesOf(const gosrc::LockOp& op) const;
+
+  // All abstract mutex objects (diagnostics).
+  const std::vector<MutexObject>& objects() const { return objects_; }
+
+  // Whether two sets intersect.
+  static bool Intersects(const PtsSet& a, const PtsSet& b);
+
+ private:
+  friend class PointsToBuilder;
+  PointsTo() = default;
+
+  std::vector<MutexObject> objects_;
+  std::unordered_map<const gosrc::CallExpr*, PtsSet> lockop_sets_;
+  PtsSet empty_;
+};
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_POINTSTO_H_

@@ -1,0 +1,98 @@
+#include "src/gopool/gopool.h"
+
+#include "src/gosync/runtime.h"
+
+namespace gocc::gopool {
+
+Pool::Pool(int workers) {
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void Pool::Go(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void Pool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void Pool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with an empty queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+BenchResult RunParallel(int threads, std::chrono::nanoseconds window,
+                        const std::function<void(PB&)>& body) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+
+  int prev_procs = gosync::SetMaxProcs(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&] {
+      PB pb(&stop, &total_ops);
+      body(pb);
+    });
+  }
+  std::this_thread::sleep_for(window);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  gosync::SetMaxProcs(prev_procs);
+
+  BenchResult result;
+  result.total_ops = total_ops.load(std::memory_order_relaxed);
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  if (result.total_ops > 0) {
+    result.ns_per_op = result.wall_seconds * 1e9 /
+                       static_cast<double>(result.total_ops);
+  }
+  return result;
+}
+
+}  // namespace gocc::gopool

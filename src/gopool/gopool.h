@@ -1,0 +1,102 @@
+// Goroutine-style execution pool and the benchmark harness the evaluation
+// methodology depends on (§6: Go's testing.B.RunParallel).
+
+#ifndef GOCC_SRC_GOPOOL_GOPOOL_H_
+#define GOCC_SRC_GOPOOL_GOPOOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gocc::gopool {
+
+// A fixed pool of worker threads with `go`-statement flavour: submit any
+// callable, wait for quiescence.
+class Pool {
+ public:
+  explicit Pool(int workers);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // Schedules `fn` to run on some worker ("go fn()").
+  void Go(std::function<void()> fn);
+
+  // Blocks until every scheduled callable has finished.
+  void Wait();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int64_t outstanding_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Iteration handle passed to RunParallel bodies (Go's *testing.PB).
+class PB {
+ public:
+  PB(std::atomic<bool>* stop, std::atomic<uint64_t>* ops)
+      : stop_(stop), ops_(ops) {}
+
+  // True while the benchmark window is open; each `true` grants one
+  // iteration. Checks the stop flag every 64 iterations to keep the hot loop
+  // cheap.
+  bool Next() {
+    if ((granted_ & kCheckMask) == 0 &&
+        stop_->load(std::memory_order_relaxed)) {
+      Flush();
+      return false;
+    }
+    ++granted_;
+    return true;
+  }
+
+  ~PB() { Flush(); }
+
+ private:
+  static constexpr uint64_t kCheckMask = 0x3f;
+
+  void Flush() {
+    if (granted_ > 0) {
+      ops_->fetch_add(granted_, std::memory_order_relaxed);
+      granted_ = 0;
+    }
+  }
+
+  std::atomic<bool>* stop_;
+  std::atomic<uint64_t>* ops_;
+  uint64_t granted_ = 0;
+};
+
+struct BenchResult {
+  double ns_per_op = 0.0;
+  uint64_t total_ops = 0;
+  double wall_seconds = 0.0;
+};
+
+// Runs `body` on `threads` OS threads for roughly `window`; every body loops
+// `while (pb.Next()) { ... }`. Reports wall-clock nanoseconds per operation
+// across all threads (Go testing-package convention: lower is better, and
+// perfect scaling halves ns/op when the thread count doubles). Sets
+// gosync::SetMaxProcs(threads) for the duration so optiLib's single-P check
+// behaves as it would on a GOMAXPROCS=threads Go runtime.
+BenchResult RunParallel(int threads, std::chrono::nanoseconds window,
+                        const std::function<void(PB&)>& body);
+
+}  // namespace gocc::gopool
+
+#endif  // GOCC_SRC_GOPOOL_GOPOOL_H_

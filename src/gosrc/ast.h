@@ -1,0 +1,276 @@
+// Mini-Go abstract syntax tree.
+//
+// Nodes are owned by an Arena (one per parsed file); the tree holds raw
+// pointers. Every node carries a unique id so analysis results computed on
+// the CFG/SSA side can be mapped back to AST nodes for transformation
+// (§5.3: "the transformer maps the candidate set of LU-pair operations
+// found during the SSA-based analysis phase to AST nodes").
+
+#ifndef GOCC_SRC_GOSRC_AST_H_
+#define GOCC_SRC_GOSRC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gosrc/token.h"
+
+namespace gocc::gosrc {
+
+class Arena;
+
+struct Node {
+  int id = 0;
+  Position pos;
+  virtual ~Node() = default;
+};
+
+// ----- Type expressions -----
+
+struct TypeExpr : Node {};
+
+// `Foo` or `pkg.Foo` (pkg empty for local names and builtins).
+struct NamedType : TypeExpr {
+  std::string pkg;
+  std::string name;
+};
+
+struct PointerType : TypeExpr {
+  TypeExpr* elem = nullptr;
+};
+
+struct SliceType : TypeExpr {
+  TypeExpr* elem = nullptr;
+};
+
+struct MapType : TypeExpr {
+  TypeExpr* key = nullptr;
+  TypeExpr* value = nullptr;
+};
+
+struct Field {
+  std::string name;  // empty for an anonymous (embedded) field
+  TypeExpr* type = nullptr;
+  Position pos;
+};
+
+struct StructType : TypeExpr {
+  std::vector<Field> fields;
+};
+
+struct FuncTypeExpr : TypeExpr {
+  std::vector<Field> params;   // name may be empty
+  std::vector<Field> results;  // names unused
+};
+
+struct InterfaceType : TypeExpr {};  // only `interface{}` is supported
+
+// ----- Expressions -----
+
+struct Expr : Node {};
+
+struct Ident : Expr {
+  std::string name;
+};
+
+struct BasicLit : Expr {
+  Tok kind = Tok::kInt;  // kInt | kFloat | kString
+  std::string value;
+};
+
+struct SelectorExpr : Expr {
+  Expr* x = nullptr;
+  std::string sel;
+};
+
+struct CallExpr : Expr {
+  Expr* fn = nullptr;
+  std::vector<Expr*> args;
+};
+
+struct IndexExpr : Expr {
+  Expr* x = nullptr;
+  Expr* index = nullptr;
+};
+
+struct UnaryExpr : Expr {
+  Tok op = Tok::kNot;  // ! - & * <-
+  Expr* x = nullptr;
+};
+
+struct BinaryExpr : Expr {
+  Tok op = Tok::kAdd;
+  Expr* x = nullptr;
+  Expr* y = nullptr;
+};
+
+struct ParenExpr : Expr {
+  Expr* x = nullptr;
+};
+
+struct KeyValueExpr : Expr {
+  Expr* key = nullptr;
+  Expr* value = nullptr;
+};
+
+// `T{...}` — type is null for nested untyped literals.
+struct CompositeLit : Expr {
+  TypeExpr* type = nullptr;
+  std::vector<Expr*> elts;
+};
+
+struct Block;
+
+struct FuncLit : Expr {
+  FuncTypeExpr* type = nullptr;
+  Block* body = nullptr;
+};
+
+// A type used in expression position, e.g. the first argument of
+// `make(map[string]int, 16)` or `new(sync.Mutex)`.
+struct TypeArgExpr : Expr {
+  TypeExpr* type = nullptr;
+};
+
+// ----- Statements -----
+
+struct Stmt : Node {};
+
+struct Block : Stmt {
+  std::vector<Stmt*> stmts;
+};
+
+// `var name Type = init` (single-name form).
+struct VarDeclStmt : Stmt {
+  std::string name;
+  TypeExpr* type = nullptr;  // may be null when inferred
+  Expr* init = nullptr;      // may be null
+};
+
+// Covers `=`, `:=`, `+=`, `-=`.
+struct AssignStmt : Stmt {
+  Tok op = Tok::kAssign;
+  std::vector<Expr*> lhs;
+  std::vector<Expr*> rhs;
+};
+
+struct ExprStmt : Stmt {
+  Expr* x = nullptr;
+};
+
+struct IncDecStmt : Stmt {
+  Expr* x = nullptr;
+  bool inc = true;
+};
+
+struct IfStmt : Stmt {
+  Stmt* init = nullptr;  // optional
+  Expr* cond = nullptr;
+  Block* then_block = nullptr;
+  Stmt* else_stmt = nullptr;  // Block or IfStmt; may be null
+};
+
+struct ForStmt : Stmt {
+  Stmt* init = nullptr;  // optional
+  Expr* cond = nullptr;  // optional (infinite loop when null)
+  Stmt* post = nullptr;  // optional
+  Block* body = nullptr;
+};
+
+struct RangeStmt : Stmt {
+  Expr* key = nullptr;    // may be null ("for range x")
+  Expr* value = nullptr;  // may be null
+  bool define = false;    // := vs =
+  Expr* x = nullptr;
+  Block* body = nullptr;
+};
+
+struct ReturnStmt : Stmt {
+  std::vector<Expr*> results;
+};
+
+struct BranchStmt : Stmt {
+  Tok kind = Tok::kBreak;  // kBreak | kContinue
+};
+
+struct DeferStmt : Stmt {
+  CallExpr* call = nullptr;
+};
+
+struct GoStmt : Stmt {
+  CallExpr* call = nullptr;
+};
+
+// ----- Declarations -----
+
+struct Decl : Node {};
+
+struct ImportDecl : Decl {
+  std::string path;
+};
+
+struct TypeDecl : Decl {
+  std::string name;
+  TypeExpr* type = nullptr;  // StructType in practice
+};
+
+struct FuncDecl : Decl {
+  // Receiver (empty name/type when this is a plain function).
+  std::string recv_name;
+  TypeExpr* recv_type = nullptr;
+  std::string name;
+  FuncTypeExpr* type = nullptr;
+  Block* body = nullptr;  // may be null for external declarations
+};
+
+// Top-level var at package scope.
+struct VarDecl : Decl {
+  std::string name;
+  TypeExpr* type = nullptr;
+  Expr* init = nullptr;
+};
+
+struct File : Node {
+  std::string package;
+  std::vector<ImportDecl*> imports;
+  std::vector<Decl*> decls;
+};
+
+// ----- Arena -----
+
+// Owns every node of one parsed file and hands out monotonically increasing
+// node ids.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  template <typename T>
+  T* New(Position pos = Position{}) {
+    auto node = std::make_unique<T>();
+    node->id = next_id_++;
+    node->pos = pos;
+    T* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  int node_count() const { return next_id_; }
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int next_id_ = 1;
+};
+
+// A parsed file plus its owning arena.
+struct ParsedFile {
+  std::unique_ptr<Arena> arena;
+  File* file = nullptr;
+  std::string source;  // original text (for diffing)
+  std::string name;    // file name (for reports)
+};
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_AST_H_

@@ -1,0 +1,357 @@
+#include "src/gosrc/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/strings.h"
+
+namespace gocc::gosrc {
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string_view, Tok>{
+      {"break", Tok::kBreak},         {"case", Tok::kCase},
+      {"continue", Tok::kContinue},   {"default", Tok::kDefault},
+      {"defer", Tok::kDefer},         {"else", Tok::kElse},
+      {"for", Tok::kFor},             {"func", Tok::kFunc},
+      {"go", Tok::kGo},               {"if", Tok::kIf},
+      {"import", Tok::kImport},       {"interface", Tok::kInterface},
+      {"map", Tok::kMap},             {"package", Tok::kPackage},
+      {"range", Tok::kRange},         {"return", Tok::kReturn},
+      {"struct", Tok::kStruct},       {"switch", Tok::kSwitch},
+      {"type", Tok::kType},           {"var", Tok::kVar},
+  };
+  return *kMap;
+}
+
+// Go inserts a semicolon at a newline after these token kinds.
+bool TriggersSemicolonInsertion(Tok tok) {
+  switch (tok) {
+    case Tok::kIdent:
+    case Tok::kInt:
+    case Tok::kFloat:
+    case Tok::kString:
+    case Tok::kBreak:
+    case Tok::kContinue:
+    case Tok::kReturn:
+    case Tok::kInc:
+    case Tok::kDec:
+    case Tok::kRParen:
+    case Tok::kRBrack:
+    case Tok::kRBrace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    while (true) {
+      Status status = SkipSpaceAndComments();
+      if (!status.ok()) {
+        return status;
+      }
+      if (AtEof()) {
+        MaybeInsertSemicolon();
+        Emit(Tok::kEof, "");
+        return std::move(tokens_);
+      }
+      status = ScanToken();
+      if (!status.ok()) {
+        return status;
+      }
+    }
+  }
+
+ private:
+  bool AtEof() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Position Here() const { return Position{line_, column_}; }
+
+  void Emit(Tok kind, std::string text) {
+    tokens_.push_back(Token{kind, std::move(text), start_});
+  }
+
+  void MaybeInsertSemicolon() {
+    if (!tokens_.empty() && TriggersSemicolonInsertion(tokens_.back().kind)) {
+      tokens_.push_back(Token{Tok::kSemicolon, "\n", Here()});
+    }
+  }
+
+  Status SkipSpaceAndComments() {
+    while (!AtEof()) {
+      char c = Peek();
+      if (c == '\n') {
+        MaybeInsertSemicolon();
+        Advance();
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEof() && Peek() != '\n') {
+          Advance();
+        }
+      } else if (c == '/' && Peek(1) == '*') {
+        Position open = Here();
+        Advance();
+        Advance();
+        while (!(Peek() == '*' && Peek(1) == '/')) {
+          if (AtEof()) {
+            return InvalidArgumentError(
+                StrFormat("%s: unterminated block comment",
+                          open.ToString().c_str()));
+          }
+          Advance();
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ScanToken() {
+    start_ = Here();
+    char c = Advance();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ScanIdentifier(c);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return ScanNumber(c);
+    }
+    switch (c) {
+      case '"':
+        return ScanString();
+      case '`':
+        return ScanRawString();
+      case '+':
+        if (Peek() == '+') {
+          Advance();
+          Emit(Tok::kInc, "++");
+        } else if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kAddAssign, "+=");
+        } else {
+          Emit(Tok::kAdd, "+");
+        }
+        return Status::Ok();
+      case '-':
+        if (Peek() == '-') {
+          Advance();
+          Emit(Tok::kDec, "--");
+        } else if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kSubAssign, "-=");
+        } else {
+          Emit(Tok::kSub, "-");
+        }
+        return Status::Ok();
+      case '*':
+        Emit(Tok::kMul, "*");
+        return Status::Ok();
+      case '/':
+        Emit(Tok::kQuo, "/");
+        return Status::Ok();
+      case '%':
+        Emit(Tok::kRem, "%");
+        return Status::Ok();
+      case '^':
+        Emit(Tok::kXor, "^");
+        return Status::Ok();
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          Emit(Tok::kLAnd, "&&");
+        } else {
+          Emit(Tok::kAnd, "&");
+        }
+        return Status::Ok();
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          Emit(Tok::kLOr, "||");
+        } else {
+          Emit(Tok::kOr, "|");
+        }
+        return Status::Ok();
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kEql, "==");
+        } else {
+          Emit(Tok::kAssign, "=");
+        }
+        return Status::Ok();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kNeq, "!=");
+        } else {
+          Emit(Tok::kNot, "!");
+        }
+        return Status::Ok();
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kLeq, "<=");
+        } else if (Peek() == '-') {
+          Advance();
+          Emit(Tok::kArrow, "<-");
+        } else {
+          Emit(Tok::kLss, "<");
+        }
+        return Status::Ok();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kGeq, ">=");
+        } else {
+          Emit(Tok::kGtr, ">");
+        }
+        return Status::Ok();
+      case ':':
+        if (Peek() == '=') {
+          Advance();
+          Emit(Tok::kDefine, ":=");
+        } else {
+          Emit(Tok::kColon, ":");
+        }
+        return Status::Ok();
+      case '(':
+        Emit(Tok::kLParen, "(");
+        return Status::Ok();
+      case ')':
+        Emit(Tok::kRParen, ")");
+        return Status::Ok();
+      case '[':
+        Emit(Tok::kLBrack, "[");
+        return Status::Ok();
+      case ']':
+        Emit(Tok::kRBrack, "]");
+        return Status::Ok();
+      case '{':
+        Emit(Tok::kLBrace, "{");
+        return Status::Ok();
+      case '}':
+        Emit(Tok::kRBrace, "}");
+        return Status::Ok();
+      case ',':
+        Emit(Tok::kComma, ",");
+        return Status::Ok();
+      case ';':
+        Emit(Tok::kSemicolon, ";");
+        return Status::Ok();
+      case '.':
+        Emit(Tok::kPeriod, ".");
+        return Status::Ok();
+      default:
+        return InvalidArgumentError(StrFormat(
+            "%s: unexpected character '%c'", start_.ToString().c_str(), c));
+    }
+  }
+
+  Status ScanIdentifier(char first) {
+    std::string text(1, first);
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      Emit(it->second, std::move(text));
+    } else {
+      Emit(Tok::kIdent, std::move(text));
+    }
+    return Status::Ok();
+  }
+
+  Status ScanNumber(char first) {
+    std::string text(1, first);
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(Peek())) ||
+           (Peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      if (Peek() == '.') {
+        is_float = true;
+      }
+      text.push_back(Advance());
+    }
+    Emit(is_float ? Tok::kFloat : Tok::kInt, std::move(text));
+    return Status::Ok();
+  }
+
+  Status ScanString() {
+    std::string text;
+    while (true) {
+      if (AtEof() || Peek() == '\n') {
+        return InvalidArgumentError(StrFormat(
+            "%s: unterminated string literal", start_.ToString().c_str()));
+      }
+      char c = Advance();
+      if (c == '"') {
+        break;
+      }
+      if (c == '\\') {
+        if (AtEof()) {
+          return InvalidArgumentError(StrFormat(
+              "%s: unterminated escape", start_.ToString().c_str()));
+        }
+        text.push_back(c);
+        text.push_back(Advance());
+        continue;
+      }
+      text.push_back(c);
+    }
+    Emit(Tok::kString, std::move(text));
+    return Status::Ok();
+  }
+
+  Status ScanRawString() {
+    std::string text;
+    while (true) {
+      if (AtEof()) {
+        return InvalidArgumentError(StrFormat(
+            "%s: unterminated raw string", start_.ToString().c_str()));
+      }
+      char c = Advance();
+      if (c == '`') {
+        break;
+      }
+      text.push_back(c);
+    }
+    Emit(Tok::kString, std::move(text));
+    return Status::Ok();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  Position start_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace gocc::gosrc

@@ -1,0 +1,21 @@
+// Mini-Go lexer with Go's automatic-semicolon-insertion rule, line comments
+// and block comments.
+
+#ifndef GOCC_SRC_GOSRC_LEXER_H_
+#define GOCC_SRC_GOSRC_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/gosrc/token.h"
+#include "src/support/status.h"
+
+namespace gocc::gosrc {
+
+// Tokenizes `source`. On success the stream always ends with an EOF token.
+StatusOr<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_LEXER_H_

@@ -1,0 +1,1037 @@
+#include "src/gosrc/parser.h"
+
+#include <cassert>
+
+#include "src/gosrc/lexer.h"
+#include "src/support/strings.h"
+
+namespace gocc::gosrc {
+namespace {
+
+// Binary-operator precedence (Go spec levels; higher binds tighter).
+int Precedence(Tok tok) {
+  switch (tok) {
+    case Tok::kLOr:
+      return 1;
+    case Tok::kLAnd:
+      return 2;
+    case Tok::kEql:
+    case Tok::kNeq:
+    case Tok::kLss:
+    case Tok::kLeq:
+    case Tok::kGtr:
+    case Tok::kGeq:
+      return 3;
+    case Tok::kAdd:
+    case Tok::kSub:
+    case Tok::kOr:
+    case Tok::kXor:
+      return 4;
+    case Tok::kMul:
+    case Tok::kQuo:
+    case Tok::kRem:
+    case Tok::kAnd:
+      return 5;
+    default:
+      return 0;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string name, std::string_view source)
+      : name_(std::move(name)), source_(source) {}
+
+  StatusOr<ParsedFile> Run() {
+    auto tokens = Lex(source_);
+    if (!tokens.ok()) {
+      return tokens.status();
+    }
+    tokens_ = std::move(tokens).value();
+    arena_ = std::make_unique<Arena>();
+
+    File* file = arena_->New<File>(Peek().pos);
+    Status status = ParseFileBody(file);
+    if (!status.ok()) {
+      return status;
+    }
+    ParsedFile out;
+    out.arena = std::move(arena_);
+    out.file = file;
+    out.source = std::string(source_);
+    out.name = name_;
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& want) {
+    const Token& t = Peek();
+    return InvalidArgumentError(StrFormat(
+        "%s:%s: expected %s, found '%s' (%s)", name_.c_str(),
+        t.pos.ToString().c_str(), want.c_str(),
+        t.text.empty() ? TokName(t.kind) : t.text.c_str(), TokName(t.kind)));
+  }
+
+  Status Expect(Tok kind) {
+    if (!Match(kind)) {
+      return Fail(TokName(kind));
+    }
+    return Status::Ok();
+  }
+
+  // Consumes an optional semicolon (Go allows omitting before '}' / ')').
+  void SkipSemis() {
+    while (Match(Tok::kSemicolon)) {
+    }
+  }
+
+  // ----- File level -----
+
+  Status ParseFileBody(File* file) {
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kPackage));
+    if (!Check(Tok::kIdent)) {
+      return Fail("package name");
+    }
+    file->package = Advance().text;
+    SkipSemis();
+
+    while (Check(Tok::kImport)) {
+      GOCC_RETURN_IF_ERROR(ParseImports(file));
+      SkipSemis();
+    }
+
+    while (!Check(Tok::kEof)) {
+      if (Check(Tok::kFunc)) {
+        FuncDecl* fd = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseFuncDecl(&fd));
+        file->decls.push_back(fd);
+      } else if (Check(Tok::kType)) {
+        TypeDecl* td = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseTypeDecl(&td));
+        file->decls.push_back(td);
+      } else if (Check(Tok::kVar)) {
+        VarDecl* vd = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseTopVarDecl(&vd));
+        file->decls.push_back(vd);
+      } else {
+        return Fail("declaration");
+      }
+      SkipSemis();
+    }
+    return Status::Ok();
+  }
+
+  Status ParseImports(File* file) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kImport));
+    if (Match(Tok::kLParen)) {
+      SkipSemis();
+      while (!Check(Tok::kRParen)) {
+        if (!Check(Tok::kString)) {
+          return Fail("import path");
+        }
+        ImportDecl* imp = arena_->New<ImportDecl>(Peek().pos);
+        imp->path = Advance().text;
+        file->imports.push_back(imp);
+        SkipSemis();
+      }
+      return Expect(Tok::kRParen);
+    }
+    if (!Check(Tok::kString)) {
+      return Fail("import path");
+    }
+    ImportDecl* imp = arena_->New<ImportDecl>(pos);
+    imp->path = Advance().text;
+    file->imports.push_back(imp);
+    return Status::Ok();
+  }
+
+  Status ParseTypeDecl(TypeDecl** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kType));
+    if (!Check(Tok::kIdent)) {
+      return Fail("type name");
+    }
+    TypeDecl* decl = arena_->New<TypeDecl>(pos);
+    decl->name = Advance().text;
+    GOCC_RETURN_IF_ERROR(ParseType(&decl->type));
+    *out = decl;
+    return Status::Ok();
+  }
+
+  Status ParseTopVarDecl(VarDecl** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kVar));
+    if (!Check(Tok::kIdent)) {
+      return Fail("variable name");
+    }
+    VarDecl* decl = arena_->New<VarDecl>(pos);
+    decl->name = Advance().text;
+    if (!Check(Tok::kAssign) && !Check(Tok::kSemicolon)) {
+      GOCC_RETURN_IF_ERROR(ParseType(&decl->type));
+    }
+    if (Match(Tok::kAssign)) {
+      GOCC_RETURN_IF_ERROR(ParseExpr(&decl->init));
+    }
+    return (*out = decl, Status::Ok());
+  }
+
+  Status ParseFuncDecl(FuncDecl** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kFunc));
+    FuncDecl* decl = arena_->New<FuncDecl>(pos);
+    if (Match(Tok::kLParen)) {
+      // Method receiver: (name Type).
+      if (!Check(Tok::kIdent)) {
+        return Fail("receiver name");
+      }
+      decl->recv_name = Advance().text;
+      GOCC_RETURN_IF_ERROR(ParseType(&decl->recv_type));
+      GOCC_RETURN_IF_ERROR(Expect(Tok::kRParen));
+    }
+    if (!Check(Tok::kIdent)) {
+      return Fail("function name");
+    }
+    decl->name = Advance().text;
+    GOCC_RETURN_IF_ERROR(ParseFuncSignature(&decl->type));
+    if (Check(Tok::kLBrace)) {
+      GOCC_RETURN_IF_ERROR(ParseBlock(&decl->body));
+    }
+    *out = decl;
+    return Status::Ok();
+  }
+
+  // ----- Types -----
+
+  Status ParseType(TypeExpr** out) {
+    Position pos = Peek().pos;
+    switch (Peek().kind) {
+      case Tok::kMul: {
+        Advance();
+        PointerType* ptr = arena_->New<PointerType>(pos);
+        GOCC_RETURN_IF_ERROR(ParseType(&ptr->elem));
+        *out = ptr;
+        return Status::Ok();
+      }
+      case Tok::kLBrack: {
+        Advance();
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrack));
+        SliceType* slice = arena_->New<SliceType>(pos);
+        GOCC_RETURN_IF_ERROR(ParseType(&slice->elem));
+        *out = slice;
+        return Status::Ok();
+      }
+      case Tok::kMap: {
+        Advance();
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrack));
+        MapType* map = arena_->New<MapType>(pos);
+        GOCC_RETURN_IF_ERROR(ParseType(&map->key));
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrack));
+        GOCC_RETURN_IF_ERROR(ParseType(&map->value));
+        *out = map;
+        return Status::Ok();
+      }
+      case Tok::kFunc: {
+        Advance();
+        FuncTypeExpr* fn = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseFuncSignature(&fn));
+        *out = fn;
+        return Status::Ok();
+      }
+      case Tok::kStruct: {
+        Advance();
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+        StructType* st = arena_->New<StructType>(pos);
+        SkipSemis();
+        while (!Check(Tok::kRBrace)) {
+          GOCC_RETURN_IF_ERROR(ParseStructField(st));
+          SkipSemis();
+        }
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+        *out = st;
+        return Status::Ok();
+      }
+      case Tok::kInterface: {
+        Advance();
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+        *out = arena_->New<InterfaceType>(pos);
+        return Status::Ok();
+      }
+      case Tok::kIdent: {
+        NamedType* named = arena_->New<NamedType>(pos);
+        named->name = Advance().text;
+        if (Match(Tok::kPeriod)) {
+          if (!Check(Tok::kIdent)) {
+            return Fail("qualified type name");
+          }
+          named->pkg = named->name;
+          named->name = Advance().text;
+        }
+        *out = named;
+        return Status::Ok();
+      }
+      default:
+        return Fail("type");
+    }
+  }
+
+  Status ParseStructField(StructType* st) {
+    // Either `name Type`, `name1, name2 Type`, or an embedded `[*]pkg.Type`.
+    if (Check(Tok::kIdent) &&
+        (Peek(1).kind == Tok::kPeriod || Peek(1).kind == Tok::kSemicolon)) {
+      // Embedded field: `sync.Mutex` / `Foo`.
+      TypeExpr* type = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseType(&type));
+      st->fields.push_back(Field{"", type, type->pos});
+      return Status::Ok();
+    }
+    if (Check(Tok::kMul)) {
+      // Embedded pointer field: `*sync.Mutex`.
+      TypeExpr* type = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseType(&type));
+      st->fields.push_back(Field{"", type, type->pos});
+      return Status::Ok();
+    }
+    std::vector<std::pair<std::string, Position>> names;
+    if (!Check(Tok::kIdent)) {
+      return Fail("field name");
+    }
+    names.emplace_back(Peek().text, Peek().pos);
+    Advance();
+    while (Match(Tok::kComma)) {
+      if (!Check(Tok::kIdent)) {
+        return Fail("field name");
+      }
+      names.emplace_back(Peek().text, Peek().pos);
+      Advance();
+    }
+    TypeExpr* type = nullptr;
+    GOCC_RETURN_IF_ERROR(ParseType(&type));
+    for (auto& [name, pos] : names) {
+      st->fields.push_back(Field{name, type, pos});
+    }
+    return Status::Ok();
+  }
+
+  Status ParseFuncSignature(FuncTypeExpr** out) {
+    Position pos = Peek().pos;
+    FuncTypeExpr* fn = arena_->New<FuncTypeExpr>(pos);
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kLParen));
+    if (!Check(Tok::kRParen)) {
+      GOCC_RETURN_IF_ERROR(ParseParamList(fn));
+    }
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kRParen));
+    // Results: none, a single type, or a parenthesized list of types.
+    if (Check(Tok::kLParen)) {
+      Advance();
+      while (!Check(Tok::kRParen)) {
+        TypeExpr* t = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseType(&t));
+        fn->results.push_back(Field{"", t, t->pos});
+        if (!Check(Tok::kRParen)) {
+          GOCC_RETURN_IF_ERROR(Expect(Tok::kComma));
+        }
+      }
+      GOCC_RETURN_IF_ERROR(Expect(Tok::kRParen));
+    } else if (IsTypeStart()) {
+      TypeExpr* t = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseType(&t));
+      fn->results.push_back(Field{"", t, t->pos});
+    }
+    *out = fn;
+    return Status::Ok();
+  }
+
+  bool IsTypeStart() const {
+    switch (Peek().kind) {
+      case Tok::kIdent:
+      case Tok::kMul:
+      case Tok::kLBrack:
+      case Tok::kMap:
+      case Tok::kFunc:
+      case Tok::kStruct:
+      case Tok::kInterface:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Status ParseParamList(FuncTypeExpr* fn) {
+    // `a, b Type, c Type` or unnamed `Type, Type`. Heuristic: a parameter
+    // group is named iff an ident is followed by a type-start token.
+    while (true) {
+      if (Check(Tok::kIdent) && Peek(1).kind != Tok::kComma &&
+          Peek(1).kind != Tok::kRParen && Peek(1).kind != Tok::kPeriod) {
+        std::string name = Advance().text;
+        TypeExpr* t = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseType(&t));
+        fn->params.push_back(Field{name, t, t->pos});
+      } else if (Check(Tok::kIdent) && Peek(1).kind == Tok::kComma) {
+        // Could be `a, b Type` — collect the ident run, then decide.
+        std::vector<std::string> names;
+        names.push_back(Advance().text);
+        while (Match(Tok::kComma)) {
+          if (!Check(Tok::kIdent)) {
+            return Fail("parameter name");
+          }
+          names.push_back(Advance().text);
+          if (Peek().kind != Tok::kComma) {
+            break;
+          }
+        }
+        if (IsTypeStart() && !Check(Tok::kRParen)) {
+          TypeExpr* t = nullptr;
+          GOCC_RETURN_IF_ERROR(ParseType(&t));
+          for (const std::string& name : names) {
+            fn->params.push_back(Field{name, t, t->pos});
+          }
+        } else {
+          // They were unnamed type parameters after all.
+          for (const std::string& name : names) {
+            NamedType* t = arena_->New<NamedType>(Peek().pos);
+            t->name = name;
+            fn->params.push_back(Field{"", t, t->pos});
+          }
+        }
+      } else {
+        TypeExpr* t = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseType(&t));
+        fn->params.push_back(Field{"", t, t->pos});
+      }
+      if (!Match(Tok::kComma)) {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ----- Statements -----
+
+  Status ParseBlock(Block** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    Block* block = arena_->New<Block>(pos);
+    SkipSemis();
+    while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+      Stmt* stmt = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseStmt(&stmt));
+      block->stmts.push_back(stmt);
+      SkipSemis();
+    }
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    *out = block;
+    return Status::Ok();
+  }
+
+  Status ParseStmt(Stmt** out) {
+    Position pos = Peek().pos;
+    switch (Peek().kind) {
+      case Tok::kVar: {
+        Advance();
+        if (!Check(Tok::kIdent)) {
+          return Fail("variable name");
+        }
+        VarDeclStmt* decl = arena_->New<VarDeclStmt>(pos);
+        decl->name = Advance().text;
+        if (!Check(Tok::kAssign) && !Check(Tok::kSemicolon)) {
+          GOCC_RETURN_IF_ERROR(ParseType(&decl->type));
+        }
+        if (Match(Tok::kAssign)) {
+          GOCC_RETURN_IF_ERROR(ParseExpr(&decl->init));
+        }
+        *out = decl;
+        return Status::Ok();
+      }
+      case Tok::kIf:
+        return ParseIf(out);
+      case Tok::kFor:
+        return ParseFor(out);
+      case Tok::kReturn: {
+        Advance();
+        ReturnStmt* ret = arena_->New<ReturnStmt>(pos);
+        if (!Check(Tok::kSemicolon) && !Check(Tok::kRBrace)) {
+          GOCC_RETURN_IF_ERROR(ParseExprList(&ret->results));
+        }
+        *out = ret;
+        return Status::Ok();
+      }
+      case Tok::kBreak:
+      case Tok::kContinue: {
+        BranchStmt* br = arena_->New<BranchStmt>(pos);
+        br->kind = Advance().kind;
+        *out = br;
+        return Status::Ok();
+      }
+      case Tok::kDefer: {
+        Advance();
+        Expr* call = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseExpr(&call));
+        auto* call_expr = dynamic_cast<CallExpr*>(call);
+        if (call_expr == nullptr) {
+          return InvalidArgumentError(StrFormat(
+              "%s:%s: defer requires a function call", name_.c_str(),
+              pos.ToString().c_str()));
+        }
+        DeferStmt* stmt = arena_->New<DeferStmt>(pos);
+        stmt->call = call_expr;
+        *out = stmt;
+        return Status::Ok();
+      }
+      case Tok::kGo: {
+        Advance();
+        Expr* call = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseExpr(&call));
+        auto* call_expr = dynamic_cast<CallExpr*>(call);
+        if (call_expr == nullptr) {
+          return InvalidArgumentError(
+              StrFormat("%s:%s: go requires a function call", name_.c_str(),
+                        pos.ToString().c_str()));
+        }
+        GoStmt* stmt = arena_->New<GoStmt>(pos);
+        stmt->call = call_expr;
+        *out = stmt;
+        return Status::Ok();
+      }
+      case Tok::kLBrace: {
+        Block* block = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseBlock(&block));
+        *out = block;
+        return Status::Ok();
+      }
+      default:
+        return ParseSimpleStmt(out, /*allow_composite=*/true);
+    }
+  }
+
+  Status ParseSimpleStmt(Stmt** out, bool allow_composite) {
+    Position pos = Peek().pos;
+    bool saved = allow_composite_;
+    allow_composite_ = allow_composite;
+    std::vector<Expr*> lhs;
+    Status status = ParseExprList(&lhs);
+    allow_composite_ = saved;
+    GOCC_RETURN_IF_ERROR(status);
+
+    switch (Peek().kind) {
+      case Tok::kDefine:
+      case Tok::kAssign:
+      case Tok::kAddAssign:
+      case Tok::kSubAssign: {
+        AssignStmt* assign = arena_->New<AssignStmt>(pos);
+        assign->op = Advance().kind;
+        assign->lhs = std::move(lhs);
+        saved = allow_composite_;
+        allow_composite_ = allow_composite;
+        status = ParseExprList(&assign->rhs);
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(status);
+        *out = assign;
+        return Status::Ok();
+      }
+      case Tok::kInc:
+      case Tok::kDec: {
+        if (lhs.size() != 1) {
+          return Fail("single operand for ++/--");
+        }
+        IncDecStmt* inc = arena_->New<IncDecStmt>(pos);
+        inc->x = lhs[0];
+        inc->inc = Advance().kind == Tok::kInc;
+        *out = inc;
+        return Status::Ok();
+      }
+      default: {
+        if (lhs.size() != 1) {
+          return Fail("assignment");
+        }
+        ExprStmt* stmt = arena_->New<ExprStmt>(pos);
+        stmt->x = lhs[0];
+        *out = stmt;
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status ParseIf(Stmt** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kIf));
+    IfStmt* stmt = arena_->New<IfStmt>(pos);
+
+    // Optional init statement: `if x := f(); cond {`.
+    Stmt* first = nullptr;
+    GOCC_RETURN_IF_ERROR(ParseSimpleStmt(&first, /*allow_composite=*/false));
+    if (Match(Tok::kSemicolon)) {
+      stmt->init = first;
+      bool saved = allow_composite_;
+      allow_composite_ = false;
+      Status status = ParseExpr(&stmt->cond);
+      allow_composite_ = saved;
+      GOCC_RETURN_IF_ERROR(status);
+    } else {
+      auto* expr_stmt = dynamic_cast<ExprStmt*>(first);
+      if (expr_stmt == nullptr) {
+        return InvalidArgumentError(
+            StrFormat("%s:%s: missing condition in if statement",
+                      name_.c_str(), pos.ToString().c_str()));
+      }
+      stmt->cond = expr_stmt->x;
+    }
+    GOCC_RETURN_IF_ERROR(ParseBlock(&stmt->then_block));
+    if (Match(Tok::kElse)) {
+      if (Check(Tok::kIf)) {
+        GOCC_RETURN_IF_ERROR(ParseIf(&stmt->else_stmt));
+      } else {
+        Block* else_block = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseBlock(&else_block));
+        stmt->else_stmt = else_block;
+      }
+    }
+    *out = stmt;
+    return Status::Ok();
+  }
+
+  Status ParseFor(Stmt** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kFor));
+
+    // `for { ... }`
+    if (Check(Tok::kLBrace)) {
+      ForStmt* loop = arena_->New<ForStmt>(pos);
+      GOCC_RETURN_IF_ERROR(ParseBlock(&loop->body));
+      *out = loop;
+      return Status::Ok();
+    }
+
+    // `for range x { ... }`
+    if (Check(Tok::kRange)) {
+      Advance();
+      RangeStmt* range = arena_->New<RangeStmt>(pos);
+      bool saved = allow_composite_;
+      allow_composite_ = false;
+      Status status = ParseExpr(&range->x);
+      allow_composite_ = saved;
+      GOCC_RETURN_IF_ERROR(status);
+      GOCC_RETURN_IF_ERROR(ParseBlock(&range->body));
+      *out = range;
+      return Status::Ok();
+    }
+
+    bool saved = allow_composite_;
+    allow_composite_ = false;
+    Stmt* first = nullptr;
+    Status status = Check(Tok::kSemicolon)
+                        ? Status::Ok()
+                        : ParseSimpleStmt(&first, /*allow_composite=*/false);
+    allow_composite_ = saved;
+    GOCC_RETURN_IF_ERROR(status);
+
+    // Range form: `for k, v := range x`.
+    if (auto* assign = dynamic_cast<AssignStmt*>(first)) {
+      if (assign->rhs.size() == 1) {
+        if (auto* unary = dynamic_cast<UnaryExpr*>(assign->rhs[0]);
+            unary != nullptr && unary->op == Tok::kRange) {
+          RangeStmt* range = arena_->New<RangeStmt>(pos);
+          range->define = assign->op == Tok::kDefine;
+          if (!assign->lhs.empty()) {
+            range->key = assign->lhs[0];
+          }
+          if (assign->lhs.size() > 1) {
+            range->value = assign->lhs[1];
+          }
+          range->x = unary->x;
+          GOCC_RETURN_IF_ERROR(ParseBlock(&range->body));
+          *out = range;
+          return Status::Ok();
+        }
+      }
+    }
+
+    ForStmt* loop = arena_->New<ForStmt>(pos);
+    if (Check(Tok::kLBrace)) {
+      // `for cond { ... }`
+      auto* expr_stmt = dynamic_cast<ExprStmt*>(first);
+      if (expr_stmt == nullptr) {
+        return InvalidArgumentError(
+            StrFormat("%s:%s: malformed for header", name_.c_str(),
+                      pos.ToString().c_str()));
+      }
+      loop->cond = expr_stmt->x;
+      GOCC_RETURN_IF_ERROR(ParseBlock(&loop->body));
+      *out = loop;
+      return Status::Ok();
+    }
+
+    // Three-clause form.
+    loop->init = first;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kSemicolon));
+    if (!Check(Tok::kSemicolon)) {
+      saved = allow_composite_;
+      allow_composite_ = false;
+      status = ParseExpr(&loop->cond);
+      allow_composite_ = saved;
+      GOCC_RETURN_IF_ERROR(status);
+    }
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kSemicolon));
+    if (!Check(Tok::kLBrace)) {
+      saved = allow_composite_;
+      allow_composite_ = false;
+      status = ParseSimpleStmt(&loop->post, /*allow_composite=*/false);
+      allow_composite_ = saved;
+      GOCC_RETURN_IF_ERROR(status);
+    }
+    GOCC_RETURN_IF_ERROR(ParseBlock(&loop->body));
+    *out = loop;
+    return Status::Ok();
+  }
+
+  // ----- Expressions -----
+
+  Status ParseExprList(std::vector<Expr*>* out) {
+    Expr* first = nullptr;
+    GOCC_RETURN_IF_ERROR(ParseExpr(&first));
+    out->push_back(first);
+    while (Match(Tok::kComma)) {
+      Expr* next = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseExpr(&next));
+      out->push_back(next);
+    }
+    return Status::Ok();
+  }
+
+  Status ParseExpr(Expr** out) { return ParseBinary(out, 1); }
+
+  Status ParseBinary(Expr** out, int min_prec) {
+    Expr* lhs = nullptr;
+    GOCC_RETURN_IF_ERROR(ParseUnary(&lhs));
+    while (true) {
+      int prec = Precedence(Peek().kind);
+      if (prec < min_prec) {
+        break;
+      }
+      Position pos = Peek().pos;
+      Tok op = Advance().kind;
+      Expr* rhs = nullptr;
+      GOCC_RETURN_IF_ERROR(ParseBinary(&rhs, prec + 1));
+      BinaryExpr* bin = arena_->New<BinaryExpr>(pos);
+      bin->op = op;
+      bin->x = lhs;
+      bin->y = rhs;
+      lhs = bin;
+    }
+    *out = lhs;
+    return Status::Ok();
+  }
+
+  Status ParseUnary(Expr** out) {
+    Position pos = Peek().pos;
+    switch (Peek().kind) {
+      case Tok::kNot:
+      case Tok::kSub:
+      case Tok::kAnd:
+      case Tok::kMul: {
+        UnaryExpr* unary = arena_->New<UnaryExpr>(pos);
+        unary->op = Advance().kind;
+        GOCC_RETURN_IF_ERROR(ParseUnary(&unary->x));
+        *out = unary;
+        return Status::Ok();
+      }
+      case Tok::kRange: {
+        // Only valid on the RHS of a range assignment; represented as a
+        // unary "range" wrapper the for-parser unwraps.
+        UnaryExpr* unary = arena_->New<UnaryExpr>(pos);
+        unary->op = Advance().kind;
+        GOCC_RETURN_IF_ERROR(ParseUnary(&unary->x));
+        *out = unary;
+        return Status::Ok();
+      }
+      default:
+        return ParsePrimary(out);
+    }
+  }
+
+  Status ParsePrimary(Expr** out) {
+    Expr* x = nullptr;
+    GOCC_RETURN_IF_ERROR(ParseOperand(&x));
+    while (true) {
+      Position pos = Peek().pos;
+      if (Match(Tok::kPeriod)) {
+        if (!Check(Tok::kIdent)) {
+          return Fail("selector");
+        }
+        SelectorExpr* sel = arena_->New<SelectorExpr>(pos);
+        sel->x = x;
+        sel->sel = Advance().text;
+        x = sel;
+      } else if (Check(Tok::kLParen)) {
+        Advance();
+        CallExpr* call = arena_->New<CallExpr>(pos);
+        call->fn = x;
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        while (!Check(Tok::kRParen)) {
+          Expr* arg = nullptr;
+          Status status = ParseExpr(&arg);
+          if (!status.ok()) {
+            allow_composite_ = saved;
+            return status;
+          }
+          call->args.push_back(arg);
+          if (!Check(Tok::kRParen)) {
+            Status comma = Expect(Tok::kComma);
+            if (!comma.ok()) {
+              allow_composite_ = saved;
+              return comma;
+            }
+          }
+        }
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRParen));
+        x = call;
+      } else if (Check(Tok::kLBrack)) {
+        Advance();
+        IndexExpr* index = arena_->New<IndexExpr>(pos);
+        index->x = x;
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        Status status = ParseExpr(&index->index);
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(status);
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrack));
+        x = index;
+      } else if (Check(Tok::kLBrace) && allow_composite_ &&
+                 IsCompositeLitType(x)) {
+        GOCC_RETURN_IF_ERROR(ParseCompositeBody(x, &x));
+      } else {
+        break;
+      }
+    }
+    *out = x;
+    return Status::Ok();
+  }
+
+  // A `{` after an ident or selector can start a composite literal.
+  static bool IsCompositeLitType(Expr* x) {
+    if (dynamic_cast<Ident*>(x) != nullptr) {
+      return true;
+    }
+    if (auto* sel = dynamic_cast<SelectorExpr*>(x)) {
+      return dynamic_cast<Ident*>(sel->x) != nullptr;
+    }
+    return false;
+  }
+
+  Status ParseCompositeBody(Expr* type_expr, Expr** out) {
+    Position pos = Peek().pos;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+    CompositeLit* lit = arena_->New<CompositeLit>(pos);
+    lit->type = TypeFromExpr(type_expr);
+    SkipSemis();
+    bool saved = allow_composite_;
+    allow_composite_ = true;
+    while (!Check(Tok::kRBrace)) {
+      Expr* elt = nullptr;
+      Status status = ParseExpr(&elt);
+      if (!status.ok()) {
+        allow_composite_ = saved;
+        return status;
+      }
+      if (Match(Tok::kColon)) {
+        KeyValueExpr* kv = arena_->New<KeyValueExpr>(elt->pos);
+        kv->key = elt;
+        status = ParseExpr(&kv->value);
+        if (!status.ok()) {
+          allow_composite_ = saved;
+          return status;
+        }
+        elt = kv;
+      }
+      lit->elts.push_back(elt);
+      if (!Check(Tok::kRBrace)) {
+        Status comma = Expect(Tok::kComma);
+        if (!comma.ok()) {
+          allow_composite_ = saved;
+          return comma;
+        }
+        SkipSemis();
+      }
+    }
+    allow_composite_ = saved;
+    GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+    *out = lit;
+    return Status::Ok();
+  }
+
+  // Converts an ident / pkg.Name expression to a type node (for composite
+  // literals like `sync.Mutex{}` or `Astruct{}`).
+  TypeExpr* TypeFromExpr(Expr* x) {
+    if (auto* ident = dynamic_cast<Ident*>(x)) {
+      NamedType* named = arena_->New<NamedType>(ident->pos);
+      named->name = ident->name;
+      return named;
+    }
+    if (auto* sel = dynamic_cast<SelectorExpr*>(x)) {
+      if (auto* base = dynamic_cast<Ident*>(sel->x)) {
+        NamedType* named = arena_->New<NamedType>(sel->pos);
+        named->pkg = base->name;
+        named->name = sel->sel;
+        return named;
+      }
+    }
+    return nullptr;
+  }
+
+  Status ParseOperand(Expr** out) {
+    Position pos = Peek().pos;
+    switch (Peek().kind) {
+      case Tok::kIdent: {
+        Ident* ident = arena_->New<Ident>(pos);
+        ident->name = Advance().text;
+        *out = ident;
+        return Status::Ok();
+      }
+      case Tok::kInt:
+      case Tok::kFloat:
+      case Tok::kString: {
+        BasicLit* lit = arena_->New<BasicLit>(pos);
+        lit->kind = Peek().kind;
+        lit->value = Advance().text;
+        *out = lit;
+        return Status::Ok();
+      }
+      case Tok::kLParen: {
+        Advance();
+        ParenExpr* paren = arena_->New<ParenExpr>(pos);
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        Status status = ParseExpr(&paren->x);
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(status);
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRParen));
+        *out = paren;
+        return Status::Ok();
+      }
+      case Tok::kFunc: {
+        Advance();
+        FuncLit* fn = arena_->New<FuncLit>(pos);
+        GOCC_RETURN_IF_ERROR(ParseFuncSignature(&fn->type));
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        Status status = ParseBlock(&fn->body);
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(status);
+        *out = fn;
+        return Status::Ok();
+      }
+      case Tok::kMap: {
+        // `map[K]V{...}` literal, or `map[K]V` as a make() type argument.
+        TypeExpr* type = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseType(&type));
+        if (!Check(Tok::kLBrace)) {
+          TypeArgExpr* targ = arena_->New<TypeArgExpr>(pos);
+          targ->type = type;
+          *out = targ;
+          return Status::Ok();
+        }
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+        CompositeLit* lit = arena_->New<CompositeLit>(pos);
+        lit->type = type;
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        SkipSemis();
+        while (!Check(Tok::kRBrace)) {
+          Expr* key = nullptr;
+          Status status = ParseExpr(&key);
+          if (!status.ok()) {
+            allow_composite_ = saved;
+            return status;
+          }
+          GOCC_RETURN_IF_ERROR(Expect(Tok::kColon));
+          KeyValueExpr* kv = arena_->New<KeyValueExpr>(key->pos);
+          kv->key = key;
+          status = ParseExpr(&kv->value);
+          if (!status.ok()) {
+            allow_composite_ = saved;
+            return status;
+          }
+          lit->elts.push_back(kv);
+          if (!Check(Tok::kRBrace)) {
+            GOCC_RETURN_IF_ERROR(Expect(Tok::kComma));
+            SkipSemis();
+          }
+        }
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+        *out = lit;
+        return Status::Ok();
+      }
+      case Tok::kLBrack: {
+        // `[]T{...}` literal, or `[]T` as a make() type argument.
+        TypeExpr* type = nullptr;
+        GOCC_RETURN_IF_ERROR(ParseType(&type));
+        if (!Check(Tok::kLBrace)) {
+          TypeArgExpr* targ = arena_->New<TypeArgExpr>(pos);
+          targ->type = type;
+          *out = targ;
+          return Status::Ok();
+        }
+        Expr* placeholder = nullptr;
+        CompositeLit* lit = arena_->New<CompositeLit>(pos);
+        lit->type = type;
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kLBrace));
+        bool saved = allow_composite_;
+        allow_composite_ = true;
+        SkipSemis();
+        while (!Check(Tok::kRBrace)) {
+          Expr* elt = nullptr;
+          Status status = ParseExpr(&elt);
+          if (!status.ok()) {
+            allow_composite_ = saved;
+            return status;
+          }
+          lit->elts.push_back(elt);
+          if (!Check(Tok::kRBrace)) {
+            GOCC_RETURN_IF_ERROR(Expect(Tok::kComma));
+            SkipSemis();
+          }
+        }
+        allow_composite_ = saved;
+        GOCC_RETURN_IF_ERROR(Expect(Tok::kRBrace));
+        (void)placeholder;
+        *out = lit;
+        return Status::Ok();
+      }
+      default:
+        return Fail("expression");
+    }
+  }
+
+  std::string name_;
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unique_ptr<Arena> arena_;
+  bool allow_composite_ = true;
+};
+
+}  // namespace
+
+StatusOr<ParsedFile> ParseFile(std::string name, std::string_view source) {
+  return Parser(std::move(name), source).Run();
+}
+
+}  // namespace gocc::gosrc

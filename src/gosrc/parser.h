@@ -1,0 +1,19 @@
+// Recursive-descent parser for the mini-Go subset.
+
+#ifndef GOCC_SRC_GOSRC_PARSER_H_
+#define GOCC_SRC_GOSRC_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/gosrc/ast.h"
+#include "src/support/status.h"
+
+namespace gocc::gosrc {
+
+// Parses a file. `name` is used in diagnostics and reports.
+StatusOr<ParsedFile> ParseFile(std::string name, std::string_view source);
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_PARSER_H_

@@ -1,0 +1,452 @@
+#include "src/gosrc/printer.h"
+
+#include <cassert>
+
+#include "src/support/strings.h"
+
+namespace gocc::gosrc {
+namespace {
+
+class Printer {
+ public:
+  std::string Render(const File& file) {
+    out_.clear();
+    Emit("package ");
+    Emit(file.package);
+    Emit("\n");
+    if (!file.imports.empty()) {
+      Emit("\n");
+      if (file.imports.size() == 1) {
+        Emit("import \"");
+        Emit(file.imports[0]->path);
+        Emit("\"\n");
+      } else {
+        Emit("import (\n");
+        for (const ImportDecl* imp : file.imports) {
+          Emit("\t\"");
+          Emit(imp->path);
+          Emit("\"\n");
+        }
+        Emit(")\n");
+      }
+    }
+    for (const Decl* decl : file.decls) {
+      Emit("\n");
+      Decl_(*decl);
+    }
+    return out_;
+  }
+
+  std::string RenderExpr(const Expr& expr) {
+    out_.clear();
+    Expr_(expr);
+    return out_;
+  }
+
+  std::string RenderStmt(const Stmt& stmt, int indent) {
+    out_.clear();
+    indent_ = indent;
+    Stmt_(stmt);
+    return out_;
+  }
+
+  std::string RenderType(const TypeExpr& type) {
+    out_.clear();
+    Type_(type);
+    return out_;
+  }
+
+ private:
+  void Emit(std::string_view text) { out_.append(text); }
+  void Indent() {
+    for (int i = 0; i < indent_; ++i) {
+      Emit("\t");
+    }
+  }
+
+  void Decl_(const Decl& decl) {
+    if (const auto* fd = dynamic_cast<const FuncDecl*>(&decl)) {
+      Emit("func ");
+      if (fd->recv_type != nullptr) {
+        Emit("(");
+        Emit(fd->recv_name);
+        Emit(" ");
+        Type_(*fd->recv_type);
+        Emit(") ");
+      }
+      Emit(fd->name);
+      Signature(*fd->type);
+      if (fd->body != nullptr) {
+        Emit(" ");
+        BlockBody(*fd->body);
+      }
+      Emit("\n");
+      return;
+    }
+    if (const auto* td = dynamic_cast<const TypeDecl*>(&decl)) {
+      Emit("type ");
+      Emit(td->name);
+      Emit(" ");
+      Type_(*td->type);
+      Emit("\n");
+      return;
+    }
+    if (const auto* vd = dynamic_cast<const VarDecl*>(&decl)) {
+      Emit("var ");
+      Emit(vd->name);
+      if (vd->type != nullptr) {
+        Emit(" ");
+        Type_(*vd->type);
+      }
+      if (vd->init != nullptr) {
+        Emit(" = ");
+        Expr_(*vd->init);
+      }
+      Emit("\n");
+      return;
+    }
+    assert(false && "unknown declaration kind");
+  }
+
+  void Signature(const FuncTypeExpr& fn) {
+    Emit("(");
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) {
+        Emit(", ");
+      }
+      if (!fn.params[i].name.empty()) {
+        Emit(fn.params[i].name);
+        Emit(" ");
+      }
+      Type_(*fn.params[i].type);
+    }
+    Emit(")");
+    if (fn.results.size() == 1) {
+      Emit(" ");
+      Type_(*fn.results[0].type);
+    } else if (fn.results.size() > 1) {
+      Emit(" (");
+      for (size_t i = 0; i < fn.results.size(); ++i) {
+        if (i != 0) {
+          Emit(", ");
+        }
+        Type_(*fn.results[i].type);
+      }
+      Emit(")");
+    }
+  }
+
+  void Type_(const TypeExpr& type) {
+    if (const auto* named = dynamic_cast<const NamedType*>(&type)) {
+      if (!named->pkg.empty()) {
+        Emit(named->pkg);
+        Emit(".");
+      }
+      Emit(named->name);
+      return;
+    }
+    if (const auto* ptr = dynamic_cast<const PointerType*>(&type)) {
+      Emit("*");
+      Type_(*ptr->elem);
+      return;
+    }
+    if (const auto* slice = dynamic_cast<const SliceType*>(&type)) {
+      Emit("[]");
+      Type_(*slice->elem);
+      return;
+    }
+    if (const auto* map = dynamic_cast<const MapType*>(&type)) {
+      Emit("map[");
+      Type_(*map->key);
+      Emit("]");
+      Type_(*map->value);
+      return;
+    }
+    if (const auto* st = dynamic_cast<const StructType*>(&type)) {
+      Emit("struct {\n");
+      ++indent_;
+      for (const Field& field : st->fields) {
+        Indent();
+        if (!field.name.empty()) {
+          Emit(field.name);
+          Emit(" ");
+        }
+        Type_(*field.type);
+        Emit("\n");
+      }
+      --indent_;
+      Indent();
+      Emit("}");
+      return;
+    }
+    if (const auto* fn = dynamic_cast<const FuncTypeExpr*>(&type)) {
+      Emit("func");
+      Signature(*fn);
+      return;
+    }
+    if (dynamic_cast<const InterfaceType*>(&type) != nullptr) {
+      Emit("interface{}");
+      return;
+    }
+    assert(false && "unknown type kind");
+  }
+
+  void BlockBody(const Block& block) {
+    Emit("{\n");
+    ++indent_;
+    for (const Stmt* stmt : block.stmts) {
+      Indent();
+      Stmt_(*stmt);
+      Emit("\n");
+    }
+    --indent_;
+    Indent();
+    Emit("}");
+  }
+
+  void Stmt_(const Stmt& stmt) {
+    if (const auto* block = dynamic_cast<const Block*>(&stmt)) {
+      BlockBody(*block);
+      return;
+    }
+    if (const auto* decl = dynamic_cast<const VarDeclStmt*>(&stmt)) {
+      Emit("var ");
+      Emit(decl->name);
+      if (decl->type != nullptr) {
+        Emit(" ");
+        Type_(*decl->type);
+      }
+      if (decl->init != nullptr) {
+        Emit(" = ");
+        Expr_(*decl->init);
+      }
+      return;
+    }
+    if (const auto* assign = dynamic_cast<const AssignStmt*>(&stmt)) {
+      for (size_t i = 0; i < assign->lhs.size(); ++i) {
+        if (i != 0) {
+          Emit(", ");
+        }
+        Expr_(*assign->lhs[i]);
+      }
+      switch (assign->op) {
+        case Tok::kDefine:
+          Emit(" := ");
+          break;
+        case Tok::kAddAssign:
+          Emit(" += ");
+          break;
+        case Tok::kSubAssign:
+          Emit(" -= ");
+          break;
+        default:
+          Emit(" = ");
+          break;
+      }
+      for (size_t i = 0; i < assign->rhs.size(); ++i) {
+        if (i != 0) {
+          Emit(", ");
+        }
+        Expr_(*assign->rhs[i]);
+      }
+      return;
+    }
+    if (const auto* expr_stmt = dynamic_cast<const ExprStmt*>(&stmt)) {
+      Expr_(*expr_stmt->x);
+      return;
+    }
+    if (const auto* inc = dynamic_cast<const IncDecStmt*>(&stmt)) {
+      Expr_(*inc->x);
+      Emit(inc->inc ? "++" : "--");
+      return;
+    }
+    if (const auto* if_stmt = dynamic_cast<const IfStmt*>(&stmt)) {
+      Emit("if ");
+      if (if_stmt->init != nullptr) {
+        Stmt_(*if_stmt->init);
+        Emit("; ");
+      }
+      Expr_(*if_stmt->cond);
+      Emit(" ");
+      BlockBody(*if_stmt->then_block);
+      if (if_stmt->else_stmt != nullptr) {
+        Emit(" else ");
+        Stmt_(*if_stmt->else_stmt);
+      }
+      return;
+    }
+    if (const auto* loop = dynamic_cast<const ForStmt*>(&stmt)) {
+      Emit("for ");
+      if (loop->init != nullptr || loop->post != nullptr) {
+        if (loop->init != nullptr) {
+          Stmt_(*loop->init);
+        }
+        Emit("; ");
+        if (loop->cond != nullptr) {
+          Expr_(*loop->cond);
+        }
+        Emit("; ");
+        if (loop->post != nullptr) {
+          Stmt_(*loop->post);
+        }
+        Emit(" ");
+      } else if (loop->cond != nullptr) {
+        Expr_(*loop->cond);
+        Emit(" ");
+      }
+      BlockBody(*loop->body);
+      return;
+    }
+    if (const auto* range = dynamic_cast<const RangeStmt*>(&stmt)) {
+      Emit("for ");
+      if (range->key != nullptr) {
+        Expr_(*range->key);
+        if (range->value != nullptr) {
+          Emit(", ");
+          Expr_(*range->value);
+        }
+        Emit(range->define ? " := " : " = ");
+      }
+      Emit("range ");
+      Expr_(*range->x);
+      Emit(" ");
+      BlockBody(*range->body);
+      return;
+    }
+    if (const auto* ret = dynamic_cast<const ReturnStmt*>(&stmt)) {
+      Emit("return");
+      for (size_t i = 0; i < ret->results.size(); ++i) {
+        Emit(i == 0 ? " " : ", ");
+        Expr_(*ret->results[i]);
+      }
+      return;
+    }
+    if (const auto* branch = dynamic_cast<const BranchStmt*>(&stmt)) {
+      Emit(branch->kind == Tok::kBreak ? "break" : "continue");
+      return;
+    }
+    if (const auto* defer_stmt = dynamic_cast<const DeferStmt*>(&stmt)) {
+      Emit("defer ");
+      Expr_(*defer_stmt->call);
+      return;
+    }
+    if (const auto* go_stmt = dynamic_cast<const GoStmt*>(&stmt)) {
+      Emit("go ");
+      Expr_(*go_stmt->call);
+      return;
+    }
+    assert(false && "unknown statement kind");
+  }
+
+  void Expr_(const Expr& expr) {
+    if (const auto* ident = dynamic_cast<const Ident*>(&expr)) {
+      Emit(ident->name);
+      return;
+    }
+    if (const auto* lit = dynamic_cast<const BasicLit*>(&expr)) {
+      if (lit->kind == Tok::kString) {
+        Emit("\"");
+        Emit(lit->value);
+        Emit("\"");
+      } else {
+        Emit(lit->value);
+      }
+      return;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(&expr)) {
+      Expr_(*sel->x);
+      Emit(".");
+      Emit(sel->sel);
+      return;
+    }
+    if (const auto* call = dynamic_cast<const CallExpr*>(&expr)) {
+      Expr_(*call->fn);
+      Emit("(");
+      for (size_t i = 0; i < call->args.size(); ++i) {
+        if (i != 0) {
+          Emit(", ");
+        }
+        Expr_(*call->args[i]);
+      }
+      Emit(")");
+      return;
+    }
+    if (const auto* index = dynamic_cast<const IndexExpr*>(&expr)) {
+      Expr_(*index->x);
+      Emit("[");
+      Expr_(*index->index);
+      Emit("]");
+      return;
+    }
+    if (const auto* unary = dynamic_cast<const UnaryExpr*>(&expr)) {
+      Emit(TokName(unary->op));
+      Expr_(*unary->x);
+      return;
+    }
+    if (const auto* bin = dynamic_cast<const BinaryExpr*>(&expr)) {
+      Expr_(*bin->x);
+      Emit(" ");
+      Emit(TokName(bin->op));
+      Emit(" ");
+      Expr_(*bin->y);
+      return;
+    }
+    if (const auto* paren = dynamic_cast<const ParenExpr*>(&expr)) {
+      Emit("(");
+      Expr_(*paren->x);
+      Emit(")");
+      return;
+    }
+    if (const auto* kv = dynamic_cast<const KeyValueExpr*>(&expr)) {
+      Expr_(*kv->key);
+      Emit(": ");
+      Expr_(*kv->value);
+      return;
+    }
+    if (const auto* lit = dynamic_cast<const CompositeLit*>(&expr)) {
+      if (lit->type != nullptr) {
+        Type_(*lit->type);
+      }
+      Emit("{");
+      for (size_t i = 0; i < lit->elts.size(); ++i) {
+        if (i != 0) {
+          Emit(", ");
+        }
+        Expr_(*lit->elts[i]);
+      }
+      Emit("}");
+      return;
+    }
+    if (const auto* fn = dynamic_cast<const FuncLit*>(&expr)) {
+      Emit("func");
+      Signature(*fn->type);
+      Emit(" ");
+      BlockBody(*fn->body);
+      return;
+    }
+    if (const auto* targ = dynamic_cast<const TypeArgExpr*>(&expr)) {
+      Type_(*targ->type);
+      return;
+    }
+    assert(false && "unknown expression kind");
+  }
+
+  std::string out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string PrintFile(const File& file) { return Printer().Render(file); }
+
+std::string PrintExpr(const Expr& expr) { return Printer().RenderExpr(expr); }
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  return Printer().RenderStmt(stmt, indent);
+}
+
+std::string PrintType(const TypeExpr& type) {
+  return Printer().RenderType(type);
+}
+
+}  // namespace gocc::gosrc

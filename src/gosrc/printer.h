@@ -1,0 +1,27 @@
+// AST-to-source printer (gofmt-lite).
+//
+// The transformer edits the AST and serializes it back to Go source
+// (§5.3: "Go AST can be serialized into source code via Go format
+// package"); the diff between original and reprinted source is GOCC's
+// end product.
+
+#ifndef GOCC_SRC_GOSRC_PRINTER_H_
+#define GOCC_SRC_GOSRC_PRINTER_H_
+
+#include <string>
+
+#include "src/gosrc/ast.h"
+
+namespace gocc::gosrc {
+
+// Renders a whole file.
+std::string PrintFile(const File& file);
+
+// Renders a single expression / statement (diagnostics, tests).
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintType(const TypeExpr& type);
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_PRINTER_H_

@@ -1,0 +1,135 @@
+#include "src/gosrc/token.h"
+
+#include "src/support/strings.h"
+
+namespace gocc::gosrc {
+
+const char* TokName(Tok tok) {
+  switch (tok) {
+    case Tok::kEof:
+      return "EOF";
+    case Tok::kIdent:
+      return "ident";
+    case Tok::kInt:
+      return "int";
+    case Tok::kFloat:
+      return "float";
+    case Tok::kString:
+      return "string";
+    case Tok::kAdd:
+      return "+";
+    case Tok::kSub:
+      return "-";
+    case Tok::kMul:
+      return "*";
+    case Tok::kQuo:
+      return "/";
+    case Tok::kRem:
+      return "%";
+    case Tok::kAnd:
+      return "&";
+    case Tok::kOr:
+      return "|";
+    case Tok::kXor:
+      return "^";
+    case Tok::kLAnd:
+      return "&&";
+    case Tok::kLOr:
+      return "||";
+    case Tok::kArrow:
+      return "<-";
+    case Tok::kInc:
+      return "++";
+    case Tok::kDec:
+      return "--";
+    case Tok::kEql:
+      return "==";
+    case Tok::kLss:
+      return "<";
+    case Tok::kGtr:
+      return ">";
+    case Tok::kAssign:
+      return "=";
+    case Tok::kNot:
+      return "!";
+    case Tok::kNeq:
+      return "!=";
+    case Tok::kLeq:
+      return "<=";
+    case Tok::kGeq:
+      return ">=";
+    case Tok::kDefine:
+      return ":=";
+    case Tok::kAddAssign:
+      return "+=";
+    case Tok::kSubAssign:
+      return "-=";
+    case Tok::kLParen:
+      return "(";
+    case Tok::kLBrack:
+      return "[";
+    case Tok::kLBrace:
+      return "{";
+    case Tok::kComma:
+      return ",";
+    case Tok::kPeriod:
+      return ".";
+    case Tok::kRParen:
+      return ")";
+    case Tok::kRBrack:
+      return "]";
+    case Tok::kRBrace:
+      return "}";
+    case Tok::kSemicolon:
+      return ";";
+    case Tok::kColon:
+      return ":";
+    case Tok::kBreak:
+      return "break";
+    case Tok::kCase:
+      return "case";
+    case Tok::kContinue:
+      return "continue";
+    case Tok::kDefault:
+      return "default";
+    case Tok::kDefer:
+      return "defer";
+    case Tok::kElse:
+      return "else";
+    case Tok::kFor:
+      return "for";
+    case Tok::kFunc:
+      return "func";
+    case Tok::kGo:
+      return "go";
+    case Tok::kIf:
+      return "if";
+    case Tok::kImport:
+      return "import";
+    case Tok::kInterface:
+      return "interface";
+    case Tok::kMap:
+      return "map";
+    case Tok::kPackage:
+      return "package";
+    case Tok::kRange:
+      return "range";
+    case Tok::kReturn:
+      return "return";
+    case Tok::kStruct:
+      return "struct";
+    case Tok::kSwitch:
+      return "switch";
+    case Tok::kType:
+      return "type";
+    case Tok::kVar:
+      return "var";
+  }
+  return "?";
+}
+
+std::string Position::ToString() const {
+  return StrFormat("%d:%d", line, column);
+}
+
+}  // namespace gocc::gosrc

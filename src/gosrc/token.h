@@ -1,0 +1,100 @@
+// Token kinds and source positions for the mini-Go frontend.
+//
+// GOCC consumes Go source; this frontend implements the subset of Go that
+// the paper's analyses and transformations operate on (§5.2-§5.3): structs
+// with named and anonymous mutex fields, methods with pointer/value
+// receivers, defer/go statements, closures, and ordinary control flow.
+
+#ifndef GOCC_SRC_GOSRC_TOKEN_H_
+#define GOCC_SRC_GOSRC_TOKEN_H_
+
+#include <string>
+
+namespace gocc::gosrc {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+
+  // Operators and delimiters.
+  kAdd,        // +
+  kSub,        // -
+  kMul,        // *
+  kQuo,        // /
+  kRem,        // %
+  kAnd,        // &
+  kOr,         // |
+  kXor,        // ^
+  kLAnd,       // &&
+  kLOr,        // ||
+  kArrow,      // <-
+  kInc,        // ++
+  kDec,        // --
+  kEql,        // ==
+  kLss,        // <
+  kGtr,        // >
+  kAssign,     // =
+  kNot,        // !
+  kNeq,        // !=
+  kLeq,        // <=
+  kGeq,        // >=
+  kDefine,     // :=
+  kAddAssign,  // +=
+  kSubAssign,  // -=
+  kLParen,     // (
+  kLBrack,     // [
+  kLBrace,     // {
+  kComma,      // ,
+  kPeriod,     // .
+  kRParen,     // )
+  kRBrack,     // ]
+  kRBrace,     // }
+  kSemicolon,  // ;
+  kColon,      // :
+
+  // Keywords (subset).
+  kBreak,
+  kCase,
+  kContinue,
+  kDefault,
+  kDefer,
+  kElse,
+  kFor,
+  kFunc,
+  kGo,
+  kIf,
+  kImport,
+  kInterface,
+  kMap,
+  kPackage,
+  kRange,
+  kReturn,
+  kStruct,
+  kSwitch,
+  kType,
+  kVar,
+};
+
+// Token-kind name for diagnostics ("ident", "{", "defer", ...).
+const char* TokName(Tok tok);
+
+struct Position {
+  int line = 0;    // 1-based
+  int column = 0;  // 1-based
+
+  bool valid() const { return line > 0; }
+  std::string ToString() const;
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;  // identifier name / literal text
+  Position pos;
+};
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_TOKEN_H_

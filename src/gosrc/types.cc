@@ -1,0 +1,837 @@
+#include "src/gosrc/types.h"
+
+#include <cassert>
+
+#include "src/support/strings.h"
+
+namespace gocc::gosrc {
+
+const char* LockOpName(LockOpKind op) {
+  switch (op) {
+    case LockOpKind::kLock:
+      return "Lock";
+    case LockOpKind::kUnlock:
+      return "Unlock";
+    case LockOpKind::kRLock:
+      return "RLock";
+    case LockOpKind::kRUnlock:
+      return "RUnlock";
+  }
+  return "?";
+}
+
+std::string FuncKey(const FuncDecl& decl) {
+  if (decl.recv_type == nullptr) {
+    return decl.name;
+  }
+  const TypeExpr* t = decl.recv_type;
+  if (const auto* ptr = dynamic_cast<const PointerType*>(t)) {
+    t = ptr->elem;
+  }
+  if (const auto* named = dynamic_cast<const NamedType*>(t)) {
+    return named->name + "." + decl.name;
+  }
+  return decl.name;
+}
+
+const TypeRef* TypeInfo::Intern(TypeRef ref) {
+  type_arena_.push_back(std::move(ref));
+  return &type_arena_.back();
+}
+
+const TypeRef* TypeInfo::Basic(TypeRef::Kind kind) {
+  TypeRef ref;
+  ref.kind = kind;
+  return Intern(std::move(ref));
+}
+
+const StructInfo* TypeInfo::FindStruct(const std::string& name) const {
+  auto it = structs_.find(name);
+  return it == structs_.end() ? nullptr : &it->second;
+}
+
+const FuncDecl* TypeInfo::FindFunc(const std::string& key) const {
+  auto it = funcs_.find(key);
+  return it == funcs_.end() ? nullptr : it->second;
+}
+
+const TypeRef* TypeInfo::TypeOf(const Expr* expr) const {
+  auto it = expr_types_.find(expr->id);
+  return it == expr_types_.end() ? unknown_ : it->second;
+}
+
+std::vector<const LockOp*> TypeInfo::LockOpsIn(const FuncDecl* func) const {
+  std::vector<const LockOp*> ops;
+  for (const LockOp& op : lock_ops_) {
+    if (op.func == func) {
+      ops.push_back(&op);
+    }
+  }
+  return ops;
+}
+
+namespace {
+
+bool IsBuiltinTypeName(const std::string& name) {
+  return name == "int" || name == "int8" || name == "int16" ||
+         name == "int32" || name == "int64" || name == "uint" ||
+         name == "uint8" || name == "uint16" || name == "uint32" ||
+         name == "uint64" || name == "uintptr" || name == "byte" ||
+         name == "rune" || name == "float32" || name == "float64" ||
+         name == "bool" || name == "string" || name == "error";
+}
+
+// Packages the corpus may import. Identifiers matching these names resolve
+// to kPackage when not shadowed.
+bool IsKnownPackage(const std::string& name) {
+  return name == "sync" || name == "fmt" || name == "os" || name == "io" ||
+         name == "time" || name == "sort" || name == "strconv" ||
+         name == "runtime" || name == "atomic" || name == "optilib" ||
+         name == "errors" || name == "math" || name == "bytes" ||
+         name == "syscall" || name == "log" || name == "net";
+}
+
+}  // namespace
+
+// Walks declarations and function bodies, assigning types to expressions
+// and collecting LockOps.
+class Resolver {
+ public:
+  explicit Resolver(TypeInfo* info) : info_(*info) {}
+
+  Status Run() {
+    // Pass 1: collect struct and function declarations.
+    for (const ParsedFile& file : info_.program_->files) {
+      for (Decl* decl : file.file->decls) {
+        if (auto* td = dynamic_cast<TypeDecl*>(decl)) {
+          if (auto* st = dynamic_cast<StructType*>(td->type)) {
+            StructInfo si;
+            si.name = td->name;
+            si.type = st;
+            info_.structs_.emplace(td->name, std::move(si));
+          }
+        } else if (auto* fd = dynamic_cast<FuncDecl*>(decl)) {
+          info_.funcs_[FuncKey(*fd)] = fd;
+          if (fd->body != nullptr) {
+            info_.functions_.push_back(fd);
+          }
+        }
+      }
+    }
+    // Pass 2: resolve struct field types (structs may reference each other).
+    for (auto& [name, si] : info_.structs_) {
+      ResolveStructFields(&si);
+    }
+    // Pass 3: package-level vars, then function bodies.
+    for (const ParsedFile& file : info_.program_->files) {
+      for (Decl* decl : file.file->decls) {
+        if (auto* vd = dynamic_cast<VarDecl*>(decl)) {
+          const TypeRef* t = vd->type != nullptr
+                                 ? ResolveTypeExpr(vd->type)
+                                 : info_.unknown_;
+          globals_[vd->name] = t;
+        }
+      }
+    }
+    for (const ParsedFile& file : info_.program_->files) {
+      for (Decl* decl : file.file->decls) {
+        if (auto* fd = dynamic_cast<FuncDecl*>(decl)) {
+          if (fd->body != nullptr) {
+            ResolveFunction(fd);
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  // ----- type expressions -----
+
+  const TypeRef* ResolveTypeExpr(const TypeExpr* type) {
+    if (type == nullptr) {
+      return info_.unknown_;
+    }
+    if (const auto* named = dynamic_cast<const NamedType*>(type)) {
+      if (named->pkg == "sync") {
+        if (named->name == "Mutex") {
+          return MutexType();
+        }
+        if (named->name == "RWMutex") {
+          return RWMutexType();
+        }
+        return info_.unknown_;
+      }
+      if (!named->pkg.empty()) {
+        return info_.unknown_;  // foreign package type
+      }
+      if (IsBuiltinTypeName(named->name)) {
+        if (named->name == "bool") {
+          return BoolType();
+        }
+        if (named->name == "string") {
+          return StringType();
+        }
+        if (named->name == "float32" || named->name == "float64") {
+          return FloatType();
+        }
+        if (named->name == "error") {
+          return InterfaceType_();
+        }
+        return IntType();
+      }
+      if (info_.structs_.count(named->name) != 0) {
+        TypeRef ref;
+        ref.kind = TypeRef::Kind::kStruct;
+        ref.name = named->name;
+        return InternCached("struct:" + named->name, std::move(ref));
+      }
+      return info_.unknown_;
+    }
+    if (const auto* ptr = dynamic_cast<const PointerType*>(type)) {
+      return PointerTo(ResolveTypeExpr(ptr->elem));
+    }
+    if (const auto* slice = dynamic_cast<const SliceType*>(type)) {
+      TypeRef ref;
+      ref.kind = TypeRef::Kind::kSlice;
+      ref.elem = ResolveTypeExpr(slice->elem);
+      return info_.Intern(std::move(ref));
+    }
+    if (const auto* map = dynamic_cast<const MapType*>(type)) {
+      TypeRef ref;
+      ref.kind = TypeRef::Kind::kMap;
+      ref.key = ResolveTypeExpr(map->key);
+      ref.elem = ResolveTypeExpr(map->value);
+      return info_.Intern(std::move(ref));
+    }
+    if (const auto* fn = dynamic_cast<const FuncTypeExpr*>(type)) {
+      TypeRef ref;
+      ref.kind = TypeRef::Kind::kFunc;
+      ref.result = fn->results.empty() ? VoidType()
+                                       : ResolveTypeExpr(fn->results[0].type);
+      return info_.Intern(std::move(ref));
+    }
+    if (dynamic_cast<const InterfaceType*>(type) != nullptr) {
+      return InterfaceType_();
+    }
+    if (dynamic_cast<const StructType*>(type) != nullptr) {
+      return info_.unknown_;  // anonymous struct types are not tracked
+    }
+    return info_.unknown_;
+  }
+
+  void ResolveStructFields(StructInfo* si) {
+    for (const Field& field : si->type->fields) {
+      const TypeRef* t = ResolveTypeExpr(field.type);
+      if (field.name.empty()) {
+        // Embedded field: addressable under its type name (promotion).
+        std::string promoted;
+        const TypeRef* named = t;
+        bool is_pointer = false;
+        if (t->kind == TypeRef::Kind::kPointer && t->elem != nullptr) {
+          named = t->elem;
+          is_pointer = true;
+        }
+        if (named->kind == TypeRef::Kind::kMutex) {
+          promoted = "Mutex";
+          si->embedded_mutex = "Mutex";
+          si->embedded_mutex_is_pointer = is_pointer;
+        } else if (named->kind == TypeRef::Kind::kRWMutex) {
+          promoted = "RWMutex";
+          si->embedded_mutex = "RWMutex";
+          si->embedded_mutex_is_pointer = is_pointer;
+        } else if (named->kind == TypeRef::Kind::kStruct) {
+          promoted = named->name;
+        }
+        if (!promoted.empty()) {
+          si->fields.emplace_back(promoted, t);
+        }
+      } else {
+        si->fields.emplace_back(field.name, t);
+      }
+    }
+  }
+
+  // ----- basic type singletons -----
+
+  const TypeRef* InternCached(const std::string& key, TypeRef ref) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    const TypeRef* interned = info_.Intern(std::move(ref));
+    cache_.emplace(key, interned);
+    return interned;
+  }
+
+  const TypeRef* MutexType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kMutex;
+    return InternCached("Mutex", std::move(ref));
+  }
+  const TypeRef* RWMutexType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kRWMutex;
+    return InternCached("RWMutex", std::move(ref));
+  }
+  const TypeRef* IntType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kInt;
+    return InternCached("int", std::move(ref));
+  }
+  const TypeRef* FloatType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kFloat;
+    return InternCached("float", std::move(ref));
+  }
+  const TypeRef* BoolType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kBool;
+    return InternCached("bool", std::move(ref));
+  }
+  const TypeRef* StringType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kString;
+    return InternCached("string", std::move(ref));
+  }
+  const TypeRef* VoidType() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kVoid;
+    return InternCached("void", std::move(ref));
+  }
+  const TypeRef* InterfaceType_() {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kInterface;
+    return InternCached("interface", std::move(ref));
+  }
+  const TypeRef* PackageType(const std::string& name) {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kPackage;
+    ref.name = name;
+    return InternCached("pkg:" + name, std::move(ref));
+  }
+  const TypeRef* PointerTo(const TypeRef* elem) {
+    TypeRef ref;
+    ref.kind = TypeRef::Kind::kPointer;
+    ref.elem = elem;
+    return info_.Intern(std::move(ref));
+  }
+
+  // ----- function bodies -----
+
+  void ResolveFunction(const FuncDecl* fd) {
+    current_func_ = fd;
+    func_lit_stack_.clear();
+    scopes_.clear();
+    PushScope();
+    if (fd->recv_type != nullptr && !fd->recv_name.empty()) {
+      Define(fd->recv_name, ResolveTypeExpr(fd->recv_type));
+    }
+    for (const Field& param : fd->type->params) {
+      if (!param.name.empty()) {
+        Define(param.name, ResolveTypeExpr(param.type));
+      }
+    }
+    WalkBlock(fd->body);
+    PopScope();
+    current_func_ = nullptr;
+  }
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+  void Define(const std::string& name, const TypeRef* type) {
+    scopes_.back()[name] = type;
+  }
+  const TypeRef* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    auto found = globals_.find(name);
+    if (found != globals_.end()) {
+      return found->second;
+    }
+    return nullptr;
+  }
+
+  void WalkBlock(Block* block) {
+    PushScope();
+    for (Stmt* stmt : block->stmts) {
+      WalkStmt(stmt);
+    }
+    PopScope();
+  }
+
+  void WalkStmt(Stmt* stmt) {
+    if (auto* block = dynamic_cast<Block*>(stmt)) {
+      WalkBlock(block);
+      return;
+    }
+    if (auto* decl = dynamic_cast<VarDeclStmt*>(stmt)) {
+      const TypeRef* t = info_.unknown_;
+      if (decl->init != nullptr) {
+        t = WalkExpr(decl->init);
+      }
+      if (decl->type != nullptr) {
+        t = ResolveTypeExpr(decl->type);
+      }
+      Define(decl->name, t);
+      return;
+    }
+    if (auto* assign = dynamic_cast<AssignStmt*>(stmt)) {
+      std::vector<const TypeRef*> rhs_types;
+      for (Expr* rhs : assign->rhs) {
+        rhs_types.push_back(WalkExpr(rhs));
+      }
+      if (assign->op == Tok::kDefine) {
+        for (size_t i = 0; i < assign->lhs.size(); ++i) {
+          auto* ident = dynamic_cast<Ident*>(assign->lhs[i]);
+          if (ident == nullptr) {
+            WalkExpr(assign->lhs[i]);
+            continue;
+          }
+          const TypeRef* t = info_.unknown_;
+          if (assign->lhs.size() == assign->rhs.size()) {
+            t = rhs_types[i];
+          } else if (assign->rhs.size() == 1 && i == 0) {
+            t = rhs_types[0];  // v, ok := m[k] — first gets the value type
+          } else if (assign->rhs.size() == 1 && i == 1) {
+            t = BoolType();  // the ok bool
+          }
+          Define(ident->name, t);
+          info_.expr_types_[ident->id] = t;
+        }
+      } else {
+        for (Expr* lhs : assign->lhs) {
+          WalkExpr(lhs);
+        }
+      }
+      return;
+    }
+    if (auto* expr_stmt = dynamic_cast<ExprStmt*>(stmt)) {
+      WalkExpr(expr_stmt->x);
+      return;
+    }
+    if (auto* inc = dynamic_cast<IncDecStmt*>(stmt)) {
+      WalkExpr(inc->x);
+      return;
+    }
+    if (auto* if_stmt = dynamic_cast<IfStmt*>(stmt)) {
+      PushScope();
+      if (if_stmt->init != nullptr) {
+        WalkStmt(if_stmt->init);
+      }
+      WalkExpr(if_stmt->cond);
+      WalkBlock(if_stmt->then_block);
+      if (if_stmt->else_stmt != nullptr) {
+        WalkStmt(if_stmt->else_stmt);
+      }
+      PopScope();
+      return;
+    }
+    if (auto* loop = dynamic_cast<ForStmt*>(stmt)) {
+      PushScope();
+      if (loop->init != nullptr) {
+        WalkStmt(loop->init);
+      }
+      if (loop->cond != nullptr) {
+        WalkExpr(loop->cond);
+      }
+      if (loop->post != nullptr) {
+        WalkStmt(loop->post);
+      }
+      WalkBlock(loop->body);
+      PopScope();
+      return;
+    }
+    if (auto* range = dynamic_cast<RangeStmt*>(stmt)) {
+      PushScope();
+      const TypeRef* xt = WalkExpr(range->x);
+      const TypeRef* key_t = info_.unknown_;
+      const TypeRef* val_t = info_.unknown_;
+      if (xt->kind == TypeRef::Kind::kMap) {
+        key_t = xt->key != nullptr ? xt->key : info_.unknown_;
+        val_t = xt->elem != nullptr ? xt->elem : info_.unknown_;
+      } else if (xt->kind == TypeRef::Kind::kSlice) {
+        key_t = IntType();
+        val_t = xt->elem != nullptr ? xt->elem : info_.unknown_;
+      }
+      if (range->define) {
+        if (auto* key = dynamic_cast<Ident*>(range->key)) {
+          Define(key->name, key_t);
+          info_.expr_types_[key->id] = key_t;
+        }
+        if (range->value != nullptr) {
+          if (auto* value = dynamic_cast<Ident*>(range->value)) {
+            Define(value->name, val_t);
+            info_.expr_types_[value->id] = val_t;
+          }
+        }
+      }
+      WalkBlock(range->body);
+      PopScope();
+      return;
+    }
+    if (auto* ret = dynamic_cast<ReturnStmt*>(stmt)) {
+      for (Expr* result : ret->results) {
+        WalkExpr(result);
+      }
+      return;
+    }
+    if (dynamic_cast<BranchStmt*>(stmt) != nullptr) {
+      return;
+    }
+    if (auto* defer_stmt = dynamic_cast<DeferStmt*>(stmt)) {
+      in_defer_ = defer_stmt;
+      WalkExpr(defer_stmt->call);
+      in_defer_ = nullptr;
+      return;
+    }
+    if (auto* go_stmt = dynamic_cast<GoStmt*>(stmt)) {
+      WalkExpr(go_stmt->call);
+      return;
+    }
+  }
+
+  const TypeRef* WalkExpr(Expr* expr) {
+    const TypeRef* type = WalkExprInner(expr);
+    info_.expr_types_[expr->id] = type;
+    return type;
+  }
+
+  const TypeRef* WalkExprInner(Expr* expr) {
+    if (auto* ident = dynamic_cast<Ident*>(expr)) {
+      if (const TypeRef* t = Lookup(ident->name)) {
+        return t;
+      }
+      if (ident->name == "true" || ident->name == "false") {
+        return BoolType();
+      }
+      if (ident->name == "nil") {
+        return info_.unknown_;
+      }
+      if (IsKnownPackage(ident->name)) {
+        return PackageType(ident->name);
+      }
+      if (const FuncDecl* fd = info_.FindFunc(ident->name)) {
+        TypeRef ref;
+        ref.kind = TypeRef::Kind::kFunc;
+        ref.result = fd->type->results.empty()
+                         ? VoidType()
+                         : ResolveTypeExpr(fd->type->results[0].type);
+        return info_.Intern(std::move(ref));
+      }
+      return info_.unknown_;
+    }
+    if (auto* lit = dynamic_cast<BasicLit*>(expr)) {
+      switch (lit->kind) {
+        case Tok::kInt:
+          return IntType();
+        case Tok::kFloat:
+          return FloatType();
+        default:
+          return StringType();
+      }
+    }
+    if (auto* sel = dynamic_cast<SelectorExpr*>(expr)) {
+      return ResolveSelector(sel);
+    }
+    if (auto* call = dynamic_cast<CallExpr*>(expr)) {
+      return ResolveCall(call);
+    }
+    if (auto* index = dynamic_cast<IndexExpr*>(expr)) {
+      const TypeRef* base = WalkExpr(index->x);
+      WalkExpr(index->index);
+      if ((base->kind == TypeRef::Kind::kMap ||
+           base->kind == TypeRef::Kind::kSlice) &&
+          base->elem != nullptr) {
+        return base->elem;
+      }
+      if (base->kind == TypeRef::Kind::kString) {
+        return IntType();
+      }
+      return info_.unknown_;
+    }
+    if (auto* unary = dynamic_cast<UnaryExpr*>(expr)) {
+      const TypeRef* operand = WalkExpr(unary->x);
+      switch (unary->op) {
+        case Tok::kAnd:
+          return PointerTo(operand);
+        case Tok::kMul:
+          return operand->kind == TypeRef::Kind::kPointer &&
+                         operand->elem != nullptr
+                     ? operand->elem
+                     : info_.unknown_;
+        case Tok::kNot:
+          return BoolType();
+        default:
+          return operand;
+      }
+    }
+    if (auto* bin = dynamic_cast<BinaryExpr*>(expr)) {
+      const TypeRef* lhs = WalkExpr(bin->x);
+      WalkExpr(bin->y);
+      switch (bin->op) {
+        case Tok::kEql:
+        case Tok::kNeq:
+        case Tok::kLss:
+        case Tok::kLeq:
+        case Tok::kGtr:
+        case Tok::kGeq:
+        case Tok::kLAnd:
+        case Tok::kLOr:
+          return BoolType();
+        default:
+          return lhs;
+      }
+    }
+    if (auto* paren = dynamic_cast<ParenExpr*>(expr)) {
+      return WalkExpr(paren->x);
+    }
+    if (auto* kv = dynamic_cast<KeyValueExpr*>(expr)) {
+      WalkExpr(kv->value);
+      return info_.unknown_;
+    }
+    if (auto* lit = dynamic_cast<CompositeLit*>(expr)) {
+      for (Expr* elt : lit->elts) {
+        WalkExpr(elt);
+      }
+      return ResolveTypeExpr(lit->type);
+    }
+    if (auto* fn = dynamic_cast<FuncLit*>(expr)) {
+      // Closures share the enclosing scopes (captures); record the literal
+      // on the stack so lock ops inside know their innermost function.
+      func_lit_stack_.push_back(fn);
+      PushScope();
+      for (const Field& param : fn->type->params) {
+        if (!param.name.empty()) {
+          Define(param.name, ResolveTypeExpr(param.type));
+        }
+      }
+      WalkBlock(fn->body);
+      PopScope();
+      func_lit_stack_.pop_back();
+      TypeRef ref;
+      ref.kind = TypeRef::Kind::kFunc;
+      ref.result = fn->type->results.empty()
+                       ? VoidType()
+                       : ResolveTypeExpr(fn->type->results[0].type);
+      return info_.Intern(std::move(ref));
+    }
+    if (auto* targ = dynamic_cast<TypeArgExpr*>(expr)) {
+      return ResolveTypeExpr(targ->type);
+    }
+    return info_.unknown_;
+  }
+
+  // Resolves `x.sel`, handling package members, struct fields (with
+  // automatic pointer dereference), and embedded-mutex promotion.
+  const TypeRef* ResolveSelector(SelectorExpr* sel) {
+    const TypeRef* base = WalkExpr(sel->x);
+    if (base->kind == TypeRef::Kind::kPackage) {
+      // Type names in expression position (`new(sync.Mutex)`). Other
+      // package members (fmt.Println, sync.WaitGroup, ...) stay unknown.
+      if (base->name == "sync") {
+        if (sel->sel == "Mutex") {
+          return MutexType();
+        }
+        if (sel->sel == "RWMutex") {
+          return RWMutexType();
+        }
+      }
+      return info_.unknown_;
+    }
+    const TypeRef* target = base;
+    if (target->kind == TypeRef::Kind::kPointer && target->elem != nullptr) {
+      target = target->elem;  // auto-deref, like Go's dot operator
+    }
+    if (target->kind == TypeRef::Kind::kStruct) {
+      const StructInfo* si = info_.FindStruct(target->name);
+      if (si != nullptr) {
+        if (const TypeRef* field = si->FieldType(sel->sel)) {
+          return field;
+        }
+      }
+    }
+    return info_.unknown_;
+  }
+
+  const TypeRef* ResolveCall(CallExpr* call) {
+    // Lock-operation detection: receiver.Lock() / Unlock() / RLock() /
+    // RUnlock() where the receiver path types as a mutex (directly, through
+    // a pointer, or through an embedded mutex field).
+    if (auto* sel = dynamic_cast<SelectorExpr*>(call->fn)) {
+      LockOpKind op;
+      bool is_lock_name = true;
+      if (sel->sel == "Lock") {
+        op = LockOpKind::kLock;
+      } else if (sel->sel == "Unlock") {
+        op = LockOpKind::kUnlock;
+      } else if (sel->sel == "RLock") {
+        op = LockOpKind::kRLock;
+      } else if (sel->sel == "RUnlock") {
+        op = LockOpKind::kRUnlock;
+      } else {
+        is_lock_name = false;
+        op = LockOpKind::kLock;
+      }
+      if (is_lock_name) {
+        const TypeRef* base = WalkExpr(sel->x);
+        const TypeRef* target = base;
+        bool pointer = false;
+        if (target->kind == TypeRef::Kind::kPointer &&
+            target->elem != nullptr) {
+          target = target->elem;
+          pointer = true;
+        }
+        bool anonymous = false;
+        bool matched = false;
+        bool rw = false;
+        if (target->kind == TypeRef::Kind::kMutex) {
+          matched = true;
+        } else if (target->kind == TypeRef::Kind::kRWMutex) {
+          matched = true;
+          rw = true;
+        } else if (target->kind == TypeRef::Kind::kStruct) {
+          const StructInfo* si = info_.FindStruct(target->name);
+          if (si != nullptr && !si->embedded_mutex.empty()) {
+            matched = true;
+            anonymous = true;
+            rw = si->embedded_mutex == "RWMutex";
+            pointer = false;  // the access path names the struct, not the
+                              // mutex; the transformer appends ".Mutex"
+          }
+        }
+        bool rw_op =
+            op == LockOpKind::kRLock || op == LockOpKind::kRUnlock;
+        if (matched && (!rw_op || rw)) {
+          LockOp lock_op;
+          lock_op.call = call;
+          lock_op.receiver_path = sel->x;
+          lock_op.op = op;
+          lock_op.rwmutex = rw;
+          lock_op.receiver_is_pointer = pointer;
+          lock_op.via_anonymous_field = anonymous;
+          lock_op.in_defer = in_defer_ != nullptr;
+          lock_op.defer_stmt = in_defer_;
+          lock_op.func = current_func_;
+          lock_op.inner_func =
+              func_lit_stack_.empty() ? nullptr : func_lit_stack_.back();
+          info_.lock_ops_.push_back(lock_op);
+          for (Expr* arg : call->args) {
+            WalkExpr(arg);
+          }
+          return VoidType();
+        }
+      }
+    }
+
+    // Builtins and casts.
+    if (auto* ident = dynamic_cast<Ident*>(call->fn)) {
+      if (ident->name == "len" || ident->name == "cap") {
+        for (Expr* arg : call->args) {
+          WalkExpr(arg);
+        }
+        return IntType();
+      }
+      if (ident->name == "make" && !call->args.empty()) {
+        const TypeRef* t = WalkExpr(call->args[0]);
+        for (size_t i = 1; i < call->args.size(); ++i) {
+          WalkExpr(call->args[i]);
+        }
+        return t;
+      }
+      if (ident->name == "new" && call->args.size() == 1) {
+        return PointerTo(WalkExpr(call->args[0]));
+      }
+      if (ident->name == "append" && !call->args.empty()) {
+        const TypeRef* t = WalkExpr(call->args[0]);
+        for (size_t i = 1; i < call->args.size(); ++i) {
+          WalkExpr(call->args[i]);
+        }
+        return t;
+      }
+      if (ident->name == "delete" || ident->name == "panic" ||
+          ident->name == "print" || ident->name == "println" ||
+          ident->name == "copy") {
+        for (Expr* arg : call->args) {
+          WalkExpr(arg);
+        }
+        return VoidType();
+      }
+      if (IsBuiltinTypeName(ident->name) && call->args.size() == 1) {
+        WalkExpr(call->args[0]);  // conversion
+        if (ident->name == "string") {
+          return StringType();
+        }
+        if (ident->name == "bool") {
+          return BoolType();
+        }
+        if (ident->name == "float32" || ident->name == "float64") {
+          return FloatType();
+        }
+        return IntType();
+      }
+    }
+
+    // Method call: resolve receiver type, then the method's result type.
+    const TypeRef* result = info_.unknown_;
+    if (auto* sel = dynamic_cast<SelectorExpr*>(call->fn)) {
+      const TypeRef* base = WalkExpr(sel->x);
+      const TypeRef* target = base;
+      if (target->kind == TypeRef::Kind::kPointer &&
+          target->elem != nullptr) {
+        target = target->elem;
+      }
+      if (target->kind == TypeRef::Kind::kStruct) {
+        if (const FuncDecl* fd =
+                info_.FindFunc(target->name + "." + sel->sel)) {
+          result = fd->type->results.empty()
+                       ? VoidType()
+                       : ResolveTypeExpr(fd->type->results[0].type);
+        }
+      }
+      info_.expr_types_[call->fn->id] = info_.unknown_;
+    } else {
+      const TypeRef* fn_type = WalkExpr(call->fn);
+      if (fn_type->kind == TypeRef::Kind::kFunc && fn_type->result != nullptr) {
+        result = fn_type->result;
+      }
+      if (auto* ident = dynamic_cast<Ident*>(call->fn)) {
+        if (const FuncDecl* fd = info_.FindFunc(ident->name)) {
+          result = fd->type->results.empty()
+                       ? VoidType()
+                       : ResolveTypeExpr(fd->type->results[0].type);
+        }
+      }
+    }
+    for (Expr* arg : call->args) {
+      WalkExpr(arg);
+    }
+    return result;
+  }
+
+  TypeInfo& info_;
+  std::unordered_map<std::string, const TypeRef*> cache_;
+  std::unordered_map<std::string, const TypeRef*> globals_;
+  std::vector<std::unordered_map<std::string, const TypeRef*>> scopes_;
+  const FuncDecl* current_func_ = nullptr;
+  std::vector<const FuncLit*> func_lit_stack_;
+  const DeferStmt* in_defer_ = nullptr;
+};
+
+StatusOr<std::unique_ptr<TypeInfo>> TypeInfo::Build(const Program* program) {
+  auto info = std::unique_ptr<TypeInfo>(new TypeInfo());
+  info->program_ = program;
+  info->unknown_ = info->Basic(TypeRef::Kind::kUnknown);
+  Resolver resolver(info.get());
+  Status status = resolver.Run();
+  if (!status.ok()) {
+    return status;
+  }
+  return info;
+}
+
+}  // namespace gocc::gosrc

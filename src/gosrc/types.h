@@ -1,0 +1,157 @@
+// Type resolution for the mini-Go frontend.
+//
+// GOCC queries Go's go/types information to decide (§5.3): whether a
+// lock/unlock receiver is a Mutex value or pointer (value receivers need an
+// inserted address-of operator), whether the operation goes through an
+// anonymous (embedded) mutex field (the access path must be suffixed with
+// `.Mutex`), and which function encloses a given statement (OptiLock
+// declarations land in the innermost function literal). This module
+// rebuilds exactly that slice of go/types for the supported subset.
+
+#ifndef GOCC_SRC_GOSRC_TYPES_H_
+#define GOCC_SRC_GOSRC_TYPES_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gosrc/ast.h"
+#include "src/support/status.h"
+
+namespace gocc::gosrc {
+
+struct TypeRef;
+
+// A program is one package: a set of parsed files analyzed together.
+struct Program {
+  std::vector<ParsedFile> files;
+};
+
+struct TypeRef {
+  enum class Kind {
+    kUnknown,
+    kVoid,
+    kBool,
+    kInt,
+    kFloat,
+    kString,
+    kMutex,    // sync.Mutex
+    kRWMutex,  // sync.RWMutex
+    kStruct,
+    kPointer,
+    kSlice,
+    kMap,
+    kFunc,
+    kInterface,
+    kPackage,  // a package name in expression position (sync, fmt, ...)
+  };
+
+  Kind kind = Kind::kUnknown;
+  std::string name;          // struct name / package name
+  const TypeRef* elem = nullptr;   // pointer & slice element, map value
+  const TypeRef* key = nullptr;    // map key
+  const TypeRef* result = nullptr; // func: first result (or void)
+
+  bool IsMutexLike() const {
+    return kind == Kind::kMutex || kind == Kind::kRWMutex;
+  }
+};
+
+// Which sync API a call invokes.
+enum class LockOpKind { kLock, kUnlock, kRLock, kRUnlock };
+
+const char* LockOpName(LockOpKind op);
+
+inline bool IsAcquire(LockOpKind op) {
+  return op == LockOpKind::kLock || op == LockOpKind::kRLock;
+}
+
+// One static lock-point or unlock-point (L or U in the paper's terms).
+struct LockOp {
+  const CallExpr* call = nullptr;
+  Expr* receiver_path = nullptr;  // the expression before `.Lock`
+  LockOpKind op = LockOpKind::kLock;
+  bool rwmutex = false;
+  bool receiver_is_pointer = false;   // path already has pointer type
+  bool via_anonymous_field = false;   // invoked through an embedded mutex
+  bool in_defer = false;
+  const DeferStmt* defer_stmt = nullptr;
+  const FuncDecl* func = nullptr;     // enclosing top-level function
+  const FuncLit* inner_func = nullptr;  // innermost enclosing literal, if any
+};
+
+struct StructInfo {
+  std::string name;
+  const StructType* type = nullptr;
+  // Field name -> resolved type (anonymous fields use the type name, per Go
+  // promotion rules: `sync.Mutex` is addressable as `.Mutex`).
+  std::vector<std::pair<std::string, const TypeRef*>> fields;
+  // Anonymous mutex field, if any ("" when none): "Mutex" or "RWMutex".
+  std::string embedded_mutex;
+  bool embedded_mutex_is_pointer = false;
+
+  const TypeRef* FieldType(const std::string& field) const {
+    for (const auto& [name_, type_] : fields) {
+      if (name_ == field) {
+        return type_;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Key for function lookup: "Name" for plain functions, "Recv.Name" for
+// methods (receiver type name without pointer).
+std::string FuncKey(const FuncDecl& decl);
+
+class TypeInfo {
+ public:
+  // Resolves declarations and every function body in `program`.
+  // The Program must outlive the TypeInfo.
+  static StatusOr<std::unique_ptr<TypeInfo>> Build(const Program* program);
+
+  const Program* program() const { return program_; }
+
+  const StructInfo* FindStruct(const std::string& name) const;
+  // Lookup by FuncKey.
+  const FuncDecl* FindFunc(const std::string& key) const;
+
+  // Resolved static type of an expression (kUnknown TypeRef if the resolver
+  // could not type it).
+  const TypeRef* TypeOf(const Expr* expr) const;
+
+  // All lock/unlock points in the program, in source order.
+  const std::vector<LockOp>& lock_ops() const { return lock_ops_; }
+
+  // Lock ops inside one function declaration.
+  std::vector<const LockOp*> LockOpsIn(const FuncDecl* func) const;
+
+  // All function declarations (with bodies) in the program.
+  const std::vector<const FuncDecl*>& functions() const { return functions_; }
+
+  // Intern helpers (used by the analyzer for synthetic types).
+  const TypeRef* Unknown() const { return unknown_; }
+
+ private:
+  friend class Resolver;
+  TypeInfo() = default;
+
+  const TypeRef* Intern(TypeRef ref);
+  const TypeRef* Basic(TypeRef::Kind kind);
+
+  const Program* program_ = nullptr;
+  std::deque<TypeRef> type_arena_;
+  std::unordered_map<std::string, StructInfo> structs_;
+  std::unordered_map<std::string, const FuncDecl*> funcs_;
+  std::vector<const FuncDecl*> functions_;
+  std::unordered_map<int, const TypeRef*> expr_types_;  // node id -> type
+  std::vector<LockOp> lock_ops_;
+  const TypeRef* unknown_ = nullptr;
+};
+
+}  // namespace gocc::gosrc
+
+#endif  // GOCC_SRC_GOSRC_TYPES_H_

@@ -1,0 +1,93 @@
+// Go-semantics sync.Mutex.
+//
+// Faithful port of Go's sync/mutex.go state machine: a state word with
+// locked/woken/starving bits and a waiter count, spin-then-park acquisition,
+// and starvation mode — after a waiter has waited for 1 ms the mutex switches
+// to direct FIFO handoff (this behaviour drives the paper's fastcache
+// CacheSetGet anomaly, §6.1).
+//
+// The state word is the *first* member: the paper's FastLock "simply
+// de-references the first word of the Mutex pointer" to observe the lock
+// status, and optiLib subscribes a hardware transaction to it. To make that
+// subscription work under SimTM, lock-acquiring transitions are
+// stripe-guarded (htm::StripeGuardedUpdate) when elision tracking is on, so
+// a slow-path acquisition aborts any in-flight transaction that read the
+// word. Under real RTM, cache coherence provides this for free and the
+// guard collapses to a plain CAS.
+
+#ifndef GOCC_SRC_GOSYNC_MUTEX_H_
+#define GOCC_SRC_GOSYNC_MUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gocc::gosync {
+
+// Whether slow-path state transitions notify the transactional-memory
+// substrate (required for any mutex that may be elided anywhere in the
+// program; pure-lock baselines may disable it to avoid the SimTM interop
+// cost that real RTM would not pay).
+enum class ElisionTracking : bool { kDisabled = false, kEnabled = true };
+
+class Mutex {
+ public:
+  static constexpr uint64_t kLockedBit = 1;
+  static constexpr uint64_t kWokenBit = 2;
+  static constexpr uint64_t kStarvingBit = 4;
+  static constexpr int kWaiterShift = 3;
+  static constexpr int64_t kStarvationThresholdNs = 1'000'000;
+
+  Mutex() = default;
+  explicit Mutex(ElisionTracking tracking) : tracking_(tracking) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock();
+  bool TryLock();
+  void Unlock();
+
+  // True when the locked bit is set (racy snapshot; used by elision).
+  bool IsLocked() const {
+    return (state_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+
+  // The state word a fast-path transaction subscribes to.
+  const std::atomic<uint64_t>* StateWord() const { return &state_; }
+
+  bool elision_tracked() const {
+    return tracking_ == ElisionTracking::kEnabled;
+  }
+
+ private:
+  void LockSlow();
+  void UnlockSlow(uint64_t new_state);
+
+  // CAS on the state word that acquires the locked bit; stripe-guarded when
+  // tracking is enabled.
+  bool AcquiringCas(uint64_t& expected, uint64_t desired);
+
+  // Unconditional state adjustment that acquires the lock (starvation-mode
+  // handoff); stripe-guarded when tracking is enabled.
+  void AcquiringAdd(int64_t delta);
+
+  std::atomic<uint64_t> state_{0};  // must stay the first member
+  ElisionTracking tracking_ = ElisionTracking::kEnabled;
+};
+
+// RAII guard (paper workloads mostly call Lock/Unlock explicitly, but tests
+// and examples prefer scoping).
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexGuard() { mu_.Unlock(); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace gocc::gosync
+
+#endif  // GOCC_SRC_GOSYNC_MUTEX_H_

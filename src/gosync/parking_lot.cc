@@ -1,0 +1,94 @@
+#include "src/gosync/parking_lot.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace gocc::gosync {
+namespace {
+
+struct WaitNode {
+  std::condition_variable cv;
+  bool granted = false;
+};
+
+struct SemaRecord {
+  uint32_t permits = 0;
+  std::deque<WaitNode*> waiters;
+};
+
+constexpr size_t kNumBuckets = 512;
+
+struct Bucket {
+  std::mutex mu;
+  std::unordered_map<const void*, SemaRecord> records;
+};
+
+Bucket& BucketFor(const void* addr) {
+  static Bucket buckets[kNumBuckets];
+  auto p = reinterpret_cast<uintptr_t>(addr);
+  p >>= 3;
+  p *= 0x9e3779b97f4a7c15ULL;
+  return buckets[(p >> 48) & (kNumBuckets - 1)];
+}
+
+// Erases the record if it carries no state (avoids unbounded growth for
+// short-lived mutexes).
+void MaybeErase(Bucket& bucket, const void* addr, SemaRecord& rec) {
+  if (rec.permits == 0 && rec.waiters.empty()) {
+    bucket.records.erase(addr);
+  }
+}
+
+}  // namespace
+
+void ParkingLot::Acquire(const void* addr, bool lifo) {
+  Bucket& bucket = BucketFor(addr);
+  std::unique_lock<std::mutex> lock(bucket.mu);
+  SemaRecord& rec = bucket.records[addr];
+  if (rec.permits > 0 && rec.waiters.empty()) {
+    --rec.permits;
+    MaybeErase(bucket, addr, rec);
+    return;
+  }
+  WaitNode node;
+  if (lifo) {
+    rec.waiters.push_front(&node);
+  } else {
+    rec.waiters.push_back(&node);
+  }
+  node.cv.wait(lock, [&node] { return node.granted; });
+  // The releaser consumed the permit on our behalf and removed us from the
+  // queue; nothing left to clean up.
+}
+
+void ParkingLot::Release(const void* addr, bool /*handoff*/) {
+  Bucket& bucket = BucketFor(addr);
+  std::unique_lock<std::mutex> lock(bucket.mu);
+  SemaRecord& rec = bucket.records[addr];
+  if (rec.waiters.empty()) {
+    ++rec.permits;
+    return;
+  }
+  WaitNode* node = rec.waiters.front();
+  rec.waiters.pop_front();
+  node->granted = true;
+  // Notify while holding the bucket lock: `node` lives on the waiter's
+  // stack and may be destroyed as soon as the waiter observes granted==true,
+  // which it can only do after we release the bucket lock.
+  node->cv.notify_one();
+  MaybeErase(bucket, addr, rec);
+}
+
+int ParkingLot::WaiterCount(const void* addr) {
+  Bucket& bucket = BucketFor(addr);
+  std::unique_lock<std::mutex> lock(bucket.mu);
+  auto it = bucket.records.find(addr);
+  if (it == bucket.records.end()) {
+    return 0;
+  }
+  return static_cast<int>(it->second.waiters.size());
+}
+
+}  // namespace gocc::gosync

@@ -1,0 +1,37 @@
+// ParkingLot: a futex-style addressed semaphore table.
+//
+// Go's sync.Mutex parks waiting goroutines on runtime semaphores addressed
+// by the mutex itself (runtime_SemacquireMutex / runtime_Semrelease). This
+// module rebuilds that substrate portably: any address can be used as a
+// semaphore; waiters queue FIFO, or LIFO when requeueing after a failed
+// re-acquire (Go's starvation heuristic), and a release can "hand off"
+// directly to the oldest waiter.
+
+#ifndef GOCC_SRC_GOSYNC_PARKING_LOT_H_
+#define GOCC_SRC_GOSYNC_PARKING_LOT_H_
+
+#include <cstdint>
+
+namespace gocc::gosync {
+
+class ParkingLot {
+ public:
+  // Blocks until a permit for `addr` is available (or immediately consumes
+  // one). `lifo` queues this waiter at the front (Go: a waiter that already
+  // waited once re-queues LIFO so it is served next).
+  static void Acquire(const void* addr, bool lifo);
+
+  // Releases one permit for `addr`, waking the first queued waiter if any.
+  // `handoff` is accepted for API parity with Go's runtime_Semrelease; both
+  // modes grant the permit directly to the first waiter here (Go's
+  // distinction — whether the waiter must re-compete for the mutex state
+  // word — is realized by Mutex itself).
+  static void Release(const void* addr, bool handoff);
+
+  // Number of threads currently parked on `addr` (test/diagnostic hook).
+  static int WaiterCount(const void* addr);
+};
+
+}  // namespace gocc::gosync
+
+#endif  // GOCC_SRC_GOSYNC_PARKING_LOT_H_

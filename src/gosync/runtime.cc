@@ -1,0 +1,29 @@
+#include "src/gosync/runtime.h"
+
+#include <atomic>
+#include <thread>
+
+namespace gocc::gosync {
+namespace {
+
+int InitialProcs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int> g_max_procs{InitialProcs()};
+
+}  // namespace
+
+int MaxProcs() { return g_max_procs.load(std::memory_order_relaxed); }
+
+int SetMaxProcs(int n) {
+  if (n < 1) {
+    return MaxProcs();
+  }
+  return g_max_procs.exchange(n, std::memory_order_relaxed);
+}
+
+void Gosched() { std::this_thread::yield(); }
+
+}  // namespace gocc::gosync

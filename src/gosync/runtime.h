@@ -1,0 +1,35 @@
+// Minimal Go-runtime analogue: GOMAXPROCS and scheduler hints.
+//
+// The paper's optiLib consults runtime.GOMAXPROCS(0) to bypass HTM entirely
+// when a single P is configured (§5.4.2); our benchmark harness sets this to
+// the simulated core count so that decision logic is exercised even on a
+// single-CPU host.
+
+#ifndef GOCC_SRC_GOSYNC_RUNTIME_H_
+#define GOCC_SRC_GOSYNC_RUNTIME_H_
+
+namespace gocc::gosync {
+
+// Returns the configured logical-processor count (defaults to
+// std::thread::hardware_concurrency at startup, minimum 1).
+int MaxProcs();
+
+// Sets the logical-processor count; returns the previous value. Passing a
+// value < 1 only reads the current value (Go's GOMAXPROCS(0) idiom).
+int SetMaxProcs(int n);
+
+// Cooperative yield (runtime.Gosched analogue).
+void Gosched();
+
+// CPU relax hint for spin loops.
+inline void CpuPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace gocc::gosync
+
+#endif  // GOCC_SRC_GOSYNC_RUNTIME_H_

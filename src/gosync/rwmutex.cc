@@ -1,0 +1,66 @@
+#include "src/gosync/rwmutex.h"
+
+#include <cassert>
+
+#include "src/gosync/parking_lot.h"
+#include "src/htm/tx.h"
+
+namespace gocc::gosync {
+
+int64_t RWMutex::ReaderCountAdd(int64_t delta) {
+  int64_t result = 0;
+  if (tracking_ == ElisionTracking::kEnabled) {
+    htm::StripeGuardedUpdate(&reader_count_, [&] {
+      result = static_cast<int64_t>(reader_count_.fetch_add(
+                   static_cast<uint64_t>(delta), std::memory_order_acq_rel)) +
+               delta;
+    });
+    return result;
+  }
+  return static_cast<int64_t>(reader_count_.fetch_add(
+             static_cast<uint64_t>(delta), std::memory_order_acq_rel)) +
+         delta;
+}
+
+void RWMutex::RLock() {
+  if (ReaderCountAdd(1) < 0) {
+    // A writer is pending; wait for it to finish.
+    ParkingLot::Acquire(&reader_sem_, /*lifo=*/false);
+  }
+}
+
+void RWMutex::RUnlock() {
+  int64_t r = ReaderCountAdd(-1);
+  if (r < 0) {
+    assert(r + 1 != 0 && r + 1 != -kMaxReaders &&
+           "RUnlock of unlocked RWMutex");
+    // A writer is pending; if we are the last outstanding reader, let it in.
+    if (reader_wait_.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
+      ParkingLot::Release(&writer_sem_, /*handoff=*/true);
+    }
+  }
+}
+
+void RWMutex::Lock() {
+  // Resolve competition with other writers first.
+  w_.Lock();
+  // Announce the writer by flipping readerCount negative; r is the number of
+  // readers that still hold the lock.
+  int64_t r = ReaderCountAdd(-kMaxReaders) + kMaxReaders;
+  if (r != 0 &&
+      reader_wait_.fetch_add(r, std::memory_order_acq_rel) + r != 0) {
+    ParkingLot::Acquire(&writer_sem_, /*lifo=*/false);
+  }
+}
+
+void RWMutex::Unlock() {
+  // Re-admit readers.
+  int64_t r = ReaderCountAdd(kMaxReaders);
+  assert(r < kMaxReaders && "Unlock of unlocked RWMutex");
+  for (int64_t i = 0; i < r; ++i) {
+    ParkingLot::Release(&reader_sem_, /*handoff=*/false);
+  }
+  w_.Unlock();
+}
+
+}  // namespace gocc::gosync

@@ -1,0 +1,72 @@
+// Go-semantics sync.RWMutex.
+//
+// Port of Go's sync/rwmutex.go: a writer Mutex, a reader count that goes
+// negative while a writer is pending (readers then queue on readerSem), and
+// a readerWait count the writer blocks on. The paper's key observation for
+// Tally/go-cache/set is that even read-only RLock/RUnlock perform contended
+// atomic RMWs on `readerCount`, which collapses under parallelism — HTM
+// elision removes exactly those writes.
+//
+// `readerCount` is the first member so optiLib can subscribe a fast-path
+// transaction to it; all transitions are stripe-guarded when elision
+// tracking is on (under real HTM the cache coherence traffic of those RMWs
+// is what aborts reader transactions — the stripe guard models that).
+
+#ifndef GOCC_SRC_GOSYNC_RWMUTEX_H_
+#define GOCC_SRC_GOSYNC_RWMUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/gosync/mutex.h"
+
+namespace gocc::gosync {
+
+class RWMutex {
+ public:
+  static constexpr int64_t kMaxReaders = int64_t{1} << 30;
+
+  RWMutex() = default;
+  explicit RWMutex(ElisionTracking tracking)
+      : tracking_(tracking), w_(tracking) {}
+
+  RWMutex(const RWMutex&) = delete;
+  RWMutex& operator=(const RWMutex&) = delete;
+
+  void RLock();
+  void RUnlock();
+  void Lock();
+  void Unlock();
+
+  // The word fast-path transactions subscribe to. A non-negative value means
+  // no writer holds or awaits the lock.
+  const std::atomic<uint64_t>* ReaderCountWord() const {
+    return &reader_count_;
+  }
+
+  // Racy signed snapshot of the reader count.
+  int64_t ReaderCountValue() const {
+    return static_cast<int64_t>(reader_count_.load(std::memory_order_acquire));
+  }
+
+  bool elision_tracked() const {
+    return tracking_ == ElisionTracking::kEnabled;
+  }
+
+ private:
+  // Adds `delta` to reader_count_, stripe-guarded when tracked; returns the
+  // new signed value.
+  int64_t ReaderCountAdd(int64_t delta);
+
+  std::atomic<uint64_t> reader_count_{0};  // must stay the first member
+  std::atomic<int64_t> reader_wait_{0};
+  ElisionTracking tracking_ = ElisionTracking::kEnabled;
+  Mutex w_;  // held by writers
+  // Distinct park addresses for the two semaphores.
+  char writer_sem_ = 0;
+  char reader_sem_ = 0;
+};
+
+}  // namespace gocc::gosync
+
+#endif  // GOCC_SRC_GOSYNC_RWMUTEX_H_

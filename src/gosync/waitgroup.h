@@ -1,0 +1,44 @@
+// Go-semantics sync.WaitGroup (condition-variable based; the wait group is a
+// harness utility, never elided, so it needs no TM integration).
+
+#ifndef GOCC_SRC_GOSYNC_WAITGROUP_H_
+#define GOCC_SRC_GOSYNC_WAITGROUP_H_
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace gocc::gosync {
+
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void Add(int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += delta;
+    assert(count_ >= 0 && "negative WaitGroup counter");
+    if (count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void Done() { Add(-1); }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_ = 0;
+};
+
+}  // namespace gocc::gosync
+
+#endif  // GOCC_SRC_GOSYNC_WAITGROUP_H_

@@ -1,0 +1,36 @@
+#include "src/htm/config.h"
+
+#include "src/htm/rtm_backend.h"
+
+namespace gocc::htm {
+namespace {
+
+TxConfig g_config;
+std::atomic<Backend> g_backend{Backend::kSim};
+
+}  // namespace
+
+TxConfig& MutableConfig() { return g_config; }
+
+const TxConfig& Config() { return g_config; }
+
+Backend ActiveBackend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+bool EnableRtmIfSupported() {
+  if (!RtmCompiledIn()) {
+    return false;
+  }
+  if (!RtmProbe()) {
+    return false;
+  }
+  g_backend.store(Backend::kRtm, std::memory_order_relaxed);
+  return true;
+}
+
+void ForceSimBackend() {
+  g_backend.store(Backend::kSim, std::memory_order_relaxed);
+}
+
+}  // namespace gocc::htm

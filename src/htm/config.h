@@ -1,0 +1,64 @@
+// Global configuration of the transactional-memory substrate.
+//
+// The capacity limits model the cache structures that bound real RTM
+// transactions: the write set is limited by L1D (32 KiB / 64 B = 512 lines on
+// the paper's Coffee Lake; we default slightly lower, as measured capacities
+// are), while the read set can spill to L2/L3 tracking structures and is much
+// larger. `spurious_abort_probability` models TSX's best-effort nature
+// (transactions may abort with no architectural cause); it is zero by default
+// and enabled by fault-injection tests.
+
+#ifndef GOCC_SRC_HTM_CONFIG_H_
+#define GOCC_SRC_HTM_CONFIG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gocc::htm {
+
+// Which mechanism enforces transactional semantics.
+enum class Backend {
+  // TL2-style software transactional backend (default; runs anywhere).
+  kSim,
+  // Real Intel RTM via xbegin/xend (requires hardware support; selected only
+  // after a successful runtime probe).
+  kRtm,
+};
+
+struct TxConfig {
+  // Maximum distinct 64-byte lines a transaction may read before a capacity
+  // abort. Models L2/L3-assisted read-set tracking.
+  size_t read_capacity_lines = 8192;
+  // Maximum distinct 64-byte lines a transaction may write before a capacity
+  // abort. Models L1D write-set tracking.
+  size_t write_capacity_lines = 448;
+  // Probability that any transactional access spuriously aborts the
+  // transaction (fault injection; 0 disables).
+  double spurious_abort_probability = 0.0;
+  // Seed for the per-thread RNG driving spurious aborts.
+  uint64_t spurious_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+// Returns the mutable global configuration. Not thread-safe against
+// concurrent transactions; set it up before starting workers (tests do).
+TxConfig& MutableConfig();
+
+// Read-only accessor.
+const TxConfig& Config();
+
+// Active backend (kSim unless EnableRtmIfSupported succeeded).
+Backend ActiveBackend();
+
+// Probes the CPU for usable RTM and, if transactions actually commit,
+// switches the backend to kRtm. Returns true when RTM is now active.
+// Compiled to `return false` when the toolchain lacks -mrtm.
+bool EnableRtmIfSupported();
+
+// Forces the software backend (used by tests and by the benchmark harness to
+// make runs reproducible across hosts).
+void ForceSimBackend();
+
+}  // namespace gocc::htm
+
+#endif  // GOCC_SRC_HTM_CONFIG_H_

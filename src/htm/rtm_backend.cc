@@ -1,0 +1,86 @@
+#include "src/htm/rtm_backend.h"
+
+#include <cstdlib>
+
+#if defined(GOCC_HAVE_RTM)
+#include <immintrin.h>
+#endif
+
+namespace gocc::htm {
+
+#if defined(GOCC_HAVE_RTM)
+
+bool RtmCompiledIn() { return true; }
+
+bool RtmProbe() {
+  // Try a few transactions; virtualized hosts that fuse TSX off abort every
+  // attempt, so demand an actual commit.
+  for (int i = 0; i < 16; ++i) {
+    unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      _xend();
+      return true;
+    }
+  }
+  return false;
+}
+
+BeginStatus RtmBegin() {
+  unsigned status = _xbegin();
+  if (status == _XBEGIN_STARTED) {
+    return BeginStatus{true, AbortCode::kNone};
+  }
+  AbortCode code = AbortCode::kSpurious;
+  if ((status & _XABORT_EXPLICIT) != 0) {
+    switch (_XABORT_CODE(status)) {
+      case static_cast<int>(AbortCode::kLockHeld):
+        code = AbortCode::kLockHeld;
+        break;
+      case static_cast<int>(AbortCode::kMutexMismatch):
+        code = AbortCode::kMutexMismatch;
+        break;
+      default:
+        code = AbortCode::kExplicit;
+        break;
+    }
+  } else if ((status & _XABORT_CONFLICT) != 0) {
+    code = AbortCode::kConflict;
+  } else if ((status & _XABORT_CAPACITY) != 0) {
+    code = AbortCode::kCapacity;
+  }
+  return BeginStatus{false, code};
+}
+
+void RtmCommit() { _xend(); }
+
+[[noreturn]] void RtmAbort(AbortCode code) {
+  switch (code) {
+    case AbortCode::kLockHeld:
+      _xabort(static_cast<int>(AbortCode::kLockHeld));
+      break;
+    case AbortCode::kMutexMismatch:
+      _xabort(static_cast<int>(AbortCode::kMutexMismatch));
+      break;
+    default:
+      _xabort(static_cast<int>(AbortCode::kExplicit));
+      break;
+  }
+  // xabort outside a transaction is a no-op; reaching this line means the
+  // caller violated the "inside a transaction" contract.
+  std::abort();
+}
+
+bool RtmInTx() { return _xtest() != 0; }
+
+#else  // !GOCC_HAVE_RTM
+
+bool RtmCompiledIn() { return false; }
+bool RtmProbe() { return false; }
+BeginStatus RtmBegin() { return BeginStatus{false, AbortCode::kSpurious}; }
+void RtmCommit() {}
+[[noreturn]] void RtmAbort(AbortCode /*code*/) { std::abort(); }
+bool RtmInTx() { return false; }
+
+#endif  // GOCC_HAVE_RTM
+
+}  // namespace gocc::htm

@@ -1,0 +1,37 @@
+// Real Intel RTM backend (xbegin/xend/xabort).
+//
+// Only used after a successful runtime probe: many virtualized or
+// microcode-updated hosts advertise the `rtm` CPUID flag yet abort every
+// transaction, so EnableRtmIfSupported() insists on observing real commits
+// before switching the backend.
+
+#ifndef GOCC_SRC_HTM_RTM_BACKEND_H_
+#define GOCC_SRC_HTM_RTM_BACKEND_H_
+
+#include "src/htm/abort.h"
+
+namespace gocc::htm {
+
+// True when the toolchain compiled RTM support in at all.
+bool RtmCompiledIn();
+
+// Attempts a handful of trivial transactions; true iff at least one commits.
+bool RtmProbe();
+
+// xbegin. Returns started=true inside the new transaction, or the mapped
+// abort code when the hardware rolled back to this point.
+BeginStatus RtmBegin();
+
+// xend.
+void RtmCommit();
+
+// xabort with an immediate encoding `code`. Must be called inside a
+// transaction.
+[[noreturn]] void RtmAbort(AbortCode code);
+
+// xtest.
+bool RtmInTx();
+
+}  // namespace gocc::htm
+
+#endif  // GOCC_SRC_HTM_RTM_BACKEND_H_

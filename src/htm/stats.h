@@ -1,0 +1,83 @@
+// Process-wide transactional-memory statistics.
+//
+// Counters are relaxed atomics: cheap, approximately consistent, and good
+// enough for reporting (the paper's perceptron takes the same
+// "racy-but-fast" stance for its weight tables).
+
+#ifndef GOCC_SRC_HTM_STATS_H_
+#define GOCC_SRC_HTM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/htm/abort.h"
+
+namespace gocc::htm {
+
+struct TxStats {
+  std::atomic<uint64_t> begins{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> read_only_commits{0};
+  std::atomic<uint64_t> aborts_conflict{0};
+  std::atomic<uint64_t> aborts_capacity{0};
+  std::atomic<uint64_t> aborts_explicit{0};
+  std::atomic<uint64_t> aborts_lock_held{0};
+  std::atomic<uint64_t> aborts_mutex_mismatch{0};
+  std::atomic<uint64_t> aborts_spurious{0};
+
+  uint64_t TotalAborts() const {
+    return aborts_conflict.load(std::memory_order_relaxed) +
+           aborts_capacity.load(std::memory_order_relaxed) +
+           aborts_explicit.load(std::memory_order_relaxed) +
+           aborts_lock_held.load(std::memory_order_relaxed) +
+           aborts_mutex_mismatch.load(std::memory_order_relaxed) +
+           aborts_spurious.load(std::memory_order_relaxed);
+  }
+
+  void RecordAbort(AbortCode code) {
+    switch (code) {
+      case AbortCode::kConflict:
+        aborts_conflict.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kCapacity:
+        aborts_capacity.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kExplicit:
+        aborts_explicit.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kLockHeld:
+        aborts_lock_held.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kMutexMismatch:
+        aborts_mutex_mismatch.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kSpurious:
+        aborts_spurious.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AbortCode::kNone:
+        break;
+    }
+  }
+
+  void Reset() {
+    begins.store(0, std::memory_order_relaxed);
+    commits.store(0, std::memory_order_relaxed);
+    read_only_commits.store(0, std::memory_order_relaxed);
+    aborts_conflict.store(0, std::memory_order_relaxed);
+    aborts_capacity.store(0, std::memory_order_relaxed);
+    aborts_explicit.store(0, std::memory_order_relaxed);
+    aborts_lock_held.store(0, std::memory_order_relaxed);
+    aborts_mutex_mismatch.store(0, std::memory_order_relaxed);
+    aborts_spurious.store(0, std::memory_order_relaxed);
+  }
+
+  std::string ToString() const;
+};
+
+// Global statistics instance.
+TxStats& GlobalTxStats();
+
+}  // namespace gocc::htm
+
+#endif  // GOCC_SRC_HTM_STATS_H_

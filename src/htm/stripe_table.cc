@@ -1,0 +1,59 @@
+#include "src/htm/stripe_table.h"
+
+namespace gocc::htm {
+namespace {
+
+struct alignas(64) PaddedStripe {
+  std::atomic<uint64_t> word{0};
+};
+
+// Sixteen stripes share a cache line would defeat the point; pad each group.
+// We pad individual stripes: 64 KiB * 64 B = 4 MiB — acceptable for a
+// process-wide table and removes false sharing between stripes entirely.
+PaddedStripe g_stripes[kNumStripes];
+
+std::atomic<uint64_t> g_clock{0};
+
+inline size_t HashAddr(const void* addr) {
+  auto p = reinterpret_cast<uintptr_t>(addr);
+  // Mix to spread adjacent words (shift past the word-offset bits, then a
+  // Fibonacci multiply).
+  p >>= 3;
+  p *= 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(p >> 40) & (kNumStripes - 1);
+}
+
+}  // namespace
+
+std::atomic<uint64_t>& GlobalClock() { return g_clock; }
+
+std::atomic<uint64_t>* StripeFor(const void* addr) {
+  return &g_stripes[HashAddr(addr)].word;
+}
+
+size_t StripeIndexFor(const void* addr) { return HashAddr(addr); }
+
+void NotifyNonTxWrite(const void* addr) {
+  std::atomic<uint64_t>* stripe = StripeFor(addr);
+  // Lock the stripe, then install a fresh global-clock version. Versions
+  // must come from the global clock (not stripe-local increments) so that
+  // any version installed after a transaction sampled its read version is
+  // strictly greater — that is what makes per-read validation abort zombies
+  // eagerly.
+  uint64_t word = stripe->load(std::memory_order_relaxed);
+  while (true) {
+    if (StripeIsLocked(word)) {
+      word = stripe->load(std::memory_order_relaxed);
+      continue;
+    }
+    if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  uint64_t version = GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  stripe->store(version << 1, std::memory_order_release);
+}
+
+}  // namespace gocc::htm

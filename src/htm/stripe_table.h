@@ -1,0 +1,46 @@
+// Versioned-lock stripe table (TL2-style).
+//
+// Every memory word is hashed to one of kNumStripes versioned locks. A stripe
+// word encodes `version << 1 | locked`. Transactions validate reads against
+// stripe versions; commit acquires the stripes of the write set, publishes
+// the buffered values, and releases the stripes with a new version.
+//
+// Non-transactional code that mutates memory watched by transactions (most
+// importantly the gosync::Mutex state word a fast-path transaction
+// "subscribes" to) must call NotifyNonTxWrite so in-flight readers of that
+// stripe abort — this provides the strong-atomicity edge real RTM gets for
+// free from cache coherence.
+
+#ifndef GOCC_SRC_HTM_STRIPE_TABLE_H_
+#define GOCC_SRC_HTM_STRIPE_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gocc::htm {
+
+inline constexpr size_t kNumStripes = 1u << 16;
+inline constexpr uint64_t kStripeLockedBit = 1;
+
+// Global version clock. Incremented once per writing commit.
+std::atomic<uint64_t>& GlobalClock();
+
+// The stripe guarding `addr`.
+std::atomic<uint64_t>* StripeFor(const void* addr);
+
+// Stripe index (exposed for tests).
+size_t StripeIndexFor(const void* addr);
+
+inline bool StripeIsLocked(uint64_t stripe_word) {
+  return (stripe_word & kStripeLockedBit) != 0;
+}
+inline uint64_t StripeVersion(uint64_t stripe_word) { return stripe_word >> 1; }
+
+// Marks a non-transactional write to `addr`: bumps the stripe version (under
+// the stripe lock) so concurrent transactions that read the stripe fail
+// validation. Spins while a committing transaction holds the stripe.
+void NotifyNonTxWrite(const void* addr);
+
+}  // namespace gocc::htm
+
+#endif  // GOCC_SRC_HTM_STRIPE_TABLE_H_

@@ -1,0 +1,401 @@
+#include "src/htm/tx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/htm/rtm_backend.h"
+#include "src/htm/stats.h"
+#include "src/htm/stripe_table.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace gocc::htm {
+namespace {
+
+constexpr int kStripeLockSpins = 256;
+
+inline uintptr_t CacheLineOf(const void* addr) {
+  return reinterpret_cast<uintptr_t>(addr) >> 6;
+}
+
+struct ReadEntry {
+  std::atomic<uint64_t>* stripe;
+  uint64_t version;  // stripe version observed at first read
+};
+
+struct WriteEntry {
+  std::atomic<uint64_t>* addr;
+  uint64_t value;
+};
+
+struct LockedStripe {
+  std::atomic<uint64_t>* stripe;
+  uint64_t pre_lock_version;
+};
+
+// Per-thread SimTM transaction context. Containers keep their capacity
+// across transactions, so steady-state operation allocates nothing.
+struct TxContext {
+  int depth = 0;
+  uint64_t rv = 0;
+  std::jmp_buf* env = nullptr;
+
+  std::vector<ReadEntry> reads;
+  std::unordered_set<const std::atomic<uint64_t>*> read_stripes_seen;
+  std::vector<WriteEntry> writes;
+  std::unordered_map<const std::atomic<uint64_t>*, size_t> write_index;
+  std::unordered_set<uintptr_t> read_lines;
+  std::unordered_set<uintptr_t> write_lines;
+
+  // Stripes locked during an in-progress commit; released on abort.
+  std::vector<LockedStripe> locked;
+
+  SplitMix64 rng{0};
+  bool rng_seeded = false;
+
+  void ResetSets() {
+    reads.clear();
+    read_stripes_seen.clear();
+    writes.clear();
+    write_index.clear();
+    read_lines.clear();
+    write_lines.clear();
+    locked.clear();
+  }
+};
+
+thread_local TxContext tls_tx;
+
+TxStats g_stats;
+
+[[noreturn]] void AbortInternal(TxContext& tx, AbortCode code) {
+  // Roll back stripes held by an in-progress commit.
+  for (const LockedStripe& ls : tx.locked) {
+    ls.stripe->store(ls.pre_lock_version << 1, std::memory_order_release);
+  }
+  g_stats.RecordAbort(code);
+  std::jmp_buf* env = tx.env;
+  tx.depth = 0;
+  tx.env = nullptr;
+  tx.ResetSets();
+  assert(env != nullptr && "SimTM abort without a checkpoint");
+  std::longjmp(*env, static_cast<int>(code));
+}
+
+void MaybeSpuriousAbort(TxContext& tx) {
+  const TxConfig& cfg = Config();
+  if (cfg.spurious_abort_probability <= 0.0) {
+    return;
+  }
+  if (!tx.rng_seeded) {
+    tx.rng = SplitMix64(cfg.spurious_seed ^
+                        reinterpret_cast<uintptr_t>(&tx));
+    tx.rng_seeded = true;
+  }
+  if (tx.rng.NextBool(cfg.spurious_abort_probability)) {
+    AbortInternal(tx, AbortCode::kSpurious);
+  }
+}
+
+// Locks `stripe` for commit; returns false after bounded spinning.
+bool LockStripeForCommit(TxContext& tx, std::atomic<uint64_t>* stripe) {
+  for (int spin = 0; spin < kStripeLockSpins; ++spin) {
+    uint64_t word = stripe->load(std::memory_order_relaxed);
+    if (!StripeIsLocked(word)) {
+      if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        tx.locked.push_back({stripe, StripeVersion(word)});
+        return true;
+      }
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  return false;
+}
+
+void CommitOutermost(TxContext& tx) {
+  if (tx.writes.empty()) {
+    // Read-only transaction: per-read validation against the fixed read
+    // version already guarantees a consistent snapshot at rv; nothing to
+    // publish.
+    g_stats.commits.fetch_add(1, std::memory_order_relaxed);
+    g_stats.read_only_commits.fetch_add(1, std::memory_order_relaxed);
+    tx.depth = 0;
+    tx.env = nullptr;
+    tx.ResetSets();
+    return;
+  }
+
+  // Lock the stripes covering the write set in address order (prevents
+  // deadlock between committers).
+  std::vector<std::atomic<uint64_t>*> stripes;
+  stripes.reserve(tx.writes.size());
+  for (const WriteEntry& w : tx.writes) {
+    stripes.push_back(StripeFor(w.addr));
+  }
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (std::atomic<uint64_t>* stripe : stripes) {
+    if (!LockStripeForCommit(tx, stripe)) {
+      AbortInternal(tx, AbortCode::kConflict);
+    }
+    // A write stripe whose version advanced past rv and that we also read
+    // is caught by read-set validation below; a write-only stripe may have
+    // any version (TL2: last-writer-wins is fine, we hold the lock).
+  }
+
+  const uint64_t wv =
+      GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Validate the read set: every stripe we read must still carry the version
+  // we first observed, and must not be locked by another committer.
+  for (const ReadEntry& r : tx.reads) {
+    uint64_t word = r.stripe->load(std::memory_order_acquire);
+    if (StripeIsLocked(word)) {
+      auto it = std::find_if(
+          tx.locked.begin(), tx.locked.end(),
+          [&](const LockedStripe& ls) { return ls.stripe == r.stripe; });
+      if (it == tx.locked.end() || it->pre_lock_version != r.version) {
+        AbortInternal(tx, AbortCode::kConflict);
+      }
+    } else if (StripeVersion(word) != r.version) {
+      AbortInternal(tx, AbortCode::kConflict);
+    }
+  }
+
+  // Publish buffered writes, then release stripes with the commit version.
+  for (const WriteEntry& w : tx.writes) {
+    w.addr->store(w.value, std::memory_order_relaxed);
+  }
+  for (const LockedStripe& ls : tx.locked) {
+    ls.stripe->store(wv << 1, std::memory_order_release);
+  }
+
+  g_stats.commits.fetch_add(1, std::memory_order_relaxed);
+  tx.depth = 0;
+  tx.env = nullptr;
+  tx.ResetSets();
+}
+
+}  // namespace
+
+TxStats& GlobalTxStats() { return g_stats; }
+
+std::string TxStats::ToString() const {
+  return StrFormat(
+      "begins=%llu commits=%llu (ro=%llu) aborts{conflict=%llu capacity=%llu "
+      "explicit=%llu lock_held=%llu mismatch=%llu spurious=%llu}",
+      static_cast<unsigned long long>(begins.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(commits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          read_only_commits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_conflict.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_capacity.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_explicit.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_lock_held.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_mutex_mismatch.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_spurious.load(std::memory_order_relaxed)));
+}
+
+bool InTx() {
+  if (ActiveBackend() == Backend::kRtm) {
+    return RtmInTx();
+  }
+  return tls_tx.depth > 0;
+}
+
+int TxDepth() { return tls_tx.depth; }
+
+BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
+  if (ActiveBackend() == Backend::kRtm) {
+    BeginStatus status = RtmBegin();
+    if (status.started) {
+      g_stats.begins.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      g_stats.RecordAbort(status.abort_code);
+    }
+    return status;
+  }
+
+  TxContext& tx = tls_tx;
+  if (setjmp_result != 0) {
+    // An abort long-jumped back to the checkpoint; report it like xbegin
+    // reporting the abort status in EAX.
+    return BeginStatus{false, static_cast<AbortCode>(setjmp_result)};
+  }
+  if (tx.depth > 0) {
+    // Flat nesting (RTM semantics): the nested transaction subsumes into the
+    // outermost one; aborts roll back to the outermost checkpoint.
+    ++tx.depth;
+    return BeginStatus{true, AbortCode::kNone};
+  }
+  tx.depth = 1;
+  tx.env = env;
+  tx.rv = GlobalClock().load(std::memory_order_acquire);
+  tx.ResetSets();
+  g_stats.begins.fetch_add(1, std::memory_order_relaxed);
+  return BeginStatus{true, AbortCode::kNone};
+}
+
+void TxCommit() {
+  if (ActiveBackend() == Backend::kRtm) {
+    RtmCommit();
+    g_stats.commits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TxContext& tx = tls_tx;
+  assert(tx.depth > 0 && "TxCommit outside a transaction");
+  if (--tx.depth > 0) {
+    return;  // nested commit defers to the outermost (RTM behaviour)
+  }
+  tx.depth = 1;  // CommitOutermost may abort; keep state coherent until done
+  CommitOutermost(tx);
+}
+
+void TxAbort(AbortCode code) {
+  if (ActiveBackend() == Backend::kRtm) {
+    RtmAbort(code);
+  }
+  TxContext& tx = tls_tx;
+  assert(tx.depth > 0 && "TxAbort outside a transaction");
+  AbortInternal(tx, code);
+  // AbortInternal does not return.
+  std::abort();
+}
+
+uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
+  if (ActiveBackend() == Backend::kRtm) {
+    // Inside an RTM transaction the hardware versions this load; outside,
+    // it is a plain shared read.
+    return addr->load(std::memory_order_acquire);
+  }
+  TxContext& tx = tls_tx;
+  if (tx.depth == 0) {
+    // Non-transactional read with strong atomicity: a committer publishes
+    // its write set while holding the stripes, so waiting for an unlocked
+    // stripe guarantees we read the final committed value, never an
+    // in-flight one. (Real RTM commits atomically at xend, making this
+    // window impossible in hardware.)
+    const std::atomic<uint64_t>* stripe = StripeFor(addr);
+    while (StripeIsLocked(stripe->load(std::memory_order_acquire))) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    return addr->load(std::memory_order_acquire);
+  }
+
+  auto* mutable_addr = const_cast<std::atomic<uint64_t>*>(addr);
+  auto it = tx.write_index.find(mutable_addr);
+  if (it != tx.write_index.end()) {
+    return tx.writes[it->second].value;
+  }
+
+  std::atomic<uint64_t>* stripe = StripeFor(addr);
+  uint64_t w1 = stripe->load(std::memory_order_acquire);
+  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  uint64_t value = addr->load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t w2 = stripe->load(std::memory_order_relaxed);
+  if (w1 != w2) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+
+  if (tx.read_stripes_seen.insert(stripe).second) {
+    tx.reads.push_back({stripe, StripeVersion(w1)});
+  }
+  tx.read_lines.insert(CacheLineOf(addr));
+  if (tx.read_lines.size() > Config().read_capacity_lines) {
+    AbortInternal(tx, AbortCode::kCapacity);
+  }
+  MaybeSpuriousAbort(tx);
+  return value;
+}
+
+void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
+  if (ActiveBackend() == Backend::kRtm) {
+    if (RtmInTx()) {
+      addr->store(value, std::memory_order_relaxed);
+    } else {
+      addr->store(value, std::memory_order_release);
+    }
+    return;
+  }
+  TxContext& tx = tls_tx;
+  if (tx.depth == 0) {
+    // Strong atomicity: make the non-transactional store visible to
+    // concurrent transactions' validation. The new stripe version must come
+    // from the global clock so it exceeds every in-flight read version.
+    std::atomic<uint64_t>* stripe = StripeFor(addr);
+    uint64_t word = stripe->load(std::memory_order_relaxed);
+    while (true) {
+      if (StripeIsLocked(word)) {
+        word = stripe->load(std::memory_order_relaxed);
+        continue;
+      }
+      if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    addr->store(value, std::memory_order_relaxed);
+    uint64_t version =
+        GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    stripe->store(version << 1, std::memory_order_release);
+    return;
+  }
+
+  tx.write_lines.insert(CacheLineOf(addr));
+  if (tx.write_lines.size() > Config().write_capacity_lines) {
+    AbortInternal(tx, AbortCode::kCapacity);
+  }
+  auto [it, inserted] = tx.write_index.try_emplace(addr, tx.writes.size());
+  if (inserted) {
+    tx.writes.push_back({addr, value});
+  } else {
+    tx.writes[it->second].value = value;
+  }
+  MaybeSpuriousAbort(tx);
+}
+
+void StripeGuardedUpdate(const void* addr, void (*fn)(void*), void* arg) {
+  if (ActiveBackend() == Backend::kRtm) {
+    // Real RTM gets strong atomicity from cache coherence.
+    fn(arg);
+    return;
+  }
+  std::atomic<uint64_t>* stripe = StripeFor(addr);
+  uint64_t word = stripe->load(std::memory_order_relaxed);
+  while (true) {
+    if (StripeIsLocked(word)) {
+      word = stripe->load(std::memory_order_relaxed);
+      continue;
+    }
+    if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  fn(arg);
+  uint64_t version = GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  stripe->store(version << 1, std::memory_order_release);
+}
+
+}  // namespace gocc::htm

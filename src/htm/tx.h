@@ -1,0 +1,90 @@
+// Transaction API with RTM semantics.
+//
+// Two backends implement this API (selected at runtime, see config.h):
+//
+//  * SimTM — a TL2-style software transactional backend: lazy versioning
+//    (writes buffered until commit), per-read validation against a striped
+//    version-lock table, commit-time write-stripe locking + read-set
+//    validation, capacity aborts modelled on cache geometry, flat nesting
+//    (like RTM, an abort anywhere rolls back to the outermost begin).
+//  * RTM — real xbegin/xend/xabort (rtm_backend.cc) when the hardware probe
+//    succeeds; transactional loads/stores degrade to plain atomics because
+//    the hardware versions memory itself.
+//
+// Control-flow contract (mirrors xbegin): TxBegin records a checkpoint
+// (a setjmp env for SimTM, the hardware checkpoint for RTM). Any abort
+// transfers control back so that TxBegin appears to return again, this time
+// with `started == false` and the abort code. Use the GOCC_TX_BEGIN macro,
+// which plants the checkpoint in the caller's frame.
+//
+// CAUTION (SimTM only): locals modified between the checkpoint and an abort
+// have indeterminate values after the longjmp unless declared volatile, and
+// destructors of locals constructed after the checkpoint do not run on abort.
+// Critical sections must route shared data through htm::Shared<T> and avoid
+// owning heap allocations across abort points. Real RTM has the same
+// discipline for different reasons (no faulting/IO inside transactions).
+
+#ifndef GOCC_SRC_HTM_TX_H_
+#define GOCC_SRC_HTM_TX_H_
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+
+#include "src/htm/abort.h"
+#include "src/htm/config.h"
+
+namespace gocc::htm {
+
+// True while the calling thread has an open transaction.
+bool InTx();
+
+// Nesting depth of the calling thread's transaction (0 = none).
+int TxDepth();
+
+// Implementation detail of GOCC_TX_BEGIN: begins (or re-enters after abort)
+// a transaction. `setjmp_result` is the value setjmp returned: 0 on the
+// initial pass, an AbortCode on re-entry after a SimTM abort. `env` is the
+// caller-frame checkpoint to long-jump to on abort.
+BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env);
+
+// Commits the innermost transaction. For the outermost level this performs
+// write-stripe locking, read-set validation and write-back; on validation
+// failure it aborts (control returns to the checkpoint).
+void TxCommit();
+
+// Explicitly aborts the current transaction with `code`, rolling back all
+// buffered writes. Does not return to the call site.
+[[noreturn]] void TxAbort(AbortCode code);
+
+// Transactional load of a 64-bit cell. Outside a transaction this is a plain
+// acquire load.
+uint64_t TxLoad(const std::atomic<uint64_t>* addr);
+
+// Transactional store of a 64-bit cell. Outside a transaction the store is
+// stripe-guarded so concurrent transactions observe it (strong atomicity).
+void TxStore(std::atomic<uint64_t>* addr, uint64_t value);
+
+// Runs `fn` as a stripe-guarded non-transactional update of `addr`:
+// lock stripe -> fn() -> release stripe with a bumped version. Any in-flight
+// transaction that read `addr` will abort at (or before) commit. This is the
+// strong-atomicity hook gosync uses for mutex state-word transitions, which
+// fast-path transactions subscribe to.
+void StripeGuardedUpdate(const void* addr, void (*fn)(void*), void* arg);
+
+// Convenience overload for capturing lambdas.
+template <typename Fn>
+void StripeGuardedUpdate(const void* addr, Fn&& fn) {
+  StripeGuardedUpdate(
+      addr, [](void* raw) { (*static_cast<Fn*>(raw))(); }, &fn);
+}
+
+}  // namespace gocc::htm
+
+// Begins a transaction with the checkpoint in the *calling* frame.
+// Evaluates to a gocc::htm::BeginStatus. `env` must be a std::jmp_buf lvalue
+// in the caller's scope that outlives the transaction.
+#define GOCC_TX_BEGIN(env) \
+  (::gocc::htm::TxBeginImpl(setjmp(env), &(env)))
+
+#endif  // GOCC_SRC_HTM_TX_H_

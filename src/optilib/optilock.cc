@@ -1,0 +1,314 @@
+#include "src/optilib/optilock.h"
+
+#include <cassert>
+
+#include "src/gosync/runtime.h"
+#include "src/support/strings.h"
+
+namespace gocc::optilib {
+namespace {
+
+OptiConfig g_config;
+OptiStats g_stats;
+Perceptron g_perceptron;
+
+}  // namespace
+
+OptiConfig& MutableOptiConfig() { return g_config; }
+const OptiConfig& GetOptiConfig() { return g_config; }
+OptiStats& GlobalOptiStats() { return g_stats; }
+Perceptron& GlobalPerceptron() { return g_perceptron; }
+
+void OptiStats::Reset() {
+  fast_commits.store(0, std::memory_order_relaxed);
+  nested_fast_commits.store(0, std::memory_order_relaxed);
+  slow_acquires.store(0, std::memory_order_relaxed);
+  htm_attempts.store(0, std::memory_order_relaxed);
+  perceptron_slow_decisions.store(0, std::memory_order_relaxed);
+  perceptron_resets.store(0, std::memory_order_relaxed);
+  single_proc_bypasses.store(0, std::memory_order_relaxed);
+  mismatch_recoveries.store(0, std::memory_order_relaxed);
+}
+
+std::string OptiStats::ToString() const {
+  return StrFormat(
+      "fast_commits=%llu nested=%llu slow=%llu attempts=%llu "
+      "perceptron_slow=%llu perceptron_resets=%llu single_proc=%llu "
+      "mismatch=%llu",
+      static_cast<unsigned long long>(
+          fast_commits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          nested_fast_commits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          slow_acquires.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          htm_attempts.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          perceptron_slow_decisions.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          perceptron_resets.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          single_proc_bypasses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          mismatch_recoveries.load(std::memory_order_relaxed)));
+}
+
+void OptiLock::PrepareCommon() {
+  slow_path_ = false;
+  force_slow_ = false;
+  decision_made_ = false;
+  predicted_htm_ = false;
+  attempts_left_ = g_config.max_attempts;
+  conflict_retries_left_ = g_config.conflict_retries;
+}
+
+void OptiLock::PrepareMutex(gosync::Mutex* m) {
+  PrepareCommon();
+  target_ = m;
+  kind_ = Target::kMutex;
+}
+
+void OptiLock::PrepareRead(gosync::RWMutex* m) {
+  PrepareCommon();
+  target_ = m;
+  kind_ = Target::kRWRead;
+}
+
+void OptiLock::PrepareWrite(gosync::RWMutex* m) {
+  PrepareCommon();
+  target_ = m;
+  kind_ = Target::kRWWrite;
+}
+
+void OptiLock::FastLockStep(int setjmp_code) {
+  if (setjmp_code != 0) {
+    HandleAbort(static_cast<htm::AbortCode>(setjmp_code));
+  }
+  AttemptLoop();
+}
+
+void OptiLock::HandleAbort(htm::AbortCode code) {
+  switch (code) {
+    case htm::AbortCode::kMutexMismatch:
+      // The code patch paired this FastLock with an unintended unlock point
+      // (e.g. hand-over-hand traversal). The transaction already rolled
+      // back every effect; recover by enforcing the slow path, which is
+      // behaviourally identical to the untransformed program (Appendix C).
+      g_stats.mismatch_recoveries.fetch_add(1, std::memory_order_relaxed);
+      force_slow_ = true;
+      return;
+    case htm::AbortCode::kLockHeld:
+      // Retryable: the slow-path holder will release (Listing 19 retries
+      // LockHeld aborts while trials remain).
+      if (attempts_left_-- <= 0) {
+        force_slow_ = true;
+      }
+      return;
+    default:
+      // Conflict, capacity, explicit, spurious: the paper falls back to the
+      // lock immediately; conflict_retries (default 0) relaxes this for the
+      // ablation study.
+      if (conflict_retries_left_-- <= 0) {
+        force_slow_ = true;
+      }
+      return;
+  }
+}
+
+void OptiLock::AttemptLoop() {
+  const OptiConfig& cfg = g_config;
+  while (true) {
+    if (htm::InTx()) {
+      // Already executing transactionally (nested transformed critical
+      // section). Subsume into the enclosing transaction — RTM flattening —
+      // and subscribe to this lock too. Taking a real lock inside a
+      // transaction is never attempted.
+      htm::TxBeginImpl(0, &env_);
+      SubscribeOrAbort();
+      slow_path_ = false;
+      return;
+    }
+    if (force_slow_) {
+      TakeSlowPath();
+      return;
+    }
+    if (!decision_made_) {
+      decision_made_ = true;
+      if (cfg.single_proc_bypass && gosync::MaxProcs() <= 1) {
+        // §5.4.2: with a single P there is no concurrency to exploit and
+        // HTM's begin/commit overhead is pure loss.
+        g_stats.single_proc_bypasses.fetch_add(1, std::memory_order_relaxed);
+        TakeSlowPath();
+        return;
+      }
+      if (cfg.use_perceptron) {
+        indices_ = Perceptron::IndicesFor(target_, this);
+        if (!g_perceptron.Predict(indices_)) {
+          g_stats.perceptron_slow_decisions.fetch_add(
+              1, std::memory_order_relaxed);
+          if (g_perceptron.NoteSlowDecision(indices_)) {
+            g_stats.perceptron_resets.fetch_add(1, std::memory_order_relaxed);
+          }
+          TakeSlowPath();
+          return;
+        }
+      }
+      predicted_htm_ = true;
+    }
+
+    // Wait for the elided lock to become available before starting the
+    // transaction — beginning while it is held guarantees an abort.
+    for (int i = 0; i < cfg.spin_pauses_while_locked && TargetHeld(); ++i) {
+      gosync::CpuPause();
+    }
+
+    g_stats.htm_attempts.fetch_add(1, std::memory_order_relaxed);
+    htm::BeginStatus status = htm::TxBeginImpl(0, &env_);
+    if (!status.started) {
+      // The RTM backend reports aborts by re-returning here; SimTM reports
+      // them through the setjmp checkpoint instead (FastLockStep).
+      HandleAbort(status.abort_code);
+      continue;
+    }
+    SubscribeOrAbort();
+    slow_path_ = false;
+    return;
+  }
+}
+
+void OptiLock::TakeSlowPath() {
+  slow_path_ = true;
+  g_stats.slow_acquires.fetch_add(1, std::memory_order_relaxed);
+  switch (kind_) {
+    case Target::kMutex:
+      AsMutex()->Lock();
+      return;
+    case Target::kRWRead:
+      AsRW()->RLock();
+      return;
+    case Target::kRWWrite:
+      AsRW()->Lock();
+      return;
+    case Target::kNone:
+      assert(false && "FastLock without a prepared target");
+      return;
+  }
+}
+
+void OptiLock::SubscribeOrAbort() {
+  switch (kind_) {
+    case Target::kMutex: {
+      uint64_t state = htm::TxLoad(AsMutex()->StateWord());
+      if ((state & gosync::Mutex::kLockedBit) != 0) {
+        htm::TxAbort(htm::AbortCode::kLockHeld);
+      }
+      return;
+    }
+    case Target::kRWRead: {
+      auto readers = static_cast<int64_t>(htm::TxLoad(AsRW()->ReaderCountWord()));
+      if (readers < 0) {  // writer pending or active
+        htm::TxAbort(htm::AbortCode::kLockHeld);
+      }
+      return;
+    }
+    case Target::kRWWrite: {
+      auto readers = static_cast<int64_t>(htm::TxLoad(AsRW()->ReaderCountWord()));
+      if (readers != 0) {  // active readers or a writer
+        htm::TxAbort(htm::AbortCode::kLockHeld);
+      }
+      return;
+    }
+    case Target::kNone:
+      assert(false && "subscription without a prepared target");
+      return;
+  }
+}
+
+bool OptiLock::TargetHeld() const {
+  switch (kind_) {
+    case Target::kMutex:
+      return AsMutex()->IsLocked();
+    case Target::kRWRead:
+      return AsRW()->ReaderCountValue() < 0;
+    case Target::kRWWrite:
+      return AsRW()->ReaderCountValue() != 0;
+    case Target::kNone:
+      return false;
+  }
+  return false;
+}
+
+void OptiLock::FinishFastEpisode() {
+  if (htm::InTx()) {
+    // Inner commit of a nested elision: defer bookkeeping to the outermost
+    // commit (and keep perceptron updates outside the transaction).
+    g_stats.nested_fast_commits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_stats.fast_commits.fetch_add(1, std::memory_order_relaxed);
+    if (predicted_htm_ && g_config.use_perceptron) {
+      g_perceptron.RewardHtm(indices_);
+    }
+  }
+  ResetEpisode();
+}
+
+void OptiLock::FinishSlowEpisode() {
+  if (predicted_htm_ && g_config.use_perceptron) {
+    // The perceptron said HTM but the episode ended on the lock: penalize
+    // (Listing 19: "if htm fails, decrease perceptron weights").
+    g_perceptron.PenalizeHtm(indices_);
+  }
+  ResetEpisode();
+}
+
+void OptiLock::ResetEpisode() {
+  target_ = nullptr;
+  kind_ = Target::kNone;
+  slow_path_ = false;
+  force_slow_ = false;
+  decision_made_ = false;
+  predicted_htm_ = false;
+}
+
+void OptiLock::FastUnlock(gosync::Mutex* m) {
+  if (slow_path_) {
+    // Unlock the mutex the program passed (identical to the untransformed
+    // code even when it differs from the one recorded at FastLock).
+    m->Unlock();
+    FinishSlowEpisode();
+    return;
+  }
+  if (kind_ != Target::kMutex || m != AsMutex()) {
+    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  }
+  htm::TxCommit();  // validation failure re-enters FastLock via the checkpoint
+  FinishFastEpisode();
+}
+
+void OptiLock::FastRUnlock(gosync::RWMutex* m) {
+  if (slow_path_) {
+    m->RUnlock();
+    FinishSlowEpisode();
+    return;
+  }
+  if (kind_ != Target::kRWRead || m != AsRW()) {
+    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  }
+  htm::TxCommit();
+  FinishFastEpisode();
+}
+
+void OptiLock::FastWUnlock(gosync::RWMutex* m) {
+  if (slow_path_) {
+    m->Unlock();
+    FinishSlowEpisode();
+    return;
+  }
+  if (kind_ != Target::kRWWrite || m != AsRW()) {
+    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  }
+  htm::TxCommit();
+  FinishFastEpisode();
+}
+
+}  // namespace gocc::optilib

@@ -1,0 +1,215 @@
+// OptiLock — the paper's adaptive transactional lock-elision runtime (§5.4,
+// Appendix D).
+//
+// A transformed critical section declares a stack OptiLock and brackets the
+// region with FastLock/FastUnlock. FastLock consults the perceptron, then
+// either (a) starts a hardware transaction that *subscribes* to the elided
+// lock word — any slow-path acquisition aborts the transaction, preserving
+// mutual exclusion — or (b) falls back to acquiring the original lock.
+// FastUnlock commits (fast path) or unlocks (slow path), verifies the mutex
+// passed in matches the one recorded at FastLock (recovering from
+// programmer-unintended pairings such as hand-over-hand locking, §5.2.3),
+// and trains the perceptron.
+//
+// Two equivalent embeddings are provided:
+//
+//   gocc::optilib::OptiLock ol;              // paper-textual shape
+//   OPTI_FAST_LOCK(ol, &mu);
+//   ... critical section ...
+//   ol.FastUnlock(&mu);
+//
+//   ol.WithLock(&mu, [&] { ... });           // idiomatic C++
+//
+// The macro plants the transaction checkpoint (setjmp for SimTM; real RTM
+// uses its hardware checkpoint) in the caller's frame so an abort anywhere
+// in the critical section re-executes it. The SimTM caveats from htm/tx.h
+// apply to code between FastLock and FastUnlock.
+//
+// An OptiLock holds goroutine-local episode state and must not be shared by
+// concurrent critical sections; declare it on the stack of each goroutine
+// (the transformer does exactly this, § 5.3 "anonymous goroutines").
+
+#ifndef GOCC_SRC_OPTILIB_OPTILOCK_H_
+#define GOCC_SRC_OPTILIB_OPTILOCK_H_
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+#include <string>
+
+#include "src/gosync/mutex.h"
+#include "src/gosync/rwmutex.h"
+#include "src/htm/abort.h"
+#include "src/htm/tx.h"
+#include "src/optilib/perceptron.h"
+
+namespace gocc::optilib {
+
+// Runtime policy knobs (defaults follow the paper; the ablation benchmarks
+// sweep them).
+struct OptiConfig {
+  // Gate HTM attempts behind the hashed perceptron (§5.4.1).
+  bool use_perceptron = true;
+  // Skip HTM entirely when GOMAXPROCS==1 (§5.4.2).
+  bool single_proc_bypass = true;
+  // Retries after a LockHeld abort (Listing 19's MAX_ATTEMPTS).
+  int max_attempts = 3;
+  // Extra retries after conflict/capacity/spurious aborts (paper: 0 — any
+  // non-LockHeld abort falls back to the lock immediately).
+  int conflict_retries = 0;
+  // Bounded pause-spin while the elided lock is held before starting a
+  // transaction (Listing 19: "spin with pause till lock held").
+  int spin_pauses_while_locked = 512;
+};
+
+OptiConfig& MutableOptiConfig();
+const OptiConfig& GetOptiConfig();
+
+struct OptiStats {
+  std::atomic<uint64_t> fast_commits{0};
+  std::atomic<uint64_t> nested_fast_commits{0};
+  std::atomic<uint64_t> slow_acquires{0};
+  std::atomic<uint64_t> htm_attempts{0};
+  std::atomic<uint64_t> perceptron_slow_decisions{0};
+  std::atomic<uint64_t> perceptron_resets{0};
+  std::atomic<uint64_t> single_proc_bypasses{0};
+  std::atomic<uint64_t> mismatch_recoveries{0};
+
+  void Reset();
+  std::string ToString() const;
+};
+
+OptiStats& GlobalOptiStats();
+
+class OptiLock {
+ public:
+  OptiLock() = default;
+  OptiLock(const OptiLock&) = delete;
+  OptiLock& operator=(const OptiLock&) = delete;
+
+  // --- unlock half of the paper-textual API ---
+  void FastUnlock(gosync::Mutex* m);
+  // RWMutex variants: reader elision (paper §5.1: "an RWMutex is no
+  // different from a Mutex, except it offers additional APIs for read-only
+  // accesses").
+  void FastRUnlock(gosync::RWMutex* m);
+  void FastWUnlock(gosync::RWMutex* m);
+
+  // --- lambda embeddings ---
+  template <typename Fn>
+  void WithLock(gosync::Mutex* m, Fn&& fn);
+  template <typename Fn>
+  void WithRLock(gosync::RWMutex* m, Fn&& fn);
+  template <typename Fn>
+  void WithWLock(gosync::RWMutex* m, Fn&& fn);
+
+  // True when the current episode fell back to the original lock.
+  bool on_slow_path() const { return slow_path_; }
+
+  // --- implementation hooks for the OPTI_FAST_* macros (not public API) ---
+  std::jmp_buf& CheckpointEnv() { return env_; }
+  void PrepareMutex(gosync::Mutex* m);
+  void PrepareRead(gosync::RWMutex* m);
+  void PrepareWrite(gosync::RWMutex* m);
+  // Runs after the checkpoint: `setjmp_code` is 0 on first entry or the
+  // AbortCode delivered by a SimTM abort. Returns with either a transaction
+  // open (fast path) or the original lock held (slow path).
+  void FastLockStep(int setjmp_code);
+
+ private:
+  enum class Target : uint8_t { kNone, kMutex, kRWRead, kRWWrite };
+
+  void PrepareCommon();
+  void AttemptLoop();
+  void HandleAbort(htm::AbortCode code);
+  void TakeSlowPath();
+  // Transactionally reads the elided lock word (adding it to the read set)
+  // and aborts with LockHeld if the lock is unavailable.
+  void SubscribeOrAbort();
+  bool TargetHeld() const;
+  void FinishFastEpisode();
+  void FinishSlowEpisode();
+  void ResetEpisode();
+
+  gosync::Mutex* AsMutex() const {
+    return static_cast<gosync::Mutex*>(target_);
+  }
+  gosync::RWMutex* AsRW() const {
+    return static_cast<gosync::RWMutex*>(target_);
+  }
+
+  std::jmp_buf env_;
+  void* target_ = nullptr;
+  Target kind_ = Target::kNone;
+  // The paper's OptiLock fields: slowPath and lkMutex (target_ doubles as
+  // lkMutex; the mismatch check compares against it).
+  bool slow_path_ = false;
+  bool force_slow_ = false;
+  bool decision_made_ = false;
+  bool predicted_htm_ = false;
+  int attempts_left_ = 0;
+  int conflict_retries_left_ = 0;
+  Perceptron::Indices indices_{0, 0};
+};
+
+template <typename Fn>
+void OptiLock::WithLock(gosync::Mutex* m, Fn&& fn) {
+  PrepareMutex(m);
+  {
+    int checkpoint = setjmp(env_);
+    FastLockStep(checkpoint);
+  }
+  fn();
+  FastUnlock(m);
+}
+
+template <typename Fn>
+void OptiLock::WithRLock(gosync::RWMutex* m, Fn&& fn) {
+  PrepareRead(m);
+  {
+    int checkpoint = setjmp(env_);
+    FastLockStep(checkpoint);
+  }
+  fn();
+  FastRUnlock(m);
+}
+
+template <typename Fn>
+void OptiLock::WithWLock(gosync::RWMutex* m, Fn&& fn) {
+  PrepareWrite(m);
+  {
+    int checkpoint = setjmp(env_);
+    FastLockStep(checkpoint);
+  }
+  fn();
+  FastWUnlock(m);
+}
+
+}  // namespace gocc::optilib
+
+// Paper-textual lock elision: replaces `m->Lock()`. Pair with
+// `ol.FastUnlock(m)`. The enclosing frame must stay live until the unlock.
+#define OPTI_FAST_LOCK(ol, mutex_ptr)                 \
+  do {                                                \
+    (ol).PrepareMutex(mutex_ptr);                     \
+    int gocc_checkpoint_ = setjmp((ol).CheckpointEnv()); \
+    (ol).FastLockStep(gocc_checkpoint_);              \
+  } while (false)
+
+// Replaces `rw->RLock()`. Pair with `ol.FastRUnlock(rw)`.
+#define OPTI_FAST_RLOCK(ol, rw_ptr)                   \
+  do {                                                \
+    (ol).PrepareRead(rw_ptr);                         \
+    int gocc_checkpoint_ = setjmp((ol).CheckpointEnv()); \
+    (ol).FastLockStep(gocc_checkpoint_);              \
+  } while (false)
+
+// Replaces `rw->Lock()`. Pair with `ol.FastWUnlock(rw)`.
+#define OPTI_FAST_WLOCK(ol, rw_ptr)                   \
+  do {                                                \
+    (ol).PrepareWrite(rw_ptr);                        \
+    int gocc_checkpoint_ = setjmp((ol).CheckpointEnv()); \
+    (ol).FastLockStep(gocc_checkpoint_);              \
+  } while (false)
+
+#endif  // GOCC_SRC_OPTILIB_OPTILOCK_H_

@@ -1,0 +1,142 @@
+// Hashed-perceptron HTM/lock predictor (§5.4.1).
+//
+// Two 4096-entry global weight tables (GWT). Features, exactly as in the
+// paper: (a) the Mutex address XOR'd with the OptiLock address (the XOR
+// de-conflicts updates to the same Mutex from different goroutines), and
+// (b) the OptiLock address alone, standing in for the calling context.
+// Prediction sums the two indexed weights; >= 0 means "use HTM". Weights
+// saturate in [-16, 15]. Reads and updates are deliberately racy relaxed
+// atomics — "perfection is not required here, but high-performance is".
+//
+// Weight decay: each cell counts consecutive perceptron-directed slow-path
+// decisions; at the threshold (1000) the cell resets so HTM is re-probed
+// after a phase change.
+
+#ifndef GOCC_SRC_OPTILIB_PERCEPTRON_H_
+#define GOCC_SRC_OPTILIB_PERCEPTRON_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gocc::optilib {
+
+class Perceptron {
+ public:
+  static constexpr uint32_t kTableSize = 4096;
+  static constexpr int32_t kWeightMin = -16;
+  static constexpr int32_t kWeightMax = 15;
+  static constexpr uint32_t kDecayThreshold = 1000;
+
+  struct Indices {
+    uint32_t mutex_cell;    // index into the mutex-feature table
+    uint32_t context_cell;  // index into the calling-context table
+  };
+
+  // Computes the two table indices for a (mutex, call site) pair.
+  static Indices IndicesFor(const void* mutex, const void* opti_lock) {
+    auto m = reinterpret_cast<uintptr_t>(mutex);
+    auto c = reinterpret_cast<uintptr_t>(opti_lock);
+    Indices idx;
+    idx.mutex_cell = Hash(m ^ c);
+    idx.context_cell = Hash(c);
+    return idx;
+  }
+
+  // True when the summed weights recommend attempting HTM.
+  bool Predict(Indices idx) const {
+    int32_t sum =
+        mutex_table_[idx.mutex_cell].weight.load(std::memory_order_relaxed) +
+        context_table_[idx.context_cell].weight.load(
+            std::memory_order_relaxed);
+    return sum >= 0;
+  }
+
+  // Rewards a correct HTM prediction (fast-path success): +1, saturating.
+  // Also clears the decay counters (paper: lockCounter = 0).
+  void RewardHtm(Indices idx) {
+    BumpWeight(mutex_table_[idx.mutex_cell], +1);
+    BumpWeight(context_table_[idx.context_cell], +1);
+    mutex_table_[idx.mutex_cell].slow_streak.store(0,
+                                                   std::memory_order_relaxed);
+    context_table_[idx.context_cell].slow_streak.store(
+        0, std::memory_order_relaxed);
+  }
+
+  // Penalizes an incorrect HTM prediction (HTM attempted, fell back): -1.
+  void PenalizeHtm(Indices idx) {
+    BumpWeight(mutex_table_[idx.mutex_cell], -1);
+    BumpWeight(context_table_[idx.context_cell], -1);
+  }
+
+  // Records a perceptron-directed slow-path decision; when a cell's streak
+  // reaches the threshold, the cell resets so HTM gets re-probed. Returns
+  // true if any cell was reset by this call.
+  bool NoteSlowDecision(Indices idx) {
+    bool reset = NoteSlowOnCell(mutex_table_[idx.mutex_cell]);
+    reset |= NoteSlowOnCell(context_table_[idx.context_cell]);
+    return reset;
+  }
+
+  // Summed weight for inspection by tests.
+  int32_t WeightSum(Indices idx) const {
+    return mutex_table_[idx.mutex_cell].weight.load(
+               std::memory_order_relaxed) +
+           context_table_[idx.context_cell].weight.load(
+               std::memory_order_relaxed);
+  }
+
+  // Zeroes every cell (benchmark isolation).
+  void Reset() {
+    for (uint32_t i = 0; i < kTableSize; ++i) {
+      mutex_table_[i].weight.store(0, std::memory_order_relaxed);
+      mutex_table_[i].slow_streak.store(0, std::memory_order_relaxed);
+      context_table_[i].weight.store(0, std::memory_order_relaxed);
+      context_table_[i].slow_streak.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<int32_t> weight{0};
+    std::atomic<uint32_t> slow_streak{0};
+  };
+
+  static uint32_t Hash(uintptr_t key) {
+    // OptiLocks are word-aligned; drop the dead low bits, then take the
+    // lower 12 bits as the paper does.
+    return static_cast<uint32_t>(key >> 4) & (kTableSize - 1);
+  }
+
+  static void BumpWeight(Cell& cell, int32_t delta) {
+    int32_t w = cell.weight.load(std::memory_order_relaxed);
+    int32_t next = w + delta;
+    if (next < kWeightMin) {
+      next = kWeightMin;
+    } else if (next > kWeightMax) {
+      next = kWeightMax;
+    }
+    // Racy store, as in the paper: lost updates are tolerated.
+    cell.weight.store(next, std::memory_order_relaxed);
+  }
+
+  static bool NoteSlowOnCell(Cell& cell) {
+    uint32_t streak =
+        cell.slow_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak >= kDecayThreshold) {
+      cell.weight.store(0, std::memory_order_relaxed);
+      cell.slow_streak.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  Cell mutex_table_[kTableSize];
+  Cell context_table_[kTableSize];
+};
+
+// The process-wide predictor used by OptiLock.
+Perceptron& GlobalPerceptron();
+
+}  // namespace gocc::optilib
+
+#endif  // GOCC_SRC_OPTILIB_PERCEPTRON_H_

@@ -1,0 +1,39 @@
+#include "src/profile/profile.h"
+
+#include "src/support/strings.h"
+
+namespace gocc::profile {
+
+StatusOr<Profile> Profile::Parse(std::string_view text) {
+  Profile profile;
+  int line_no = 0;
+  for (const std::string& raw_line : SplitLines(text)) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    // "funcKey fraction" separated by whitespace.
+    size_t split = line.find_last_of(" \t");
+    if (split == std::string_view::npos) {
+      return InvalidArgumentError(
+          StrFormat("profile line %d: expected 'func fraction'", line_no));
+    }
+    std::string key(StripWhitespace(line.substr(0, split)));
+    double fraction = 0.0;
+    if (!ParseDouble(line.substr(split + 1), &fraction) || fraction < 0.0 ||
+        fraction > 1.0) {
+      return InvalidArgumentError(StrFormat(
+          "profile line %d: fraction must be a number in [0,1]", line_no));
+    }
+    profile.fractions_[key] = fraction;
+  }
+  return profile;
+}
+
+double Profile::FractionOf(const std::string& func_key) const {
+  auto it = fractions_.find(func_key);
+  return it == fractions_.end() ? 0.0 : it->second;
+}
+
+}  // namespace gocc::profile

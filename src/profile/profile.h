@@ -1,0 +1,56 @@
+// Execution-profile model (§5.2.6).
+//
+// GOCC consumes Go pprof CPU profiles and keeps only critical sections in
+// functions accounting for >= 1% of execution time. This module models the
+// slice of pprof GOCC uses: a flat table of function -> inclusive-time
+// fraction, parsed from a simple text format:
+//
+//     # comment
+//     Cache.Get   0.42
+//     NewCache    0.003
+//
+// Fractions are of total execution time, in [0, 1].
+
+#ifndef GOCC_SRC_PROFILE_PROFILE_H_
+#define GOCC_SRC_PROFILE_PROFILE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/support/status.h"
+
+namespace gocc::profile {
+
+class Profile {
+ public:
+  // The paper's hotness threshold: 1% of total execution time.
+  static constexpr double kHotThreshold = 0.01;
+
+  Profile() = default;
+
+  // Parses the text format above.
+  static StatusOr<Profile> Parse(std::string_view text);
+
+  // Inclusive-time fraction for a function key ("Cache.Get"); 0 when the
+  // function never appeared in a sample.
+  double FractionOf(const std::string& func_key) const;
+
+  // Whether a function passes the >= 1% filter.
+  bool IsHot(const std::string& func_key) const {
+    return FractionOf(func_key) >= kHotThreshold;
+  }
+
+  void Set(const std::string& func_key, double fraction) {
+    fractions_[func_key] = fraction;
+  }
+
+  size_t size() const { return fractions_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> fractions_;
+};
+
+}  // namespace gocc::profile
+
+#endif  // GOCC_SRC_PROFILE_PROFILE_H_

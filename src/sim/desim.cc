@@ -1,0 +1,306 @@
+#include "src/sim/desim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gocc::sim {
+namespace {
+
+// Modelled perceptron site state (mirrors optilib::Perceptron for a single
+// (mutex, call site) pair).
+struct PerceptronState {
+  int weight = 0;
+  int slow_streak = 0;
+  int decay_threshold = 1000;
+
+  static constexpr int kMin = -32;
+  static constexpr int kMax = 31;
+
+  bool PredictHtm() const { return weight >= 0; }
+  void Reward() {
+    weight = std::min(weight + 1, kMax);
+    slow_streak = 0;
+  }
+  void Penalize() { weight = std::max(weight - 1, kMin); }
+  void NoteSlow(uint64_t* resets) {
+    if (++slow_streak >= decay_threshold) {
+      weight = 0;
+      slow_streak = 0;
+      ++(*resets);
+    }
+  }
+};
+
+struct CoreState {
+  enum class OpType { kNone, kTx, kLockCs };
+
+  double now = 0.0;        // core-local virtual time
+  double op_start = -1.0;  // interval of the last transaction or lock CS
+  double op_end = -1.0;
+  OpType op_type = OpType::kNone;
+  bool op_writes = false;
+  uint64_t ops = 0;
+};
+
+class Engine {
+ public:
+  Engine(const Scenario& s, int cores, RunMode mode,
+         const MachineParams& p, double window_ns, uint64_t seed)
+      : s_(s),
+        cores_(static_cast<size_t>(cores)),
+        mode_(mode),
+        p_(p),
+        window_ns_(window_ns),
+        rng_(seed) {
+    perceptron_.decay_threshold = p_.perceptron_decay;
+  }
+
+  SimResult Run() {
+    std::vector<CoreState> core(cores_);
+    while (true) {
+      // Advance the globally earliest core one operation.
+      size_t c = 0;
+      for (size_t i = 1; i < cores_; ++i) {
+        if (core[i].now < core[c].now) {
+          c = i;
+        }
+      }
+      if (core[c].now >= window_ns_) {
+        break;
+      }
+      Step(core, c);
+    }
+    SimResult result = stats_;
+    double wall = 0.0;
+    for (const CoreState& cs : core) {
+      result.total_ops += cs.ops;
+      wall = std::max(wall, std::min(cs.now, window_ns_));
+    }
+    if (result.total_ops > 0) {
+      result.ns_per_op = wall / static_cast<double>(result.total_ops);
+    }
+    return result;
+  }
+
+ private:
+  // Service time of one access to a contended line with k active sharers.
+  double LineAccess(size_t sharers) const {
+    return p_.line_base_ns +
+           p_.line_hop_ns * static_cast<double>(sharers > 0 ? sharers - 1 : 0);
+  }
+
+  // Acquires the (single) shared lock line at local time t; returns the
+  // completion time. The line is a serial resource.
+  double AccessLockLine(double t) {
+    double start = std::max(t, line_free_at_);
+    double done = start + LineAccess(cores_);
+    line_free_at_ = done;
+    return done;
+  }
+
+  // Runs one op on the lock path starting at time t; returns end time and
+  // records the op's interval so overlapping transactions abort (the
+  // lock-word subscription: a slow-path acquisition kills concurrent
+  // transactions on the same lock).
+  double LockPathOp(std::vector<CoreState>& core, size_t c, double t,
+                    bool writes) {
+    CoreState& self = core[c];
+    double first_start = t;
+    double end = t;
+    for (int trip = 0; trip < s_.lock_round_trips; ++trip) {
+      switch (s_.kind) {
+        case LockKind::kRWRead: {
+          // RLock RMW -> CS in parallel -> RUnlock RMW.
+          double cs_start = AccessLockLine(end);
+          end = AccessLockLine(cs_start + s_.cs_ns);
+          if (trip == 0) {
+            first_start = end - s_.cs_ns;
+          }
+          break;
+        }
+        case LockKind::kMutex:
+        case LockKind::kRWWrite: {
+          // Acquire RMW, hold exclusively for the CS, release RMW.
+          double acquire_done = AccessLockLine(end);
+          double start = std::max(acquire_done, mutex_free_at_);
+          end = start + s_.cs_ns + LineAccess(cores_);
+          mutex_free_at_ = end;
+          if (trip == 0) {
+            first_start = start;
+          }
+          break;
+        }
+      }
+    }
+    self.op_start = first_start;
+    self.op_end = end;
+    self.op_type = CoreState::OpType::kLockCs;
+    self.op_writes = writes;
+    return end;
+  }
+
+  bool OpWrites() {
+    if (s_.write_prob <= 0.0) {
+      return false;
+    }
+    return rng_.NextBool(s_.write_prob);
+  }
+
+  enum class AbortCause { kNone, kLockHeld, kDataConflict };
+
+  // Classifies why a transaction on core c spanning [start, end) would
+  // abort, given other cores' in-flight operations:
+  //  * overlap with a lock-path critical section on the same lock aborts
+  //    (subscription to the elided lock word) — retryable once the holder
+  //    releases (Listing 19 spins and retries LockHeld aborts);
+  //  * overlap with another transaction aborts when either writes the
+  //    shared lines (data conflict) — falls back to the lock.
+  // For LockHeld, `release_at` reports when the blocking lock CS ends.
+  AbortCause Classify(const std::vector<CoreState>& core, size_t c,
+                      double start, double end, bool writes,
+                      double* release_at) {
+    AbortCause cause = AbortCause::kNone;
+    for (size_t i = 0; i < cores_; ++i) {
+      if (i == c) {
+        continue;
+      }
+      const CoreState& other = core[i];
+      if (other.op_type == CoreState::OpType::kNone) {
+        continue;
+      }
+      bool overlap = other.op_start < end && start < other.op_end;
+      if (!overlap) {
+        continue;
+      }
+      if (other.op_type == CoreState::OpType::kLockCs) {
+        cause = AbortCause::kLockHeld;
+        *release_at = std::max(*release_at, other.op_end);
+        // Keep scanning: a data conflict elsewhere dominates (no point
+        // retrying if a writer tx also overlaps).
+        continue;
+      }
+      if (s_.shared_write_lines > 0 && (writes || other.op_writes)) {
+        // A temporal overlap only conflicts if the other side's write to
+        // the shared lines lands inside our window: scale by the overlap
+        // fraction (longer overlaps and more writers => more conflicts,
+        // which is what makes conflict rates grow with core count).
+        double overlap_ns = std::min(end, other.op_end) -
+                            std::max(start, other.op_start);
+        double p = overlap_ns / std::max(end - start, 1.0);
+        if (rng_.NextBool(p)) {
+          return AbortCause::kDataConflict;
+        }
+      }
+    }
+    return cause;
+  }
+
+  void Step(std::vector<CoreState>& core, size_t c) {
+    CoreState& self = core[c];
+    double t = self.now + s_.outside_ns;
+
+    bool writes = OpWrites();
+
+    if (mode_ == RunMode::kLockBaseline || cores_ <= 1 || !s_.transformed) {
+      // cores_ <= 1: optiLib's single-P bypass (§5.4.2) routes every elided
+      // episode to the original lock, so elided == baseline at one core.
+      // Untransformed sites never elide in any build.
+      self.now = LockPathOp(core, c, t, writes);
+      ++self.ops;
+      return;
+    }
+
+    const bool use_perceptron = mode_ == RunMode::kElided;
+    if (use_perceptron && !perceptron_.PredictHtm()) {
+      ++stats_.perceptron_slow;
+      perceptron_.NoteSlow(&decay_resets_);
+      self.now = LockPathOp(core, c, t, writes);
+      ++self.ops;
+      return;
+    }
+
+    // HTM attempts: LockHeld aborts spin-and-retry (bounded, Listing 19);
+    // conflict/capacity aborts fall back to the lock immediately.
+    const bool capacity_doomed =
+        writes && s_.write_footprint_lines > p_.write_capacity_lines;
+    const int max_lock_held_retries = p_.lock_held_retries;
+    for (int attempt = 0; ; ++attempt) {
+      double start = t;
+      double end = start + (p_.htm_begin_commit_ns + s_.cs_ns) *
+                               static_cast<double>(s_.lock_round_trips);
+      double release_at = 0.0;
+      AbortCause cause = capacity_doomed
+                             ? AbortCause::kDataConflict
+                             : Classify(core, c, start, end, writes,
+                                        &release_at);
+      if (cause == AbortCause::kNone) {
+        self.op_start = start;
+        self.op_end = end;
+        self.op_type = CoreState::OpType::kTx;
+        self.op_writes = writes && s_.shared_write_lines > 0;
+        ++stats_.htm_commits;
+        if (use_perceptron) {
+          perceptron_.Reward();
+        }
+        self.now = end;
+        ++self.ops;
+        return;
+      }
+      ++stats_.htm_aborts;
+      if (cause == AbortCause::kLockHeld && attempt < max_lock_held_retries) {
+        // Spin with pause until the holder releases, then retry.
+        t = std::max(t + p_.htm_abort_penalty_ns, release_at);
+        continue;
+      }
+      // Fall back to the original lock. The failed speculation polluted
+      // the coherence state the lock holder depends on.
+      self.op_type = CoreState::OpType::kNone;
+      t = start + p_.htm_abort_penalty_ns;
+      mutex_free_at_ += p_.abort_interference_ns;
+      ++stats_.fallbacks;
+      if (use_perceptron) {
+        perceptron_.Penalize();
+      }
+      self.now = LockPathOp(core, c, t, writes);
+      ++self.ops;
+      return;
+    }
+  }
+
+  const Scenario& s_;
+  size_t cores_;
+  RunMode mode_;
+  MachineParams p_;
+  double window_ns_;
+  SplitMix64 rng_;
+
+  double line_free_at_ = 0.0;
+  double mutex_free_at_ = 0.0;
+  PerceptronState perceptron_;
+  uint64_t decay_resets_ = 0;
+  SimResult stats_;
+};
+
+}  // namespace
+
+SimResult Simulate(const Scenario& scenario, int cores, RunMode mode,
+                   const MachineParams& params, double window_us,
+                   uint64_t seed) {
+  Engine engine(scenario, cores, mode, params, window_us * 1000.0, seed);
+  return engine.Run();
+}
+
+double SpeedupVsLock(const Scenario& scenario, int cores,
+                     const MachineParams& params, bool perceptron) {
+  SimResult lock = Simulate(scenario, cores, RunMode::kLockBaseline, params);
+  SimResult htm = Simulate(scenario, cores,
+                           perceptron ? RunMode::kElided
+                                      : RunMode::kElidedNoPerceptron,
+                           params);
+  if (htm.ns_per_op <= 0.0 || lock.ns_per_op <= 0.0) {
+    return 0.0;
+  }
+  return (lock.ns_per_op / htm.ns_per_op - 1.0) * 100.0;
+}
+
+}  // namespace gocc::sim

@@ -1,0 +1,185 @@
+#include "src/support/diff.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace gocc {
+namespace {
+
+// Classic LCS dynamic program over lines. Corpus files are small (hundreds of
+// lines), so the quadratic table is fine; guard against pathological inputs by
+// falling back to a whole-file replacement beyond the cap.
+constexpr size_t kMaxLcsCells = 16u * 1024u * 1024u;
+
+std::vector<DiffLine> WholeFileReplacement(const std::vector<std::string>& a,
+                                           const std::vector<std::string>& b) {
+  std::vector<DiffLine> script;
+  script.reserve(a.size() + b.size());
+  for (const std::string& line : a) {
+    script.push_back({DiffOp::kDelete, line});
+  }
+  for (const std::string& line : b) {
+    script.push_back({DiffOp::kInsert, line});
+  }
+  return script;
+}
+
+}  // namespace
+
+std::vector<DiffLine> DiffLines(std::string_view before,
+                                std::string_view after) {
+  std::vector<std::string> a = SplitLines(before);
+  std::vector<std::string> b = SplitLines(after);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n * m > kMaxLcsCells) {
+    return WholeFileReplacement(a, b);
+  }
+
+  // lcs[i][j] = LCS length of a[i:] and b[j:].
+  std::vector<std::vector<int>> lcs(n + 1, std::vector<int>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      if (a[i] == b[j]) {
+        lcs[i][j] = lcs[i + 1][j + 1] + 1;
+      } else {
+        lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+      }
+    }
+  }
+
+  std::vector<DiffLine> script;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      script.push_back({DiffOp::kEqual, a[i]});
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      script.push_back({DiffOp::kDelete, a[i]});
+      ++i;
+    } else {
+      script.push_back({DiffOp::kInsert, b[j]});
+      ++j;
+    }
+  }
+  for (; i < n; ++i) {
+    script.push_back({DiffOp::kDelete, a[i]});
+  }
+  for (; j < m; ++j) {
+    script.push_back({DiffOp::kInsert, b[j]});
+  }
+  return script;
+}
+
+std::string UnifiedDiff(std::string_view before_label,
+                        std::string_view after_label, std::string_view before,
+                        std::string_view after, int context) {
+  std::vector<DiffLine> script = DiffLines(before, after);
+  bool any_change = false;
+  for (const DiffLine& line : script) {
+    if (line.op != DiffOp::kEqual) {
+      any_change = true;
+      break;
+    }
+  }
+  if (!any_change) {
+    return "";
+  }
+
+  // Group changes into hunks separated by more than 2*context equal lines.
+  struct Hunk {
+    size_t first;  // index into script
+    size_t last;   // inclusive
+  };
+  std::vector<Hunk> hunks;
+  size_t idx = 0;
+  while (idx < script.size()) {
+    if (script[idx].op == DiffOp::kEqual) {
+      ++idx;
+      continue;
+    }
+    size_t start = idx;
+    size_t end = idx;
+    size_t scan = idx;
+    size_t equal_run = 0;
+    while (scan < script.size()) {
+      if (script[scan].op == DiffOp::kEqual) {
+        ++equal_run;
+        if (equal_run > static_cast<size_t>(2 * context)) {
+          break;
+        }
+      } else {
+        equal_run = 0;
+        end = scan;
+      }
+      ++scan;
+    }
+    hunks.push_back({start, end});
+    idx = end + 1;
+  }
+
+  std::string out;
+  out += StrFormat("--- %.*s\n", static_cast<int>(before_label.size()),
+                   before_label.data());
+  out += StrFormat("+++ %.*s\n", static_cast<int>(after_label.size()),
+                   after_label.data());
+
+  // Compute original/updated line numbers for each script position.
+  std::vector<size_t> a_line(script.size() + 1);
+  std::vector<size_t> b_line(script.size() + 1);
+  size_t al = 1;
+  size_t bl = 1;
+  for (size_t k = 0; k < script.size(); ++k) {
+    a_line[k] = al;
+    b_line[k] = bl;
+    if (script[k].op != DiffOp::kInsert) {
+      ++al;
+    }
+    if (script[k].op != DiffOp::kDelete) {
+      ++bl;
+    }
+  }
+  a_line[script.size()] = al;
+  b_line[script.size()] = bl;
+
+  for (const Hunk& hunk : hunks) {
+    size_t lo = hunk.first >= static_cast<size_t>(context)
+                    ? hunk.first - static_cast<size_t>(context)
+                    : 0;
+    size_t hi = std::min(hunk.last + static_cast<size_t>(context),
+                         script.size() - 1);
+    size_t a_count = 0;
+    size_t b_count = 0;
+    for (size_t k = lo; k <= hi; ++k) {
+      if (script[k].op != DiffOp::kInsert) {
+        ++a_count;
+      }
+      if (script[k].op != DiffOp::kDelete) {
+        ++b_count;
+      }
+    }
+    out += StrFormat("@@ -%zu,%zu +%zu,%zu @@\n", a_line[lo], a_count,
+                     b_line[lo], b_count);
+    for (size_t k = lo; k <= hi; ++k) {
+      switch (script[k].op) {
+        case DiffOp::kEqual:
+          out += " ";
+          break;
+        case DiffOp::kDelete:
+          out += "-";
+          break;
+        case DiffOp::kInsert:
+          out += "+";
+          break;
+      }
+      out += script[k].text;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gocc

@@ -1,0 +1,34 @@
+// Unified-diff generation.
+//
+// GOCC's end product is a source-code patch shown to the developer (Figure 1
+// in the paper). This module renders the patch between the original and the
+// transformed mini-Go source.
+
+#ifndef GOCC_SRC_SUPPORT_DIFF_H_
+#define GOCC_SRC_SUPPORT_DIFF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gocc {
+
+enum class DiffOp { kEqual, kDelete, kInsert };
+
+struct DiffLine {
+  DiffOp op;
+  std::string text;
+};
+
+// Line-level diff script (LCS-based) turning `before` into `after`.
+std::vector<DiffLine> DiffLines(std::string_view before, std::string_view after);
+
+// Renders a unified diff with the given file labels and `context` lines of
+// context. Returns an empty string when the inputs are identical.
+std::string UnifiedDiff(std::string_view before_label,
+                        std::string_view after_label, std::string_view before,
+                        std::string_view after, int context = 3);
+
+}  // namespace gocc
+
+#endif  // GOCC_SRC_SUPPORT_DIFF_H_

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// The discrete-event simulator and the property-based tests need repeatable
+// randomness that does not depend on libstdc++'s distribution implementations,
+// so results are stable across toolchains.
+
+#ifndef GOCC_SRC_SUPPORT_RNG_H_
+#define GOCC_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace gocc {
+
+// SplitMix64: tiny, fast, and statistically solid for simulation use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gocc
+
+#endif  // GOCC_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,74 @@
+// Summary statistics used by the benchmark harness and EXPERIMENTS reporting.
+
+#ifndef GOCC_SRC_SUPPORT_STATS_H_
+#define GOCC_SRC_SUPPORT_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace gocc {
+
+// Geometric mean of positive samples; returns 0 for an empty input.
+inline double GeoMean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double s : samples) {
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+// Median (by copy); returns 0 for an empty input.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  double hi = samples[mid];
+  if (samples.size() % 2 == 1) {
+    return hi;
+  }
+  std::nth_element(samples.begin(), samples.begin() + mid - 1, samples.end());
+  return (samples[mid - 1] + hi) / 2.0;
+}
+
+// Percentage speedup of `optimized` over `baseline` where both are costs
+// (lower is better): +100 means twice as fast; negative means a regression.
+inline double SpeedupPercent(double baseline_cost, double optimized_cost) {
+  if (optimized_cost <= 0.0) {
+    return 0.0;
+  }
+  return (baseline_cost / optimized_cost - 1.0) * 100.0;
+}
+
+// Online mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace gocc
+
+#endif  // GOCC_SRC_SUPPORT_STATS_H_

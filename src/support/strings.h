@@ -1,0 +1,42 @@
+// Small string utilities shared by the frontend, analyzer and report tools.
+
+#ifndef GOCC_SRC_SUPPORT_STRINGS_H_
+#define GOCC_SRC_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gocc {
+
+// Splits `text` on `sep`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Splits `text` into lines; a trailing newline does not create a final empty
+// line.
+std::vector<std::string> SplitLines(std::string_view text);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace gocc
+
+#endif  // GOCC_SRC_SUPPORT_STRINGS_H_

@@ -1,0 +1,229 @@
+#include "src/transform/transformer.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "src/gosrc/printer.h"
+#include "src/support/diff.h"
+#include "src/support/strings.h"
+
+namespace gocc::transform {
+
+using analysis::FuncScope;
+using analysis::LUPair;
+using gosrc::Arena;
+using gosrc::AssignStmt;
+using gosrc::Block;
+using gosrc::CallExpr;
+using gosrc::CompositeLit;
+using gosrc::Expr;
+using gosrc::FuncDecl;
+using gosrc::Ident;
+using gosrc::LockOp;
+using gosrc::LockOpKind;
+using gosrc::NamedType;
+using gosrc::ParsedFile;
+using gosrc::SelectorExpr;
+using gosrc::Stmt;
+using gosrc::StructInfo;
+using gosrc::Tok;
+using gosrc::TypeInfo;
+using gosrc::TypeRef;
+using gosrc::UnaryExpr;
+
+namespace {
+
+constexpr char kOptilibImport[] = "optilib";
+
+// Finds the file containing a function declaration.
+ParsedFile* FileOf(gosrc::Program* program, const FuncDecl* func) {
+  for (ParsedFile& file : program->files) {
+    for (const gosrc::Decl* decl : file.file->decls) {
+      if (decl == func) {
+        return &file;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// The OptiLock method replacing a given sync call.
+const char* FastName(LockOpKind op) {
+  switch (op) {
+    case LockOpKind::kLock:
+      return "FastLock";
+    case LockOpKind::kUnlock:
+      return "FastUnlock";
+    case LockOpKind::kRLock:
+      return "FastRLock";
+    case LockOpKind::kRUnlock:
+      return "FastRUnlock";
+  }
+  return "FastLock";
+}
+
+class FileRewriter {
+ public:
+  FileRewriter(ParsedFile* file, const TypeInfo& types)
+      : file_(*file), types_(types) {}
+
+  void RewritePair(const LUPair& pair) {
+    std::string lock_name = OptiLockNameFor(pair);
+    RewriteCall(*pair.lock_op, lock_name);
+    RewriteCall(*pair.unlock_op, lock_name);
+    touched_ = true;
+  }
+
+  void Finish() {
+    if (!touched_) {
+      return;
+    }
+    EnsureImport();
+  }
+
+  bool touched() const { return touched_; }
+
+ private:
+  Arena& arena() { return *file_.arena; }
+
+  // Returns (allocating on first use) the OptiLock variable name for a
+  // pair, and inserts its declaration at the top of the pair's innermost
+  // function scope.
+  std::string OptiLockNameFor(const LUPair& pair) {
+    // One OptiLock per pair; numbering is per innermost scope.
+    Block* body = const_cast<Block*>(pair.scope.body());
+    int n = ++decl_count_[body];
+    std::string name = StrFormat("optiLock%d", n);
+
+    // optiLockN := optilib.OptiLock{}
+    auto* lhs = arena().New<Ident>();
+    lhs->name = name;
+    auto* lit_type = arena().New<NamedType>();
+    lit_type->pkg = "optilib";
+    lit_type->name = "OptiLock";
+    auto* lit = arena().New<CompositeLit>();
+    lit->type = lit_type;
+    auto* decl = arena().New<AssignStmt>();
+    decl->op = Tok::kDefine;
+    decl->lhs.push_back(lhs);
+    decl->rhs.push_back(lit);
+
+    // Declarations stack at the top of the scope in pair order.
+    body->stmts.insert(body->stmts.begin() + (n - 1), decl);
+    return name;
+  }
+
+  // Rewrites `path.Lock()` into `optiLockN.FastLock(<mutex pointer>)`.
+  void RewriteCall(const LockOp& op, const std::string& lock_name) {
+    auto* call = const_cast<CallExpr*>(op.call);
+
+    Expr* mutex_arg = BuildMutexPointerArg(op);
+
+    auto* opti_ident = arena().New<Ident>(call->pos);
+    opti_ident->name = lock_name;
+    auto* fast_sel = arena().New<SelectorExpr>(call->pos);
+    fast_sel->x = opti_ident;
+    fast_sel->sel = FastName(op.op);
+
+    call->fn = fast_sel;
+    call->args.clear();
+    call->args.push_back(mutex_arg);
+  }
+
+  // Builds the `*sync.Mutex`-typed argument from the receiver access path:
+  //  - pointer receivers pass through unchanged,
+  //  - value receivers gain a `&` (Listing 10),
+  //  - anonymous mutexes extend the path with the promoted field name
+  //    (Listing 12), composing with the pointer/value rule.
+  Expr* BuildMutexPointerArg(const LockOp& op) {
+    Expr* path = op.receiver_path;
+    bool is_pointer = op.receiver_is_pointer;
+
+    if (op.via_anonymous_field) {
+      const TypeRef* base = types_.TypeOf(path);
+      const TypeRef* target = base;
+      if (target->kind == TypeRef::Kind::kPointer && target->elem != nullptr) {
+        target = target->elem;
+      }
+      const StructInfo* si = target->kind == TypeRef::Kind::kStruct
+                                 ? types_.FindStruct(target->name)
+                                 : nullptr;
+      auto* promoted = arena().New<SelectorExpr>(path->pos);
+      promoted->x = path;
+      promoted->sel = op.rwmutex ? "RWMutex" : "Mutex";
+      path = promoted;
+      is_pointer = si != nullptr && si->embedded_mutex_is_pointer;
+    }
+
+    if (is_pointer) {
+      return path;
+    }
+    auto* addr = arena().New<UnaryExpr>(path->pos);
+    addr->op = Tok::kAnd;
+    addr->x = path;
+    return addr;
+  }
+
+  void EnsureImport() {
+    for (const gosrc::ImportDecl* imp : file_.file->imports) {
+      if (imp->path == kOptilibImport) {
+        return;
+      }
+    }
+    auto* imp = arena().New<gosrc::ImportDecl>();
+    imp->path = kOptilibImport;
+    file_.file->imports.push_back(imp);
+  }
+
+  ParsedFile& file_;
+  const TypeInfo& types_;
+  bool touched_ = false;
+  std::map<Block*, int> decl_count_;
+};
+
+}  // namespace
+
+StatusOr<TransformOutcome> TransformProgram(
+    gosrc::Program* program, const gosrc::TypeInfo& types,
+    const std::vector<const LUPair*>& pairs) {
+  TransformOutcome outcome;
+
+  // Diff against the *pretty-printed* original AST (not the raw source) so
+  // the patch shows only GOCC's semantic changes, not formatting noise.
+  std::unordered_map<const ParsedFile*, std::string> before_text;
+  for (const ParsedFile& file : program->files) {
+    before_text[&file] = gosrc::PrintFile(*file.file);
+  }
+
+  std::unordered_map<ParsedFile*, std::unique_ptr<FileRewriter>> rewriters;
+  for (const LUPair* pair : pairs) {
+    ParsedFile* file = FileOf(program, pair->scope.func);
+    if (file == nullptr) {
+      return InternalError(StrFormat("no file owns function %s",
+                                     pair->scope.func->name.c_str()));
+    }
+    auto& rewriter = rewriters[file];
+    if (rewriter == nullptr) {
+      rewriter = std::make_unique<FileRewriter>(file, types);
+    }
+    rewriter->RewritePair(*pair);
+    ++outcome.pairs_rewritten;
+  }
+  for (auto& [file, rewriter] : rewriters) {
+    rewriter->Finish();
+  }
+
+  for (ParsedFile& file : program->files) {
+    FileChange change;
+    change.name = file.name;
+    change.before = before_text[&file];
+    change.after = gosrc::PrintFile(*file.file);
+    change.diff = UnifiedDiff(file.name + " (original)",
+                              file.name + " (GOCC)", change.before,
+                              change.after);
+    outcome.files.push_back(std::move(change));
+  }
+  return outcome;
+}
+
+}  // namespace gocc::transform

@@ -1,0 +1,50 @@
+// AST transformation: Lock()/Unlock() -> FastLock()/FastUnlock() (§5.3).
+//
+// For every accepted LU-pair the transformer:
+//  * declares an OptiLock variable in the innermost function scope
+//    enclosing both points (goroutine-local state; Listing 14),
+//  * rewrites the two calls to optiLock methods, passing the original
+//    mutex as a pointer — inserting `&` when the receiver is a Mutex
+//    value (Listing 10) and suffixing the access path with the promoted
+//    field name for anonymous mutexes (Listing 12),
+//  * rewrites `defer m.Unlock()` in place as `defer ol.FastUnlock(&m)`
+//    (§5.2.5), and
+//  * adds the optilib import to touched files.
+//
+// The end product is a unified diff per file (Figure 1's "resulting diff
+// given to the developer").
+
+#ifndef GOCC_SRC_TRANSFORM_TRANSFORMER_H_
+#define GOCC_SRC_TRANSFORM_TRANSFORMER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lupair.h"
+#include "src/gosrc/types.h"
+#include "src/support/status.h"
+
+namespace gocc::transform {
+
+struct FileChange {
+  std::string name;
+  std::string before;
+  std::string after;
+  std::string diff;  // unified diff; empty when the file is untouched
+};
+
+struct TransformOutcome {
+  int pairs_rewritten = 0;
+  std::vector<FileChange> files;  // every program file, touched or not
+};
+
+// Applies the rewrites for `pairs` to the ASTs in `program` (in place) and
+// renders per-file diffs. Pairs must come from an AnalyzeProgram run over
+// the same program.
+StatusOr<TransformOutcome> TransformProgram(
+    gosrc::Program* program, const gosrc::TypeInfo& types,
+    const std::vector<const analysis::LUPair*>& pairs);
+
+}  // namespace gocc::transform
+
+#endif  // GOCC_SRC_TRANSFORM_TRANSFORMER_H_

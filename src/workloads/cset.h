@@ -1,0 +1,131 @@
+// go-datastructures/set analogue: a thread-safe set (§6.1, Figure 8).
+//
+// Benchmarked operations match the paper:
+//  * Len — trivial critical section under RWMutex (HTM ~10x at 8 cores:
+//    "a short critical section that has a higher entry and exit cost due
+//    to atomic operations when using a RWMutex"),
+//  * Exists — same shape, slightly more work,
+//  * Flatten — reads 50 elements into a private array through a cached
+//    snapshot guarded by a Mutex; cache invalidation writes cause
+//    conflicts at high core counts,
+//  * Clear — true conflicts (writes every slot), where HTM must not
+//    collapse.
+
+#ifndef GOCC_SRC_WORKLOADS_CSET_H_
+#define GOCC_SRC_WORKLOADS_CSET_H_
+
+#include <cstdint>
+
+#include "src/gosync/mutex.h"
+#include "src/gosync/rwmutex.h"
+#include "src/htm/shared.h"
+#include "src/workloads/policy.h"
+
+namespace gocc::workloads {
+
+template <typename Policy>
+class ConcurrentSet {
+ public:
+  static constexpr size_t kSlots = 1024;
+  static constexpr int kFlattenCount = 50;
+
+  ConcurrentSet() : rw_(Policy::kTracking), flatten_mu_(Policy::kTracking) {}
+
+  void Add(uint64_t item) {
+    Policy::WLock(rw_, [&] {
+      size_t ix = static_cast<size_t>(item) & (kSlots - 1);
+      for (size_t n = 0; n < kSlots; ++n) {
+        uint64_t k = keys_[ix].Load();
+        if (k == item) {
+          return;
+        }
+        if (k == 0) {
+          keys_[ix].Store(item);
+          size_.Add(1);
+          cache_valid_.Store(0);  // invalidate the Flatten cache
+          return;
+        }
+        ix = (ix + 1) & (kSlots - 1);
+      }
+    });
+  }
+
+  bool Exists(uint64_t item) {
+    bool found = false;
+    Policy::RLock(rw_, [&] {
+      size_t ix = static_cast<size_t>(item) & (kSlots - 1);
+      for (size_t n = 0; n < kSlots; ++n) {
+        uint64_t k = keys_[ix].Load();
+        if (k == item) {
+          found = true;
+          return;
+        }
+        if (k == 0) {
+          return;
+        }
+        ix = (ix + 1) & (kSlots - 1);
+      }
+    });
+    return found;
+  }
+
+  int64_t Len() {
+    int64_t n = 0;
+    Policy::RLock(rw_, [&] { n = size_.Load(); });
+    return n;
+  }
+
+  // Reads up to kFlattenCount elements into `out` (caller-private array),
+  // maintaining a cached snapshot: on a cache miss the snapshot is rebuilt
+  // (writes -> transactional conflicts under contention, which is what
+  // flattens the Flatten speedup at 8 cores in the paper).
+  int Flatten(uint64_t* out) {
+    int count = 0;
+    Policy::Lock(flatten_mu_, [&] {
+      if (cache_valid_.Load() == 0) {
+        int filled = 0;
+        for (size_t ix = 0; ix < kSlots && filled < kFlattenCount; ++ix) {
+          uint64_t k = keys_[ix].Load();
+          if (k != 0) {
+            cache_[filled].Store(k);
+            ++filled;
+          }
+        }
+        cache_len_.Store(filled);
+        cache_valid_.Store(1);
+      }
+      int len = static_cast<int>(cache_len_.Load());
+      for (int i = 0; i < len; ++i) {
+        out[i] = cache_[i].Load();
+      }
+      count = len;
+    });
+    return count;
+  }
+
+  // Clears the set: writes every occupied slot (true conflicts).
+  void Clear() {
+    Policy::WLock(rw_, [&] {
+      for (size_t ix = 0; ix < kSlots; ++ix) {
+        if (keys_[ix].Load() != 0) {
+          keys_[ix].Store(0);
+        }
+      }
+      size_.Store(0);
+      cache_valid_.Store(0);
+    });
+  }
+
+ private:
+  gosync::RWMutex rw_;
+  gosync::Mutex flatten_mu_;
+  htm::Shared<uint64_t> keys_[kSlots]{};
+  htm::Shared<int64_t> size_{0};
+  htm::Shared<int64_t> cache_valid_{0};
+  htm::Shared<int64_t> cache_len_{0};
+  htm::Shared<uint64_t> cache_[kFlattenCount]{};
+};
+
+}  // namespace gocc::workloads
+
+#endif  // GOCC_SRC_WORKLOADS_CSET_H_

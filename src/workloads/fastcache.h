@@ -1,0 +1,131 @@
+// fastcache analogue: a sharded in-memory cache (§6.1, Figure 9).
+//
+// Reproduces the structure behind the paper's fastcache results:
+//  * buckets guarded by RWMutexes; Get/Has take the read lock,
+//  * Get's critical section performs atomic adds on shared statistics
+//    ("the critical section of Get contains a few atomic add instructions,
+//    which update shared variables") — under HTM those become genuine
+//    transactional conflicts that grow with core count, which is why the
+//    speedup fades and the perceptron must prevent a collapse,
+//  * Has is Get without copying out the value (shorter CS, fewer
+//    conflicts, higher speedup),
+//  * Set takes the write lock and contains a panic path, so GOCC leaves it
+//    pessimistic in the Elided build (the corpus analyzer reaches the same
+//    verdict); CacheSetGet's high throughput at high core counts emerges
+//    from Go's mutex starvation mode.
+
+#ifndef GOCC_SRC_WORKLOADS_FASTCACHE_H_
+#define GOCC_SRC_WORKLOADS_FASTCACHE_H_
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/gosync/rwmutex.h"
+#include "src/htm/shared.h"
+#include "src/workloads/policy.h"
+
+namespace gocc::workloads {
+
+template <typename Policy>
+class FastCache {
+ public:
+  static constexpr size_t kBuckets = 8;
+  static constexpr size_t kSlotsPerBucket = 1024;
+  static constexpr int64_t kMaxValueBytes = 1 << 16;
+
+  FastCache() = default;
+
+  // Get: read lock, probe, copy the value out; bumps shared stats inside
+  // the critical section (the conflict source).
+  bool Get(uint64_t key, int64_t* value_out) {
+    Bucket& bucket = BucketFor(key);
+    bool found = false;
+    Policy::RLock(bucket.mu, [&] {
+      get_calls_.Add(1);  // shared stat: transactional write under elision
+      int ix = Probe(bucket, key);
+      if (ix >= 0) {
+        *value_out = bucket.values[static_cast<size_t>(ix)].Load();
+        found = true;
+      } else {
+        misses_.Add(1);
+      }
+    });
+    return found;
+  }
+
+  // Has: same as Get without populating the value buffer (shorter CS).
+  bool Has(uint64_t key) {
+    Bucket& bucket = BucketFor(key);
+    bool found = false;
+    Policy::RLock(bucket.mu, [&] {
+      has_calls_.Add(1);
+      found = Probe(bucket, key) >= 0;
+    });
+    return found;
+  }
+
+  // Set: write lock with a panic path — NEVER elided (GOCC does not
+  // transform it; see the corpus replica).
+  void Set(uint64_t key, int64_t value, int64_t value_bytes = 8) {
+    if (value_bytes > kMaxValueBytes) {
+      // fastcache panics on oversized entries.
+      throw std::length_error("fastcache: value too large");
+    }
+    Bucket& bucket = BucketFor(key);
+    bucket.mu.Lock();
+    set_calls_.Add(1);
+    size_t ix = static_cast<size_t>(key) & (kSlotsPerBucket - 1);
+    for (size_t n = 0; n < kSlotsPerBucket; ++n) {
+      uint64_t k = bucket.keys[ix].Load();
+      if (k == key || k == 0) {
+        bucket.keys[ix].Store(key);
+        bucket.values[ix].Store(value);
+        break;
+      }
+      ix = (ix + 1) & (kSlotsPerBucket - 1);
+    }
+    bucket.mu.Unlock();
+  }
+
+  uint64_t GetCalls() const { return static_cast<uint64_t>(get_calls_.LoadRelaxed()); }
+  uint64_t HasCalls() const { return static_cast<uint64_t>(has_calls_.LoadRelaxed()); }
+  uint64_t SetCalls() const { return static_cast<uint64_t>(set_calls_.LoadRelaxed()); }
+  uint64_t Misses() const { return static_cast<uint64_t>(misses_.LoadRelaxed()); }
+
+ private:
+  struct Bucket {
+    gosync::RWMutex mu{Policy::kTracking};
+    htm::Shared<uint64_t> keys[kSlotsPerBucket]{};
+    htm::Shared<int64_t> values[kSlotsPerBucket]{};
+  };
+
+  Bucket& BucketFor(uint64_t key) {
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    return buckets_[(h >> 56) & (kBuckets - 1)];
+  }
+
+  static int Probe(const Bucket& bucket, uint64_t key) {
+    size_t ix = static_cast<size_t>(key) & (kSlotsPerBucket - 1);
+    for (size_t n = 0; n < kSlotsPerBucket; ++n) {
+      uint64_t k = bucket.keys[ix].Load();
+      if (k == key) {
+        return static_cast<int>(ix);
+      }
+      if (k == 0) {
+        return -1;
+      }
+      ix = (ix + 1) & (kSlotsPerBucket - 1);
+    }
+    return -1;
+  }
+
+  Bucket buckets_[kBuckets];
+  htm::Shared<int64_t> get_calls_{0};
+  htm::Shared<int64_t> has_calls_{0};
+  htm::Shared<int64_t> set_calls_{0};
+  htm::Shared<int64_t> misses_{0};
+};
+
+}  // namespace gocc::workloads
+
+#endif  // GOCC_SRC_WORKLOADS_FASTCACHE_H_

@@ -1,0 +1,220 @@
+// Tally analogue: a buffered metrics-collection scope (§6.1, Figure 6).
+//
+// Reproduces the locking structure the paper's Tally benchmarks exercise:
+//  * a Mutex-guarded histogram registry whose read-only Exists lookup is
+//    the HistogramExisting hot path ("a Mutex lock on a read-only Exists
+//    operation ... a natural candidate"),
+//  * three independent RWMutex-guarded registries (counters, gauges,
+//    histograms) read-locked one after another by Report — the
+//    ScopeReporting benchmarks,
+//  * CounterAllocation: registering a new counter under the Mutex, which
+//    writes many lines and contends on an allocation cursor — the
+//    HTM-hostile case the perceptron must learn to avoid (Figure 10).
+//
+// Shared state lives in htm::Shared cells (fixed-capacity open-addressed
+// registries keyed by pre-hashed name ids) so critical sections are
+// abort-safe under SimTM — see DESIGN.md §4.1.
+
+#ifndef GOCC_SRC_WORKLOADS_TALLY_H_
+#define GOCC_SRC_WORKLOADS_TALLY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/gosync/mutex.h"
+#include "src/gosync/rwmutex.h"
+#include "src/htm/shared.h"
+#include "src/workloads/policy.h"
+
+namespace gocc::workloads {
+
+// FNV-1a interning of metric names (done by callers outside critical
+// sections, like Go code hashing map keys).
+inline uint64_t MetricId(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h | 1;  // 0 marks an empty registry slot
+}
+
+template <typename Policy>
+class TallyScope {
+ public:
+  static constexpr size_t kSlots = 4096;  // power of two
+
+  TallyScope()
+      : histograms_mu_(Policy::kTracking),
+        counters_rw_(Policy::kTracking),
+        gauges_rw_(Policy::kTracking),
+        histograms_rw_(Policy::kTracking) {}
+
+  // --- HistogramExisting: read-only lookup under a Mutex ---
+
+  // Registers a histogram id (setup path; pessimistic on purpose).
+  void RegisterHistogram(uint64_t id, int64_t initial = 0) {
+    histograms_mu_.Lock();
+    InsertSlot(histogram_keys_, histogram_values_, id, initial);
+    histograms_mu_.Unlock();
+  }
+
+  // The HistogramExisting hot path: does the histogram exist?
+  bool HistogramExists(uint64_t id) {
+    bool found = false;
+    Policy::Lock(histograms_mu_, [&] {
+      found = ProbeSlot(histogram_keys_, id) >= 0;
+    });
+    return found;
+  }
+
+  // --- ScopeReporting: three independent RWMutexes, read-only ---
+
+  void RegisterCounter(uint64_t id, int64_t v) {
+    counters_rw_.Lock();
+    InsertSlot(counter_keys_, counter_values_, id, v);
+    counters_rw_.Unlock();
+  }
+  void RegisterGauge(uint64_t id, int64_t v) {
+    gauges_rw_.Lock();
+    InsertSlot(gauge_keys_, gauge_values_, id, v);
+    gauges_rw_.Unlock();
+  }
+
+  // Reads `per_registry` metrics from each of the three registries under
+  // their respective read locks (ScopeReporting1 => 1, ScopeReporting10 =>
+  // 10). `ids` must have been registered in all three registries.
+  int64_t Report(const uint64_t* ids, int per_registry) {
+    int64_t total = 0;
+    Policy::RLock(counters_rw_, [&] {
+      for (int i = 0; i < per_registry; ++i) {
+        total += ReadSlot(counter_keys_, counter_values_, ids[i]);
+      }
+    });
+    Policy::RLock(gauges_rw_, [&] {
+      for (int i = 0; i < per_registry; ++i) {
+        total += ReadSlot(gauge_keys_, gauge_values_, ids[i]);
+      }
+    });
+    Policy::RLock(histograms_rw_, [&] {
+      for (int i = 0; i < per_registry; ++i) {
+        total += ReadSlot(hist_rw_keys_, hist_rw_values_, ids[i]);
+      }
+    });
+    return total;
+  }
+
+  void RegisterReportingHistogram(uint64_t id, int64_t v) {
+    histograms_rw_.Lock();
+    InsertSlot(hist_rw_keys_, hist_rw_values_, id, v);
+    histograms_rw_.Unlock();
+  }
+
+  // --- CounterAllocation: HTM-hostile allocation under the Mutex ---
+
+  // Allocates a counter slot from a shared pool: bumps the shared cursor
+  // (true conflict) and initializes a block of pool lines (capacity
+  // pressure). Mirrors Tally's allocate-on-register path.
+  int64_t AllocateCounter(uint64_t id) {
+    int64_t slot = -1;
+    Policy::Lock(histograms_mu_, [&] {
+      int64_t cursor = alloc_cursor_.Load();
+      slot = cursor % static_cast<int64_t>(kPoolSlots);
+      alloc_cursor_.Store(cursor + 1);
+      size_t base = static_cast<size_t>(slot) * kPoolLinesPerSlot;
+      for (size_t i = 0; i < kPoolLinesPerSlot; ++i) {
+        pool_[base + i].cell.Store(static_cast<int64_t>(id));
+      }
+    });
+    return slot;
+  }
+
+  // Increments a registered counter (read-modify-write under the RWMutex
+  // write lock; used by correctness tests).
+  void IncCounter(uint64_t id, int64_t delta) {
+    Policy::WLock(counters_rw_, [&] {
+      int ix = ProbeSlot(counter_keys_, id);
+      if (ix >= 0) {
+        counter_values_[static_cast<size_t>(ix)].Add(delta);
+      }
+    });
+  }
+
+  int64_t CounterValue(uint64_t id) {
+    int64_t v = 0;
+    Policy::RLock(counters_rw_, [&] {
+      v = ReadSlot(counter_keys_, counter_values_, id);
+    });
+    return v;
+  }
+
+ private:
+  static constexpr size_t kPoolSlots = 512;
+  static constexpr size_t kPoolLinesPerSlot = 16;
+
+  struct alignas(64) PoolLine {
+    htm::Shared<int64_t> cell;
+  };
+
+  using KeyTable = htm::Shared<uint64_t>[kSlots];
+  using ValueTable = htm::Shared<int64_t>[kSlots];
+
+  static size_t Mask(uint64_t id) { return static_cast<size_t>(id) & (kSlots - 1); }
+
+  // Linear probing over Shared cells (transaction-friendly).
+  static int ProbeSlot(const KeyTable& keys, uint64_t id) {
+    size_t ix = Mask(id);
+    for (size_t n = 0; n < kSlots; ++n) {
+      uint64_t k = keys[ix].Load();
+      if (k == id) {
+        return static_cast<int>(ix);
+      }
+      if (k == 0) {
+        return -1;
+      }
+      ix = (ix + 1) & (kSlots - 1);
+    }
+    return -1;
+  }
+
+  static void InsertSlot(KeyTable& keys, ValueTable& values, uint64_t id,
+                         int64_t v) {
+    size_t ix = Mask(id);
+    for (size_t n = 0; n < kSlots; ++n) {
+      uint64_t k = keys[ix].Load();
+      if (k == id || k == 0) {
+        keys[ix].Store(id);
+        values[ix].Store(v);
+        return;
+      }
+      ix = (ix + 1) & (kSlots - 1);
+    }
+  }
+
+  static int64_t ReadSlot(const KeyTable& keys, const ValueTable& values,
+                          uint64_t id) {
+    int ix = ProbeSlot(keys, id);
+    return ix >= 0 ? values[static_cast<size_t>(ix)].Load() : 0;
+  }
+
+  gosync::Mutex histograms_mu_;
+  gosync::RWMutex counters_rw_;
+  gosync::RWMutex gauges_rw_;
+  gosync::RWMutex histograms_rw_;
+
+  KeyTable histogram_keys_{};
+  ValueTable histogram_values_{};
+  KeyTable counter_keys_{};
+  ValueTable counter_values_{};
+  KeyTable gauge_keys_{};
+  ValueTable gauge_values_{};
+  KeyTable hist_rw_keys_{};
+  ValueTable hist_rw_values_{};
+
+  htm::Shared<int64_t> alloc_cursor_{0};
+  PoolLine pool_[kPoolSlots * kPoolLinesPerSlot]{};
+};
+
+}  // namespace gocc::workloads
+
+#endif  // GOCC_SRC_WORKLOADS_TALLY_H_

@@ -1,0 +1,674 @@
+// Analyzer tests: CFG shape, dominance, LU-pair matching (Appendix B),
+// Definition 5.4 conditions, defer normalization, the paper's listings, and
+// profile filtering.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/cfg.h"
+#include "src/analysis/dominators.h"
+#include "src/analysis/lupair.h"
+#include "src/analysis/pipeline.h"
+#include "src/gosrc/printer.h"
+#include "src/analysis/pointsto.h"
+#include "src/gosrc/parser.h"
+
+namespace gocc::analysis {
+namespace {
+
+// Helper: run the full pipeline on one source file (optionally with a
+// profile) and return the output.
+PipelineOutput Analyze(const std::string& src,
+                       const std::string& profile = "") {
+  PipelineInput input;
+  input.sources.push_back({"test.go", src});
+  if (!profile.empty()) {
+    input.profile_text = profile;
+    input.has_profile = true;
+  }
+  auto output = RunPipeline(input);
+  EXPECT_TRUE(output.ok()) << output.status().ToString();
+  return std::move(*output);
+}
+
+TEST(CfgTest, StraightLineLockUnlockSplitsBlocks) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var count int
+
+func f() {
+	m.Lock()
+	count++
+	m.Unlock()
+}
+)";
+  auto parsed = gosrc::ParseFile("t.go", src);
+  ASSERT_TRUE(parsed.ok());
+  gosrc::Program program;
+  program.files.push_back(std::move(*parsed));
+  auto types = gosrc::TypeInfo::Build(&program);
+  ASSERT_TRUE(types.ok());
+  const gosrc::FuncDecl* f = (*types)->FindFunc("f");
+  ASSERT_NE(f, nullptr);
+  auto cfg = Cfg::Build(FuncScope{f, nullptr}, **types);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ((*cfg)->LockPoints().size(), 1u);
+  EXPECT_EQ((*cfg)->UnlockPoints().size(), 1u);
+  // The lock must begin its block; the unlock must end its block.
+  for (const auto& block : (*cfg)->blocks()) {
+    for (size_t i = 0; i < block->instrs.size(); ++i) {
+      if (block->instrs[i].kind == Instr::Kind::kLock) {
+        EXPECT_EQ(i, 0u);
+      }
+      if (block->instrs[i].kind == Instr::Kind::kUnlock) {
+        EXPECT_EQ(i, block->instrs.size() - 1);
+      }
+    }
+  }
+  EXPECT_TRUE((*cfg)->exit_reachable());
+}
+
+TEST(CfgTest, DominatorsOnDiamond) {
+  constexpr char src[] = R"(package p
+
+var x int
+
+func f(c bool) {
+	x = 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	x = 4
+}
+)";
+  auto parsed = gosrc::ParseFile("t.go", src);
+  ASSERT_TRUE(parsed.ok());
+  gosrc::Program program;
+  program.files.push_back(std::move(*parsed));
+  auto types = gosrc::TypeInfo::Build(&program);
+  ASSERT_TRUE(types.ok());
+  const gosrc::FuncDecl* f = (*types)->FindFunc("f");
+  auto cfg = Cfg::Build(FuncScope{f, nullptr}, **types);
+  ASSERT_TRUE(cfg.ok());
+  DominatorTree dom(**cfg, /*post=*/false);
+  DominatorTree pdom(**cfg, /*post=*/true);
+  const BasicBlock* entry = (*cfg)->entry();
+  const BasicBlock* exit = (*cfg)->exit();
+  for (const auto& block : (*cfg)->blocks()) {
+    EXPECT_TRUE(dom.Dominates(entry, block.get()));
+    EXPECT_TRUE(pdom.Dominates(exit, block.get()));
+  }
+  EXPECT_TRUE(dom.Dominates(entry, exit));
+  EXPECT_FALSE(dom.Dominates(exit, entry));
+}
+
+TEST(AnalyzerTest, SimpleCriticalSectionTransforms) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var count int
+
+func f() {
+	m.Lock()
+	count++
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.lock_points, 1);
+  EXPECT_EQ(out.analysis.counts.unlock_points, 1);
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 1);
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.dominance_violations, 0);
+  EXPECT_EQ(out.transform.pairs_rewritten, 1);
+
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("optiLock1 := optilib.OptiLock{}"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("optiLock1.FastLock(&m)"), std::string::npos) << after;
+  EXPECT_NE(after.find("optiLock1.FastUnlock(&m)"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("\"optilib\""), std::string::npos) << after;
+}
+
+TEST(AnalyzerTest, PointerMutexPassesThrough) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var count int
+
+func f(m *sync.Mutex) {
+	m.Lock()
+	count++
+	m.Unlock()
+}
+
+func main() {
+	m := new(sync.Mutex)
+	f(m)
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("optiLock1.FastLock(m)"), std::string::npos) << after;
+}
+
+TEST(AnalyzerTest, IoInCriticalSectionIsUnfitIntra) {
+  auto out = Analyze(R"(package p
+
+import (
+	"sync"
+	"fmt"
+)
+
+var m sync.Mutex
+
+func f() {
+	m.Lock()
+	fmt.Println("inside")
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.unfit_intra, 1);
+  EXPECT_EQ(out.transform.pairs_rewritten, 0);
+}
+
+TEST(AnalyzerTest, IoViaCalleeIsUnfitInter) {
+  auto out = Analyze(R"(package p
+
+import (
+	"sync"
+	"fmt"
+)
+
+var m sync.Mutex
+
+func log2() {
+	fmt.Println("log")
+}
+
+func helper() {
+	log2()
+}
+
+func f() {
+	m.Lock()
+	helper()
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.unfit_inter, 1);
+}
+
+TEST(AnalyzerTest, DominanceViolationDetected) {
+  // Lock on only one path; unlock on the joined path (the go-cache
+  // pattern: unlocks that do not post-dominate the lock).
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f(c bool) {
+	if c {
+		m.Lock()
+		x = 1
+	}
+	x = 2
+	if c {
+		m.Unlock()
+	}
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.dominance_violations, 2);
+}
+
+TEST(AnalyzerTest, DeferUnlockIsNormalizedAndTransformed) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var count int
+
+func f() int {
+	m.Lock()
+	defer m.Unlock()
+	count++
+	return count
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.transformed_defer, 1);
+  const std::string& after = out.transform.files[0].after;
+  // The defer stays a defer, rewritten in place (Listing 8).
+  EXPECT_NE(after.find("defer optiLock1.FastUnlock(&m)"), std::string::npos)
+      << after;
+}
+
+TEST(AnalyzerTest, DeferBeforeLockStillPairs) {
+  // Listing 7: the defer textually precedes the lock; normalization moves
+  // the unlock to the exits, so dominance holds.
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f(cond bool) {
+	defer m.Unlock()
+	if cond {
+		m.Lock()
+	} else {
+		m.Lock()
+	}
+	x++
+}
+)");
+  // Neither lock dominates the exit-unlock alone; both locks remain
+  // unmatched (Appendix A: this shape is not handled by Dom/PDom, which is
+  // exactly the paper's conservative choice).
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.dominance_violations, 3);
+}
+
+TEST(AnalyzerTest, DeferWithSingleLockTransforms) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f(cond bool) int {
+	defer m.Unlock()
+	m.Lock()
+	if cond {
+		return 1
+	}
+	x++
+	return x
+}
+)");
+  // The synthetic exit unlock post-dominates the single lock.
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.transformed_defer, 1);
+}
+
+TEST(AnalyzerTest, MultipleDeferUnlocksDiscardFunction) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+
+func f() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	defer b.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  ASSERT_EQ(out.analysis.functions.size(), 1u);
+  EXPECT_TRUE(out.analysis.functions[0].skipped);
+}
+
+TEST(AnalyzerTest, NestedDisjointLocksBothTransform) {
+  // Listing 3: nested locks on distinct mutexes — both pairs are legal.
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func f() {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 2);
+  EXPECT_EQ(out.analysis.counts.transformed, 2);
+}
+
+TEST(AnalyzerTest, NestedAliasedLocksRejectOuter) {
+  // Listing 3 with aliasing (§5.2.3): the inner pair transforms, the outer
+  // pair violates condition (3).
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var x int
+
+func f(a *sync.Mutex, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+
+func main() {
+	m := new(sync.Mutex)
+	f(m, m)
+}
+)");
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 2);
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.nested_alias_intra, 1);
+}
+
+TEST(AnalyzerTest, HandOverHandPairsInnerIncorrectlyByDesign) {
+  // Listing 5/6: the analyzer pairs b.Lock() with a.Unlock() (runtime
+  // mismatch recovery handles it); the outer pair is rejected by (3).
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var x int
+
+func f(a *sync.Mutex, b *sync.Mutex) {
+	a.Lock()
+	x++
+	b.Lock()
+	a.Unlock()
+	x++
+	b.Unlock()
+}
+
+func main() {
+	m := new(sync.Mutex)
+	f(m, m)
+}
+)");
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 2);
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.nested_alias_intra, 1);
+  // The transformed pair is the inner (b.Lock, a.Unlock) one.
+  bool found_inner = false;
+  for (const auto& fr : out.analysis.functions) {
+    for (const auto& pair : fr.pairs) {
+      if (pair.fate == PairFate::kTransformed) {
+        EXPECT_EQ(gosrc::PrintExpr(*pair.lock_op->receiver_path), "b");
+        EXPECT_EQ(gosrc::PrintExpr(*pair.unlock_op->receiver_path), "a");
+        found_inner = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(AnalyzerTest, DistinctMutexesInBranchesMatchSeparately) {
+  // Figure 2/3 flavour: points-to sets disambiguate locks in branches.
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func f(c bool) {
+	if c {
+		a.Lock()
+		x++
+		a.Unlock()
+	} else {
+		b.Lock()
+		x++
+		b.Unlock()
+	}
+}
+)");
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 2);
+  EXPECT_EQ(out.analysis.counts.transformed, 2);
+}
+
+TEST(AnalyzerTest, InterproceduralAliasViaCalleeRejected) {
+  // The critical section calls a function that locks the same mutex.
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func helper() {
+	m.Lock()
+	x++
+	m.Unlock()
+}
+
+func f() {
+	m.Lock()
+	helper()
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.nested_alias_inter, 1);
+  // helper's own pair still transforms.
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+}
+
+TEST(AnalyzerTest, RWMutexReadAndWritePairsMatchByKind) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var rw sync.RWMutex
+var x int
+
+func reader() int {
+	rw.RLock()
+	y := x
+	rw.RUnlock()
+	return y
+}
+
+func writer() {
+	rw.Lock()
+	x++
+	rw.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.candidate_pairs, 2);
+  EXPECT_EQ(out.analysis.counts.transformed, 2);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("FastRLock(&rw)"), std::string::npos) << after;
+  EXPECT_NE(after.find("FastRUnlock(&rw)"), std::string::npos) << after;
+  EXPECT_NE(after.find("FastLock(&rw)"), std::string::npos) << after;
+}
+
+TEST(AnalyzerTest, AnonymousMutexGetsPromotedSuffix) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+type Astruct struct {
+	sync.Mutex
+	balance int
+}
+
+func (a *Astruct) Incr() {
+	a.Lock()
+	a.balance++
+	a.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  const std::string& after = out.transform.files[0].after;
+  // Listing 12: the access path is suffixed with .Mutex and address-taken.
+  EXPECT_NE(after.find("optiLock1.FastLock(&a.Mutex)"), std::string::npos)
+      << after;
+}
+
+TEST(AnalyzerTest, AnonymousGoroutineGetsOptiLockInInnerScope) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var mu sync.Mutex
+var count int
+
+func Run() {
+	go func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  const std::string& after = out.transform.files[0].after;
+  // Listing 14: the OptiLock declaration lands inside the goroutine body.
+  size_t go_pos = after.find("go func() {");
+  size_t decl_pos = after.find("optiLock1 := optilib.OptiLock{}");
+  ASSERT_NE(go_pos, std::string::npos) << after;
+  ASSERT_NE(decl_pos, std::string::npos) << after;
+  EXPECT_GT(decl_pos, go_pos) << after;
+}
+
+TEST(AnalyzerTest, LoopBodyCriticalSectionTransforms) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var total int
+
+func f(n int) {
+	for i := 0; i < n; i++ {
+		m.Lock()
+		total += i
+		m.Unlock()
+	}
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+}
+
+TEST(AnalyzerTest, ProfileFiltersColdFunctions) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var a int
+var b int
+
+func hot() {
+	m.Lock()
+	a++
+	m.Unlock()
+}
+
+func cold() {
+	m.Lock()
+	b++
+	m.Unlock()
+}
+)";
+  auto out = Analyze(src, "hot 0.55\ncold 0.002\n");
+  EXPECT_EQ(out.analysis.counts.transformed, 2);
+  EXPECT_EQ(out.analysis.counts.transformed_with_profile, 1);
+  EXPECT_EQ(out.transform.pairs_rewritten, 1);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("optiLock1.FastLock(&m)"), std::string::npos);
+  // cold() keeps its original locks.
+  EXPECT_NE(after.find("m.Lock()"), std::string::npos) << after;
+}
+
+TEST(AnalyzerTest, GoroutineSpawnInsideCriticalSectionIsUnfit) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f() {
+	m.Lock()
+	go func() {
+		x++
+	}()
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.unfit_intra, 1);
+}
+
+TEST(AnalyzerTest, PanicInCalleeIsUnfit) {
+  // fastcache's Set contains a panic path and is not transformed (§6.1).
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func validate(v int) {
+	if v < 0 {
+		panic("negative")
+	}
+}
+
+func Set(v int) {
+	m.Lock()
+	validate(v)
+	x = v
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.transformed, 0);
+  EXPECT_EQ(out.analysis.counts.unfit_inter, 1);
+}
+
+TEST(AnalyzerTest, TransformedFileRemainsParseable) {
+  auto out = Analyze(R"(package p
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n int
+}
+
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+)");
+  EXPECT_EQ(out.transform.pairs_rewritten, 1);
+  auto reparsed =
+      gosrc::ParseFile("after.go", out.transform.files[0].after);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << out.transform.files[0].after;
+  // Diff mentions exactly the rewritten lines.
+  const std::string& diff = out.transform.files[0].diff;
+  EXPECT_NE(diff.find("-\tc.mu.Lock()"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("+\toptiLock1.FastLock(&c.mu)"), std::string::npos)
+      << diff;
+}
+
+}  // namespace
+}  // namespace gocc::analysis

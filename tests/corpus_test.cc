@@ -1,0 +1,174 @@
+// Integration: the Table 1 funnel over the shipped corpus replicas.
+// These are golden numbers; if you edit the corpus, update them and the
+// EXPERIMENTS.md table together.
+
+#include <gtest/gtest.h>
+
+#include "bench/corpus_util.h"
+#include "src/analysis/lupair.h"
+#include "src/gosrc/parser.h"
+#include "src/support/strings.h"
+
+namespace gocc::bench {
+namespace {
+
+using analysis::FunnelCounts;
+
+FunnelCounts RunRepo(const std::string& name, bool use_profile = true) {
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    if (repo.name == name) {
+      auto output = RunOnRepo(repo, use_profile);
+      EXPECT_TRUE(output.ok()) << output.status().ToString();
+      return output->analysis.counts;
+    }
+  }
+  ADD_FAILURE() << "unknown repo " << name;
+  return FunnelCounts{};
+}
+
+TEST(CorpusTest, TallyFunnel) {
+  FunnelCounts c = RunRepo("tally");
+  EXPECT_EQ(c.lock_points, 21);
+  EXPECT_EQ(c.unlock_points, 21);
+  EXPECT_EQ(c.defer_unlock_points, 5);
+  EXPECT_EQ(c.dominance_violations, 0);
+  EXPECT_EQ(c.candidate_pairs, 21);
+  EXPECT_EQ(c.unfit_intra, 1);  // DumpDebug's fmt.Println
+  EXPECT_EQ(c.unfit_inter, 0);
+  EXPECT_EQ(c.nested_alias_intra, 0);
+  EXPECT_EQ(c.transformed, 20);
+  EXPECT_EQ(c.transformed_defer, 5);
+  EXPECT_EQ(c.transformed_with_profile, 11);
+  EXPECT_EQ(c.transformed_defer_with_profile, 2);
+}
+
+TEST(CorpusTest, TallyAnonymousMutexPromotion) {
+  // counters.go locks through an embedded sync.Mutex; the patch must pass
+  // the promoted field address (Listing 12).
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    if (repo.name != "tally") {
+      continue;
+    }
+    auto output = RunOnRepo(repo, /*use_profile=*/false);
+    ASSERT_TRUE(output.ok());
+    bool found = false;
+    for (const auto& file : output->transform.files) {
+      if (file.after.find("FastLock(&c.Mutex)") != std::string::npos) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(CorpusTest, ZapFunnel) {
+  FunnelCounts c = RunRepo("zap");
+  EXPECT_EQ(c.lock_points, 5);
+  EXPECT_EQ(c.candidate_pairs, 5);
+  EXPECT_EQ(c.unfit_intra, 2);  // Write/Sync IO — "being a logging library,
+                                // it has several IO operations" (§6.1)
+  EXPECT_EQ(c.transformed, 3);
+  EXPECT_EQ(c.transformed_with_profile, 2);
+}
+
+TEST(CorpusTest, GoCacheFunnelHasDominanceViolations) {
+  FunnelCounts c = RunRepo("go-cache");
+  EXPECT_EQ(c.lock_points, 11);
+  EXPECT_EQ(c.unlock_points, 14);
+  // The paper singles go-cache out: "several functions with the repeating
+  // pattern of unlocks that do not post-dominate the candidate lock".
+  EXPECT_EQ(c.dominance_violations, 7);
+  EXPECT_EQ(c.candidate_pairs, 9);
+  EXPECT_EQ(c.unfit_intra, 1);
+  EXPECT_EQ(c.transformed, 8);
+  EXPECT_EQ(c.transformed_with_profile, 4);
+}
+
+TEST(CorpusTest, FastcacheFunnelRejectsSetViaPanic) {
+  FunnelCounts c = RunRepo("fastcache");
+  EXPECT_EQ(c.lock_points, 8);
+  EXPECT_EQ(c.candidate_pairs, 8);
+  // "The Set function ... may raise a panic ... Hence, GOCC does not
+  // modify a Lock() present in Set" — found interprocedurally.
+  EXPECT_EQ(c.unfit_inter, 1);
+  EXPECT_EQ(c.transformed, 7);
+  EXPECT_EQ(c.transformed_with_profile, 4);
+}
+
+TEST(CorpusTest, SetFunnelAllPairsTransform) {
+  FunnelCounts c = RunRepo("set");
+  EXPECT_EQ(c.lock_points, 8);
+  EXPECT_EQ(c.candidate_pairs, 8);
+  EXPECT_EQ(c.transformed, 8);
+  EXPECT_EQ(c.transformed_defer, 1);  // Flatten's defer
+  EXPECT_EQ(c.transformed_with_profile, 6);
+}
+
+TEST(CorpusTest, NoNestedAliasRejectionsInCorpus) {
+  // Matches the paper: "Rejection due to nested aliased locks is not found
+  // in these packages."
+  for (const char* name :
+       {"tally", "zap", "go-cache", "fastcache", "set"}) {
+    FunnelCounts c = RunRepo(name);
+    EXPECT_EQ(c.nested_alias_intra, 0) << name;
+    EXPECT_EQ(c.nested_alias_inter, 0) << name;
+  }
+}
+
+TEST(CorpusTest, WithoutProfileEveryEligiblePairIsRewritten) {
+  FunnelCounts with = RunRepo("tally", /*use_profile=*/true);
+  FunnelCounts without = RunRepo("tally", /*use_profile=*/false);
+  EXPECT_EQ(without.transformed, with.transformed);
+  EXPECT_EQ(without.transformed_with_profile, without.transformed)
+      << "no profile => the with-profile column equals the without column";
+}
+
+TEST(CorpusTest, TransformedCorpusFilesReparse) {
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    auto output = RunOnRepo(repo, /*use_profile=*/false);
+    ASSERT_TRUE(output.ok()) << repo.name;
+    for (const auto& file : output->transform.files) {
+      auto reparsed = gosrc::ParseFile(file.name + ".after", file.after);
+      EXPECT_TRUE(reparsed.ok())
+          << repo.name << ": " << reparsed.status().ToString();
+      if (output->transform.pairs_rewritten > 0) {
+        EXPECT_NE(file.after.find("optilib"), std::string::npos) << repo.name;
+      }
+    }
+  }
+}
+
+TEST(CorpusTest, DiffsAreSurgical) {
+  // The produced patch touches lock lines and OptiLock declarations, never
+  // unrelated code (the paper's "we perform replacements ... only in places
+  // where benefits are likely" / minimal-patch requirement).
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    auto output = RunOnRepo(repo, /*use_profile=*/true);
+    ASSERT_TRUE(output.ok());
+    for (const auto& file : output->transform.files) {
+      for (const std::string& line : gocc::SplitLines(file.diff)) {
+        if (line.empty() || (line[0] != '+' && line[0] != '-')) {
+          continue;
+        }
+        if (gocc::StartsWith(line, "+++") || gocc::StartsWith(line, "---")) {
+          continue;
+        }
+        std::string_view body = gocc::StripWhitespace(
+            std::string_view(line).substr(1));
+        bool lock_related =
+            line.find("Lock") != std::string::npos ||
+            line.find("lock") != std::string::npos ||
+            line.find("optilib") != std::string::npos ||
+            line.find("optiLock") != std::string::npos ||
+            line.find("import") != std::string::npos ||
+            line.find("\"sync\"") != std::string::npos ||
+            body == "(" || body == ")";  // import-block re-bracketing
+        EXPECT_TRUE(lock_related) << repo.name << ": unexpected diff line: "
+                                  << line;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gocc::bench

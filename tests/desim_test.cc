@@ -1,0 +1,137 @@
+// DES simulator: determinism, baseline collapse, HTM scaling, conflict
+// fade-out, perceptron protection — the mechanisms behind Figures 6-10.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/desim.h"
+
+namespace gocc::sim {
+namespace {
+
+Scenario ReadOnlyScenario() {
+  Scenario s;
+  s.name = "read-only";
+  s.kind = LockKind::kRWRead;
+  s.cs_ns = 5;
+  s.outside_ns = 3;
+  return s;
+}
+
+Scenario ConflictingScenario(double write_prob, int footprint = 4) {
+  Scenario s;
+  s.name = "conflicting";
+  s.kind = LockKind::kMutex;
+  s.cs_ns = 30;
+  s.shared_write_lines = 2;
+  s.write_prob = write_prob;
+  s.write_footprint_lines = footprint;
+  s.outside_ns = 3;
+  return s;
+}
+
+TEST(DesimTest, DeterministicForFixedSeed) {
+  Scenario s = ConflictingScenario(0.5);
+  SimResult a = Simulate(s, 4, RunMode::kElided);
+  SimResult b = Simulate(s, 4, RunMode::kElided);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_DOUBLE_EQ(a.ns_per_op, b.ns_per_op);
+  EXPECT_EQ(a.htm_aborts, b.htm_aborts);
+}
+
+TEST(DesimTest, LockBaselineReadPathCollapsesWithCores) {
+  Scenario s = ReadOnlyScenario();
+  double one = Simulate(s, 1, RunMode::kLockBaseline).ns_per_op;
+  double four = Simulate(s, 4, RunMode::kLockBaseline).ns_per_op;
+  double eight = Simulate(s, 8, RunMode::kLockBaseline).ns_per_op;
+  // RWMutex reader-count RMWs serialize: per-op cost must NOT improve and
+  // in fact grows (coherence cost rises with sharers).
+  EXPECT_GT(four, one);
+  EXPECT_GT(eight, four);
+}
+
+TEST(DesimTest, ElidedReadPathScales) {
+  Scenario s = ReadOnlyScenario();
+  double two = Simulate(s, 2, RunMode::kElided).ns_per_op;
+  double eight = Simulate(s, 8, RunMode::kElided).ns_per_op;
+  // Conflict-free transactions run fully in parallel: ns/op drops roughly
+  // linearly with cores.
+  EXPECT_LT(eight, two / 3.0);
+}
+
+TEST(DesimTest, ReadOnlySpeedupGrowsWithCores) {
+  Scenario s = ReadOnlyScenario();
+  double s2 = SpeedupVsLock(s, 2);
+  double s4 = SpeedupVsLock(s, 4);
+  double s8 = SpeedupVsLock(s, 8);
+  EXPECT_GT(s2, 0.0);
+  EXPECT_GT(s4, s2);
+  EXPECT_GT(s8, s4);
+  EXPECT_GT(s8, 300.0) << "short read-only CS should show multi-x gains";
+}
+
+TEST(DesimTest, SingleCoreElidedMatchesBaseline) {
+  Scenario s = ReadOnlyScenario();
+  double lock = Simulate(s, 1, RunMode::kLockBaseline).ns_per_op;
+  double elided = Simulate(s, 1, RunMode::kElided).ns_per_op;
+  EXPECT_DOUBLE_EQ(lock, elided) << "single-P bypass (§5.4.2)";
+}
+
+TEST(DesimTest, HeavyConflictsMakePerceptronFallBack) {
+  Scenario s = ConflictingScenario(1.0);
+  SimResult r = Simulate(s, 8, RunMode::kElided);
+  // Nearly every op should end up routed to the lock by the perceptron.
+  EXPECT_GT(r.perceptron_slow, r.htm_commits);
+  // And the result must not collapse versus the baseline: within 25%.
+  SimResult lock = Simulate(s, 8, RunMode::kLockBaseline);
+  EXPECT_LT(r.ns_per_op, lock.ns_per_op * 1.25);
+}
+
+TEST(DesimTest, NoPerceptronThrashesOnHostileWorkload) {
+  Scenario s = ConflictingScenario(1.0);
+  SimResult with = Simulate(s, 8, RunMode::kElided);
+  SimResult without = Simulate(s, 8, RunMode::kElidedNoPerceptron);
+  EXPECT_GT(without.htm_aborts, with.htm_aborts * 5)
+      << "always-HTM keeps aborting";
+  EXPECT_GT(without.ns_per_op, with.ns_per_op)
+      << "the perceptron must protect against the abort tax (Figure 10)";
+}
+
+TEST(DesimTest, CapacityOverflowAlwaysFallsBack) {
+  Scenario s = ConflictingScenario(1.0, /*footprint=*/4096);
+  SimResult r = Simulate(s, 4, RunMode::kElidedNoPerceptron);
+  EXPECT_EQ(r.htm_commits, 0u);
+  EXPECT_EQ(r.fallbacks + r.perceptron_slow, r.total_ops);
+}
+
+TEST(DesimTest, ConflictRateRisesWithCores) {
+  Scenario s = ConflictingScenario(0.15);
+  SimResult two = Simulate(s, 2, RunMode::kElidedNoPerceptron);
+  SimResult eight = Simulate(s, 8, RunMode::kElidedNoPerceptron);
+  double rate2 = static_cast<double>(two.htm_aborts) /
+                 static_cast<double>(two.total_ops);
+  double rate8 = static_cast<double>(eight.htm_aborts) /
+                 static_cast<double>(eight.total_ops);
+  EXPECT_GT(rate8, rate2) << "more in-flight writers => more overlaps";
+}
+
+// Property sweep: elided throughput must never be pathologically worse than
+// the lock baseline when the perceptron is on (the paper's headline safety
+// property: "avoiding major performance regressions").
+class DesimSafety : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DesimSafety, PerceptronBoundsRegression) {
+  auto [cores, write_pct] = GetParam();
+  Scenario s = ConflictingScenario(write_pct / 100.0);
+  SimResult lock = Simulate(s, cores, RunMode::kLockBaseline);
+  SimResult htm = Simulate(s, cores, RunMode::kElided);
+  EXPECT_LT(htm.ns_per_op, lock.ns_per_op * 1.30)
+      << "cores=" << cores << " write%=" << write_pct;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DesimSafety,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(0, 10, 50, 100)));
+
+}  // namespace
+}  // namespace gocc::sim

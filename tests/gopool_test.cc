@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "src/gopool/gopool.h"
+#include "src/gosync/runtime.h"
+
+namespace gocc::gopool {
+namespace {
+
+TEST(PoolTest, RunsSubmittedTasks) {
+  Pool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Go([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(PoolTest, WaitWithNoTasksReturns) {
+  Pool pool(2);
+  pool.Wait();
+}
+
+TEST(PoolTest, TasksCanSubmitTasks) {
+  Pool pool(2);
+  std::atomic<int> count{0};
+  pool.Go([&] {
+    count.fetch_add(1);
+    pool.Go([&] { count.fetch_add(1); });
+  });
+  // Wait until both the outer and nested tasks are done.
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(RunParallelTest, CountsOps) {
+  BenchResult result = RunParallel(2, std::chrono::milliseconds(30),
+                                   [](PB& pb) {
+                                     while (pb.Next()) {
+                                       // trivial op
+                                     }
+                                   });
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_GT(result.ns_per_op, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.02);
+}
+
+TEST(RunParallelTest, SetsMaxProcsForTheDuration) {
+  int before = gosync::MaxProcs();
+  std::atomic<int> observed{0};
+  RunParallel(3, std::chrono::milliseconds(10), [&](PB& pb) {
+    observed.store(gosync::MaxProcs());
+    while (pb.Next()) {
+    }
+  });
+  EXPECT_EQ(observed.load(), 3);
+  EXPECT_EQ(gosync::MaxProcs(), before);
+}
+
+TEST(RunParallelTest, OpsScaleWithWindow) {
+  auto short_run = RunParallel(1, std::chrono::milliseconds(10), [](PB& pb) {
+    while (pb.Next()) {
+    }
+  });
+  auto long_run = RunParallel(1, std::chrono::milliseconds(60), [](PB& pb) {
+    while (pb.Next()) {
+    }
+  });
+  EXPECT_GT(long_run.total_ops, short_run.total_ops);
+}
+
+}  // namespace
+}  // namespace gocc::gopool

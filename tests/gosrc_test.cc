@@ -1,0 +1,396 @@
+// Mini-Go frontend: lexer, parser, printer round-trips, type resolution and
+// lock-operation detection.
+
+#include <gtest/gtest.h>
+
+#include "src/gosrc/lexer.h"
+#include "src/gosrc/parser.h"
+#include "src/gosrc/printer.h"
+#include "src/gosrc/types.h"
+
+namespace gocc::gosrc {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("x := a.Lock()");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = *tokens;
+  ASSERT_GE(ts.size(), 8u);
+  EXPECT_EQ(ts[0].kind, Tok::kIdent);
+  EXPECT_EQ(ts[0].text, "x");
+  EXPECT_EQ(ts[1].kind, Tok::kDefine);
+  EXPECT_EQ(ts[2].kind, Tok::kIdent);
+  EXPECT_EQ(ts[3].kind, Tok::kPeriod);
+  EXPECT_EQ(ts[4].kind, Tok::kIdent);
+  EXPECT_EQ(ts[4].text, "Lock");
+  EXPECT_EQ(ts[5].kind, Tok::kLParen);
+  EXPECT_EQ(ts[6].kind, Tok::kRParen);
+}
+
+TEST(LexerTest, SemicolonInsertion) {
+  auto tokens = Lex("x\ny");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = *tokens;
+  // x ; y ; EOF
+  ASSERT_EQ(ts.size(), 5u);
+  EXPECT_EQ(ts[1].kind, Tok::kSemicolon);
+  EXPECT_EQ(ts[3].kind, Tok::kSemicolon);
+}
+
+TEST(LexerTest, NoSemicolonAfterOperators) {
+  auto tokens = Lex("x +\ny");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = *tokens;
+  EXPECT_EQ(ts[0].kind, Tok::kIdent);
+  EXPECT_EQ(ts[1].kind, Tok::kAdd);
+  EXPECT_EQ(ts[2].kind, Tok::kIdent);  // no ; between + and y
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = *tokens;
+  EXPECT_EQ(ts[0].text, "a");
+  EXPECT_EQ(ts[1].kind, Tok::kSemicolon);  // inserted at the newline
+  EXPECT_EQ(ts[2].text, "b");
+}
+
+TEST(LexerTest, Positions) {
+  auto tokens = Lex("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].pos.line, 1);
+  EXPECT_EQ((*tokens)[0].pos.column, 1);
+  EXPECT_EQ((*tokens)[2].pos.line, 2);
+  EXPECT_EQ((*tokens)[2].pos.column, 3);
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("/* unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+constexpr char kSample[] = R"(package cache
+
+import (
+	"sync"
+	"fmt"
+)
+
+type Item struct {
+	Value int
+	Expiry int64
+}
+
+type Cache struct {
+	mu sync.RWMutex
+	items map[string]Item
+	hits int64
+}
+
+func NewCache() *Cache {
+	return &Cache{items: make(map[string]Item)}
+}
+
+func (c *Cache) Get(key string) (int, bool) {
+	c.mu.RLock()
+	item, found := c.items[key]
+	if !found {
+		c.mu.RUnlock()
+		return 0, false
+	}
+	c.mu.RUnlock()
+	return item.Value, true
+}
+
+func (c *Cache) Set(key string, value int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items[key] = Item{Value: value}
+}
+
+func (c *Cache) Dump() {
+	c.mu.RLock()
+	for k, v := range c.items {
+		fmt.Println(k, v.Value)
+	}
+	c.mu.RUnlock()
+}
+)";
+
+TEST(ParserTest, ParsesRealisticFile) {
+  auto parsed = ParseFile("cache.go", kSample);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const File& file = *parsed->file;
+  EXPECT_EQ(file.package, "cache");
+  ASSERT_EQ(file.imports.size(), 2u);
+  EXPECT_EQ(file.imports[0]->path, "sync");
+  EXPECT_EQ(file.decls.size(), 6u);
+}
+
+TEST(ParserTest, PrintParseFixpoint) {
+  auto parsed = ParseFile("cache.go", kSample);
+  ASSERT_TRUE(parsed.ok());
+  std::string printed = PrintFile(*parsed->file);
+  auto reparsed = ParseFile("cache2.go", printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << printed;
+  EXPECT_EQ(PrintFile(*reparsed->file), printed)
+      << "printing must reach a fixpoint after one round-trip";
+}
+
+TEST(ParserTest, ParsesAnonymousGoroutines) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+var mu sync.Mutex
+var count int
+
+func Run() {
+	go func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}()
+}
+)";
+  auto parsed = ParseFile("go.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintFile(*parsed->file);
+  EXPECT_NE(printed.find("go func() {"), std::string::npos) << printed;
+}
+
+TEST(ParserTest, ParsesDeferBeforeLock) {
+  // Listing 7 in the paper: defer m.Unlock() may textually precede m.Lock().
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+var m sync.Mutex
+
+func f(cond bool) {
+	defer m.Unlock()
+	if cond {
+		m.Lock()
+	} else {
+		m.Lock()
+	}
+}
+)";
+  auto parsed = ParseFile("defer.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(ParserTest, ParsesIfWithInitAndElseChain) {
+  constexpr char src[] = R"(package p
+
+func f(x int) int {
+	if y := x + 1; y > 2 {
+		return y
+	} else if x < 0 {
+		return -x
+	} else {
+		return 0
+	}
+}
+)";
+  auto parsed = ParseFile("if.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintFile(*parsed->file);
+  EXPECT_NE(printed.find("if y := x + 1; y > 2 {"), std::string::npos)
+      << printed;
+}
+
+TEST(ParserTest, ParsesForVariants) {
+  constexpr char src[] = R"(package p
+
+func f(items []int) int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += i
+	}
+	for total < 100 {
+		total++
+	}
+	for _, v := range items {
+		total += v
+	}
+	for {
+		break
+	}
+	return total
+}
+)";
+  auto parsed = ParseFile("for.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintFile(*parsed->file);
+  auto reparsed = ParseFile("for2.go", printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << printed;
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseFile("bad.go", "package p\nfunc {").ok());
+  EXPECT_FALSE(ParseFile("bad.go", "func f() {}").ok());  // missing package
+  EXPECT_FALSE(ParseFile("bad.go", "package p\nfunc f() { defer x }").ok());
+}
+
+TEST(TypesTest, ResolvesLockOps) {
+  auto parsed = ParseFile("cache.go", kSample);
+  ASSERT_TRUE(parsed.ok());
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  const auto& ops = (*info)->lock_ops();
+  // Get: RLock, RUnlock, RUnlock; Set: Lock + defer Unlock; Dump: RLock,
+  // RUnlock.
+  ASSERT_EQ(ops.size(), 7u);
+  int defers = 0;
+  int rw_ops = 0;
+  for (const auto& op : ops) {
+    if (op.in_defer) {
+      ++defers;
+    }
+    if (op.rwmutex) {
+      ++rw_ops;
+    }
+    EXPECT_FALSE(op.via_anonymous_field);
+    EXPECT_FALSE(op.receiver_is_pointer);  // c.mu is an RWMutex value
+    EXPECT_NE(op.func, nullptr);
+  }
+  EXPECT_EQ(defers, 1);
+  EXPECT_EQ(rw_ops, 7);  // every op is on the RWMutex
+}
+
+TEST(TypesTest, AnonymousMutexDetection) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+type Astruct struct {
+	sync.Mutex
+	count int
+}
+
+func (a *Astruct) Incr() {
+	a.Lock()
+	a.count++
+	a.Unlock()
+}
+)";
+  auto parsed = ParseFile("anon.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok());
+  const auto& ops = (*info)->lock_ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].via_anonymous_field);
+  EXPECT_TRUE(ops[1].via_anonymous_field);
+  EXPECT_FALSE(ops[0].rwmutex);
+
+  const StructInfo* si = (*info)->FindStruct("Astruct");
+  ASSERT_NE(si, nullptr);
+  EXPECT_EQ(si->embedded_mutex, "Mutex");
+}
+
+TEST(TypesTest, PointerMutexDetection) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+func f(m *sync.Mutex) {
+	m.Lock()
+	m.Unlock()
+}
+
+func g() {
+	n := sync.Mutex{}
+	n.Lock()
+	n.Unlock()
+}
+)";
+  auto parsed = ParseFile("ptr.go", src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok());
+  const auto& ops = (*info)->lock_ops();
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_TRUE(ops[0].receiver_is_pointer);   // m *sync.Mutex
+  EXPECT_TRUE(ops[1].receiver_is_pointer);
+  EXPECT_FALSE(ops[2].receiver_is_pointer);  // n value
+  EXPECT_FALSE(ops[3].receiver_is_pointer);
+}
+
+TEST(TypesTest, LockOpInsideClosureRecordsInnerFunc) {
+  constexpr char src[] = R"(package p
+
+import "sync"
+
+var mu sync.Mutex
+
+func Run() {
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+	}()
+}
+)";
+  auto parsed = ParseFile("clo.go", src);
+  ASSERT_TRUE(parsed.ok());
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok());
+  const auto& ops = (*info)->lock_ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_NE(ops[0].inner_func, nullptr);
+  EXPECT_EQ(ops[0].func->name, "Run");
+}
+
+TEST(TypesTest, NonMutexLockNamesAreIgnored) {
+  constexpr char src[] = R"(package p
+
+type Door struct {
+	closed bool
+}
+
+func (d *Door) Lock() {
+	d.closed = true
+}
+
+func Use(d *Door) {
+	d.Lock()
+}
+)";
+  auto parsed = ParseFile("door.go", src);
+  ASSERT_TRUE(parsed.ok());
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE((*info)->lock_ops().empty())
+      << "Lock() on a non-mutex type must not be treated as a lock point";
+}
+
+TEST(TypesTest, MethodResultTypes) {
+  auto parsed = ParseFile("cache.go", kSample);
+  ASSERT_TRUE(parsed.ok());
+  Program program;
+  program.files.push_back(std::move(*parsed));
+  auto info = TypeInfo::Build(&program);
+  ASSERT_TRUE(info.ok());
+  const FuncDecl* get = (*info)->FindFunc("Cache.Get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->name, "Get");
+  const FuncDecl* new_cache = (*info)->FindFunc("NewCache");
+  ASSERT_NE(new_cache, nullptr);
+}
+
+}  // namespace
+}  // namespace gocc::gosrc

@@ -1,0 +1,362 @@
+// SimTM semantics: atomicity, isolation, abort codes, nesting, capacity,
+// strong atomicity, fault injection.
+
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+
+#include "src/htm/config.h"
+#include "src/htm/shared.h"
+#include "src/htm/stats.h"
+#include "src/htm/stripe_table.h"
+#include "src/htm/tx.h"
+
+namespace gocc::htm {
+namespace {
+
+// Runs `body` in a transaction, retrying on abort. Returns the number of
+// aborts observed before the commit, or -1 if it never committed.
+template <typename Fn>
+int RunTx(Fn&& body, int max_tries = 64) {
+  std::jmp_buf env;
+  volatile int aborts = 0;
+  while (aborts < max_tries) {
+    BeginStatus status = GOCC_TX_BEGIN(env);
+    if (!status.started) {
+      aborts = aborts + 1;
+      continue;
+    }
+    body();
+    TxCommit();
+    return aborts;
+  }
+  return -1;
+}
+
+class HtmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ForceSimBackend();
+    MutableConfig() = TxConfig{};
+    GlobalTxStats().Reset();
+  }
+};
+
+TEST_F(HtmTest, SharedRoundTripOutsideTx) {
+  Shared<int64_t> cell(5);
+  EXPECT_EQ(cell.Load(), 5);
+  cell.Store(-9);
+  EXPECT_EQ(cell.Load(), -9);
+  EXPECT_EQ(cell.Add(4), -5);
+  EXPECT_EQ(cell.Load(), -5);
+}
+
+TEST_F(HtmTest, SharedHoldsDoublesAndPointers) {
+  Shared<double> d(1.25);
+  EXPECT_DOUBLE_EQ(d.Load(), 1.25);
+  int x = 0;
+  Shared<int*> p(&x);
+  EXPECT_EQ(p.Load(), &x);
+}
+
+TEST_F(HtmTest, CommitPublishesWrites) {
+  Shared<int64_t> a(1);
+  Shared<int64_t> b(2);
+  int aborts = RunTx([&] {
+    a.Store(10);
+    b.Store(a.Load() + 10);
+  });
+  EXPECT_EQ(aborts, 0);
+  EXPECT_EQ(a.Load(), 10);
+  EXPECT_EQ(b.Load(), 20);
+}
+
+TEST_F(HtmTest, ReadYourOwnWrite) {
+  Shared<int64_t> a(1);
+  RunTx([&] {
+    a.Store(7);
+    EXPECT_EQ(a.Load(), 7);
+    a.Store(8);
+    EXPECT_EQ(a.Load(), 8);
+  });
+  EXPECT_EQ(a.Load(), 8);
+}
+
+TEST_F(HtmTest, ExplicitAbortRollsBackBufferedWrites) {
+  Shared<int64_t> a(1);
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    a.Store(99);
+    TxAbort(AbortCode::kExplicit);
+    FAIL() << "TxAbort returned";
+  }
+  EXPECT_EQ(status.abort_code, AbortCode::kExplicit);
+  EXPECT_FALSE(InTx());
+  EXPECT_EQ(a.Load(), 1);  // the write never became visible
+}
+
+TEST_F(HtmTest, AbortCodeLockHeldSurfaces) {
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    TxAbort(AbortCode::kLockHeld);
+  }
+  EXPECT_EQ(status.abort_code, AbortCode::kLockHeld);
+  EXPECT_EQ(GlobalTxStats().aborts_lock_held.load(), 1u);
+}
+
+TEST_F(HtmTest, WriteCapacityAbort) {
+  MutableConfig().write_capacity_lines = 4;
+  std::vector<std::unique_ptr<Shared<int64_t>>> cells;
+  for (int i = 0; i < 64; ++i) {
+    cells.push_back(std::make_unique<Shared<int64_t>>(0));
+  }
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    for (auto& c : cells) {
+      c->Store(1);  // each heap cell lands on its own line eventually
+    }
+    TxCommit();
+  }
+  EXPECT_FALSE(status.started);
+  EXPECT_EQ(status.abort_code, AbortCode::kCapacity);
+  // Nothing was published.
+  for (auto& c : cells) {
+    EXPECT_EQ(c->Load(), 0);
+  }
+}
+
+TEST_F(HtmTest, ReadCapacityAbort) {
+  MutableConfig().read_capacity_lines = 4;
+  std::vector<std::unique_ptr<Shared<int64_t>>> cells;
+  for (int i = 0; i < 64; ++i) {
+    cells.push_back(std::make_unique<Shared<int64_t>>(1));
+  }
+  std::jmp_buf env;
+  volatile int64_t sum = 0;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    int64_t local = 0;
+    for (auto& c : cells) {
+      local += c->Load();
+    }
+    sum = local;
+    TxCommit();
+  }
+  EXPECT_FALSE(status.started);
+  EXPECT_EQ(status.abort_code, AbortCode::kCapacity);
+  EXPECT_EQ(sum, 0);
+}
+
+TEST_F(HtmTest, RepeatedAccessToOneCellDoesNotExhaustCapacity) {
+  MutableConfig().write_capacity_lines = 2;
+  MutableConfig().read_capacity_lines = 2;
+  Shared<int64_t> a(0);
+  int aborts = RunTx([&] {
+    for (int i = 0; i < 10000; ++i) {
+      a.Add(1);
+    }
+  });
+  EXPECT_EQ(aborts, 0);
+  EXPECT_EQ(a.Load(), 10000);
+}
+
+TEST_F(HtmTest, NestedCommitDefersToOutermost) {
+  Shared<int64_t> a(0);
+  std::jmp_buf outer_env;
+  std::jmp_buf inner_env;
+  BeginStatus outer = GOCC_TX_BEGIN(outer_env);
+  ASSERT_TRUE(outer.started);
+  a.Store(1);
+  BeginStatus inner = GOCC_TX_BEGIN(inner_env);
+  ASSERT_TRUE(inner.started);
+  EXPECT_EQ(TxDepth(), 2);
+  a.Store(2);
+  TxCommit();  // inner: must not publish yet
+  EXPECT_TRUE(InTx());
+  // Not yet visible outside: check via the raw cell (relaxed read bypasses
+  // the write buffer).
+  EXPECT_EQ(a.LoadRelaxed(), 0);
+  TxCommit();  // outermost: publishes everything
+  EXPECT_FALSE(InTx());
+  EXPECT_EQ(a.Load(), 2);
+}
+
+TEST_F(HtmTest, NestedAbortRollsBackToOutermost) {
+  Shared<int64_t> a(0);
+  std::jmp_buf outer_env;
+  volatile bool aborted = false;
+  BeginStatus outer = GOCC_TX_BEGIN(outer_env);
+  if (outer.started) {
+    a.Store(1);
+    std::jmp_buf inner_env;
+    BeginStatus inner = GOCC_TX_BEGIN(inner_env);
+    ASSERT_TRUE(inner.started);
+    a.Store(2);
+    TxAbort(AbortCode::kExplicit);  // flattening: lands at the OUTER begin
+    FAIL() << "unreachable";
+  } else {
+    aborted = true;
+    EXPECT_EQ(outer.abort_code, AbortCode::kExplicit);
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(a.Load(), 0);
+  EXPECT_FALSE(InTx());
+}
+
+TEST_F(HtmTest, NonTxWriteInvalidatesWritingReaderAtCommit) {
+  Shared<int64_t> a(0);
+  Shared<int64_t> b(0);
+  std::jmp_buf env;
+  volatile int pass = 0;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    (void)a.Load();  // subscribe (this is what FastLock does to a lock word)
+    b.Store(1);      // make the transaction a writer so commit validates
+    if (pass == 0) {
+      pass = 1;
+      // A "remote" strongly-atomic write to the subscribed cell (what a
+      // slow-path mutex acquisition does to the subscribed lock word).
+      StripeGuardedUpdate(a.cell(), [&] {});
+    }
+    TxCommit();  // first pass must fail read-set validation
+    EXPECT_EQ(pass, 1);
+  } else {
+    EXPECT_EQ(status.abort_code, AbortCode::kConflict);
+    pass = 2;
+  }
+  EXPECT_EQ(pass, 2) << "commit after a conflicting non-tx write must abort";
+}
+
+// A read-only transaction is serializable at its begin point (every read is
+// validated against the fixed read version), so a later remote write does
+// NOT abort it — the transaction simply serializes before the writer. This
+// is what makes elided read-only critical sections conflict-free (§6.1).
+TEST_F(HtmTest, ReadOnlyTxSerializesBeforeLaterRemoteWrite) {
+  Shared<int64_t> a(7);
+  std::jmp_buf env;
+  volatile int64_t seen = -1;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    seen = a.Load();
+    StripeGuardedUpdate(a.cell(), [&] {});  // remote write after our read
+    TxCommit();
+  }
+  EXPECT_TRUE(status.started);
+  EXPECT_EQ(seen, 7);
+}
+
+TEST_F(HtmTest, ReadAfterRemoteBumpAbortsEagerly) {
+  Shared<int64_t> a(0);
+  std::jmp_buf env;
+  volatile int state = 0;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    if (state == 0) {
+      state = 1;
+      // A strongly-atomic remote write installs a stripe version newer than
+      // our read version: the very next read of `a` must abort eagerly
+      // (zombie prevention), not wait until commit.
+      StripeGuardedUpdate(a.cell(), [&] {});
+      (void)a.Load();
+      ADD_FAILURE() << "load of a newer-versioned stripe did not abort";
+    }
+    TxCommit();
+  } else {
+    EXPECT_EQ(status.abort_code, AbortCode::kConflict);
+    state = 2;
+  }
+  EXPECT_EQ(state, 2);
+}
+
+TEST_F(HtmTest, SpuriousAbortInjection) {
+  MutableConfig().spurious_abort_probability = 1.0;
+  Shared<int64_t> a(0);
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    a.Store(1);  // first access triggers the injected abort
+    TxCommit();
+    FAIL() << "expected spurious abort";
+  }
+  EXPECT_EQ(status.abort_code, AbortCode::kSpurious);
+  EXPECT_EQ(a.LoadRelaxed(), 0);
+}
+
+TEST_F(HtmTest, StatsCountCommitsAndAborts) {
+  Shared<int64_t> a(0);
+  RunTx([&] { a.Store(1); });
+  RunTx([&] { (void)a.Load(); });
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    TxAbort(AbortCode::kExplicit);
+  }
+  const TxStats& stats = GlobalTxStats();
+  EXPECT_EQ(stats.commits.load(), 2u);
+  EXPECT_EQ(stats.read_only_commits.load(), 1u);
+  EXPECT_EQ(stats.aborts_explicit.load(), 1u);
+  EXPECT_EQ(stats.begins.load(), 3u);
+}
+
+TEST_F(HtmTest, StripeHelpers) {
+  Shared<int64_t> a(0);
+  const void* addr = a.cell();
+  EXPECT_EQ(StripeFor(addr), StripeFor(addr));
+  size_t idx = StripeIndexFor(addr);
+  EXPECT_LT(idx, kNumStripes);
+  uint64_t before = StripeFor(addr)->load();
+  NotifyNonTxWrite(addr);
+  uint64_t after = StripeFor(addr)->load();
+  EXPECT_GT(StripeVersion(after), StripeVersion(before));
+  EXPECT_FALSE(StripeIsLocked(after));
+}
+
+// Transaction size sweep: commits must succeed right up to the capacity
+// boundary and abort just past it.
+class CapacityBoundary : public HtmTest,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(CapacityBoundary, WriteSetBoundaryIsExact) {
+  const int cap = GetParam();
+  MutableConfig().write_capacity_lines = static_cast<size_t>(cap);
+  // Allocate cells 64B apart so each occupies its own line.
+  struct alignas(64) Line {
+    Shared<int64_t> cell;
+  };
+  std::vector<std::unique_ptr<Line>> lines;
+  for (int i = 0; i < cap + 1; ++i) {
+    lines.push_back(std::make_unique<Line>());
+  }
+
+  // Exactly `cap` distinct lines: commits.
+  std::jmp_buf env;
+  BeginStatus status = GOCC_TX_BEGIN(env);
+  if (status.started) {
+    for (int i = 0; i < cap; ++i) {
+      lines[static_cast<size_t>(i)]->cell.Store(1);
+    }
+    TxCommit();
+  }
+  EXPECT_TRUE(status.started);
+
+  // cap + 1 distinct lines: capacity abort.
+  std::jmp_buf env2;
+  BeginStatus status2 = GOCC_TX_BEGIN(env2);
+  if (status2.started) {
+    for (int i = 0; i < cap + 1; ++i) {
+      lines[static_cast<size_t>(i)]->cell.Store(2);
+    }
+    TxCommit();
+    FAIL() << "expected capacity abort";
+  }
+  EXPECT_EQ(status2.abort_code, AbortCode::kCapacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CapacityBoundary,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+}  // namespace
+}  // namespace gocc::htm

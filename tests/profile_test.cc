@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "src/profile/profile.h"
+
+namespace gocc::profile {
+namespace {
+
+TEST(ProfileTest, ParsesBasicTable) {
+  auto p = Profile::Parse("# comment\nCache.Get 0.42\nNewCache\t0.003\n\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 2u);
+  EXPECT_DOUBLE_EQ(p->FractionOf("Cache.Get"), 0.42);
+  EXPECT_DOUBLE_EQ(p->FractionOf("NewCache"), 0.003);
+  EXPECT_DOUBLE_EQ(p->FractionOf("Missing"), 0.0);
+}
+
+TEST(ProfileTest, HotThresholdIsOnePercent) {
+  Profile p;
+  p.Set("hot", 0.01);
+  p.Set("warm", 0.0099);
+  EXPECT_TRUE(p.IsHot("hot"));
+  EXPECT_FALSE(p.IsHot("warm"));
+  EXPECT_FALSE(p.IsHot("absent"));
+}
+
+TEST(ProfileTest, RejectsMalformedLines) {
+  EXPECT_FALSE(Profile::Parse("justonefield\n").ok());
+  EXPECT_FALSE(Profile::Parse("f notanumber\n").ok());
+  EXPECT_FALSE(Profile::Parse("f 1.5\n").ok());
+  EXPECT_FALSE(Profile::Parse("f -0.1\n").ok());
+}
+
+TEST(ProfileTest, FunctionKeysWithDotsAndSpaces) {
+  auto p = Profile::Parse("Cache.Get  0.2\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->FractionOf("Cache.Get"), 0.2);
+}
+
+}  // namespace
+}  // namespace gocc::profile

@@ -1,0 +1,245 @@
+// Property-based tests: a generator of random (but well-formed) mini-Go
+// programs with randomized lock/unlock patterns drives the whole pipeline
+// and checks invariants that must hold for EVERY program:
+//
+//  * the pipeline never fails on generator output,
+//  * printing is a fixpoint after one parse/print round trip,
+//  * transformed output reparses and re-analyzes,
+//  * funnel arithmetic is conserved (candidates = transformed + rejected),
+//  * matched pairs satisfy the dominance conditions by construction
+//    (lock's scope == unlock's scope, compatible op kinds),
+//  * re-running the pipeline on its own output transforms nothing new
+//    (idempotence: FastLock calls are not lock points).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/gosrc/parser.h"
+#include "src/gosrc/printer.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+namespace {
+
+// Generates a random structured function body with lock patterns drawn
+// from the paper's shapes: plain pairs, nested disjoint pairs, branches,
+// loops, defers, IO poison, early returns.
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    src_ = "package p\n\nimport (\n\t\"sync\"\n\t\"fmt\"\n)\n\n";
+    int mutexes = static_cast<int>(rng_.NextInRange(1, 3));
+    for (int m = 0; m < mutexes; ++m) {
+      src_ += StrFormat("var mu%d sync.Mutex\n", m);
+    }
+    src_ += "var x int\n\n";
+    mutex_count_ = mutexes;
+
+    int funcs = static_cast<int>(rng_.NextInRange(1, 4));
+    for (int f = 0; f < funcs; ++f) {
+      GenerateFunc(f);
+    }
+    return src_;
+  }
+
+ private:
+  void GenerateFunc(int id) {
+    src_ += StrFormat("func f%d(c bool) {\n", id);
+    indent_ = 1;
+    defer_used_ = false;
+    GenerateBody(/*depth=*/0);
+    src_ += "}\n\n";
+  }
+
+  void Line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) {
+      src_ += "\t";
+    }
+    src_ += text;
+    src_ += "\n";
+  }
+
+  std::string Mu() {
+    return StrFormat("mu%d", static_cast<int>(
+                                 rng_.NextBelow(
+                                     static_cast<uint64_t>(mutex_count_))));
+  }
+
+  void GenerateBody(int depth) {
+    int statements = static_cast<int>(rng_.NextInRange(1, 4));
+    for (int s = 0; s < statements; ++s) {
+      switch (rng_.NextBelow(8)) {
+        case 0: {  // plain pair
+          std::string mu = Mu();
+          Line(mu + ".Lock()");
+          Line("x++");
+          Line(mu + ".Unlock()");
+          break;
+        }
+        case 1: {  // pair with a defer (at most one per function)
+          if (!defer_used_ && depth == 0) {
+            std::string mu = Mu();
+            Line(mu + ".Lock()");
+            Line("defer " + mu + ".Unlock()");
+            Line("x++");
+            defer_used_ = true;
+          } else {
+            Line("x++");
+          }
+          break;
+        }
+        case 2: {  // branch with symmetric pairs
+          if (depth < 2) {
+            Line("if c {");
+            ++indent_;
+            GenerateBody(depth + 1);
+            --indent_;
+            Line("} else {");
+            ++indent_;
+            GenerateBody(depth + 1);
+            --indent_;
+            Line("}");
+          } else {
+            Line("x++");
+          }
+          break;
+        }
+        case 3: {  // loop-wrapped pair
+          if (depth < 2) {
+            Line("for i := 0; i < 3; i++ {");
+            ++indent_;
+            std::string mu = Mu();
+            Line(mu + ".Lock()");
+            Line("x += i");
+            Line(mu + ".Unlock()");
+            --indent_;
+            Line("}");
+          } else {
+            Line("x++");
+          }
+          break;
+        }
+        case 4: {  // IO-poisoned pair (must be filtered, never crash)
+          std::string mu = Mu();
+          Line(mu + ".Lock()");
+          Line("fmt.Println(x)");
+          Line(mu + ".Unlock()");
+          break;
+        }
+        case 5: {  // dominance violation: conditional lock, later unlock
+          std::string mu = Mu();
+          Line("if c {");
+          ++indent_;
+          Line(mu + ".Lock()");
+          --indent_;
+          Line("}");
+          Line("if c {");
+          ++indent_;
+          Line(mu + ".Unlock()");
+          --indent_;
+          Line("}");
+          break;
+        }
+        case 6: {  // nested pairs (maybe aliased: generator may pick the
+                   // same mutex, which must reject the outer pair)
+          std::string a = Mu();
+          std::string b = Mu();
+          Line(a + ".Lock()");
+          Line(b + ".Lock()");
+          Line("x++");
+          Line(b + ".Unlock()");
+          Line(a + ".Unlock()");
+          break;
+        }
+        default:
+          Line("x++");
+          break;
+      }
+    }
+  }
+
+  SplitMix64 rng_;
+  std::string src_;
+  int indent_ = 0;
+  int mutex_count_ = 1;
+  bool defer_used_ = false;
+};
+
+PipelineOutput MustRun(const std::string& src) {
+  PipelineInput input;
+  input.sources.push_back({"gen.go", src});
+  auto output = RunPipeline(input);
+  EXPECT_TRUE(output.ok()) << output.status().ToString() << "\n" << src;
+  return std::move(*output);
+}
+
+class PipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineProperty, PipelineNeverFailsAndConservesFunnel) {
+  ProgramGenerator gen(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+  std::string src = gen.Generate();
+  PipelineOutput out = MustRun(src);
+
+  const FunnelCounts& c = out.analysis.counts;
+  // Funnel conservation: every candidate pair is accounted for exactly once.
+  EXPECT_EQ(c.candidate_pairs, c.transformed + c.unfit_intra + c.unfit_inter +
+                                   c.nested_alias_intra +
+                                   c.nested_alias_inter)
+      << src;
+  // Each candidate pair consumes one lock point and one unlock point.
+  EXPECT_LE(c.candidate_pairs, c.lock_points) << src;
+  EXPECT_LE(c.candidate_pairs, c.unlock_points) << src;
+  // Unmatched points are exactly the dominance violations (the generator
+  // avoids multi-defer functions, so no scope is skipped wholesale).
+  EXPECT_EQ(c.dominance_violations,
+            c.lock_points + c.unlock_points - 2 * c.candidate_pairs)
+      << src;
+}
+
+TEST_P(PipelineProperty, PairsRespectScopeAndKind) {
+  ProgramGenerator gen(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  PipelineOutput out = MustRun(gen.Generate());
+  for (const FunctionReport& fr : out.analysis.functions) {
+    for (const LUPair& pair : fr.pairs) {
+      EXPECT_EQ(pair.lock_op->func, pair.unlock_op->func);
+      EXPECT_EQ(pair.lock_op->inner_func, pair.unlock_op->inner_func);
+      EXPECT_TRUE(gosrc::IsAcquire(pair.lock_op->op));
+      EXPECT_FALSE(gosrc::IsAcquire(pair.unlock_op->op));
+    }
+  }
+}
+
+TEST_P(PipelineProperty, TransformedOutputReparsesAndPrintsAtFixpoint) {
+  ProgramGenerator gen(static_cast<uint64_t>(GetParam()) * 52361 + 11);
+  PipelineOutput out = MustRun(gen.Generate());
+  for (const auto& file : out.transform.files) {
+    auto reparsed = gosrc::ParseFile("r.go", file.after);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\n" << file.after;
+    EXPECT_EQ(gosrc::PrintFile(*reparsed->file), file.after)
+        << "printer must be a fixpoint over its own output";
+  }
+}
+
+TEST_P(PipelineProperty, TransformationIsIdempotent) {
+  ProgramGenerator gen(static_cast<uint64_t>(GetParam()) * 193939 + 29);
+  PipelineOutput first = MustRun(gen.Generate());
+  // Re-run the pipeline on the transformed output: FastLock calls are not
+  // sync.Mutex operations, so nothing new may be found among the rewritten
+  // pairs, and the remaining (untransformed) pairs must be the rejected
+  // ones, which stay rejected.
+  PipelineInput second_input;
+  second_input.sources.push_back({"gen2.go", first.transform.files[0].after});
+  auto second = RunPipeline(second_input);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->analysis.counts.transformed, 0)
+      << first.transform.files[0].after;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace gocc::analysis

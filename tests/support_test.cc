@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/support/diff.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+
+namespace gocc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusTest, StatusOrHoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyPieces) {
+  auto pieces = StrSplit("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringsTest, SplitLinesIgnoresTrailingNewline) {
+  auto lines = SplitLines("x\ny\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "x");
+  EXPECT_EQ(lines[1], "y");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("m.Lock()", "m."));
+  EXPECT_FALSE(StartsWith("m", "m."));
+  EXPECT_TRUE(EndsWith("defer m.Unlock()", "Unlock()"));
+  EXPECT_FALSE(EndsWith("Unlock", "Unlock()"));
+}
+
+TEST(StringsTest, StrFormatAndJoin) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, ParseNumbers) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble(" 1.5 ", &d));
+  EXPECT_DOUBLE_EQ(d, 1.5);
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("4 2", &i));
+}
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangesRespected) {
+  SplitMix64 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StatsTest, GeoMeanAndMedian) {
+  EXPECT_DOUBLE_EQ(GeoMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+}
+
+TEST(StatsTest, SpeedupPercent) {
+  EXPECT_DOUBLE_EQ(SpeedupPercent(20.0, 10.0), 100.0);
+  EXPECT_NEAR(SpeedupPercent(10.0, 20.0), -50.0, 1e-9);
+}
+
+TEST(StatsTest, RunningStat) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    rs.Add(v);
+  }
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);
+}
+
+TEST(DiffTest, IdenticalInputsYieldEmptyDiff) {
+  EXPECT_EQ(UnifiedDiff("a", "b", "x\ny\n", "x\ny\n"), "");
+}
+
+TEST(DiffTest, SingleLineChange) {
+  std::string diff =
+      UnifiedDiff("old.go", "new.go", "a\nm.Lock()\nc\n",
+                  "a\noptiLock1.FastLock(&m)\nc\n");
+  EXPECT_NE(diff.find("--- old.go"), std::string::npos);
+  EXPECT_NE(diff.find("+++ new.go"), std::string::npos);
+  EXPECT_NE(diff.find("-m.Lock()"), std::string::npos);
+  EXPECT_NE(diff.find("+optiLock1.FastLock(&m)"), std::string::npos);
+  EXPECT_NE(diff.find(" a"), std::string::npos);
+}
+
+TEST(DiffTest, ScriptRoundTrip) {
+  std::string before = "1\n2\n3\n4\n";
+  std::string after = "1\nX\n3\n5\n6\n";
+  auto script = DiffLines(before, after);
+  // Applying the script reproduces `after`.
+  std::string rebuilt;
+  for (const auto& line : script) {
+    if (line.op != DiffOp::kDelete) {
+      rebuilt += line.text;
+      rebuilt += "\n";
+    }
+  }
+  EXPECT_EQ(rebuilt, after);
+  // And removing inserts reproduces `before`.
+  std::string original;
+  for (const auto& line : script) {
+    if (line.op != DiffOp::kInsert) {
+      original += line.text;
+      original += "\n";
+    }
+  }
+  EXPECT_EQ(original, before);
+}
+
+TEST(DiffTest, HunkHeadersCountLines) {
+  std::string before = "a\nb\nc\nd\ne\nf\ng\nh\ni\nj\nk\n";
+  std::string after = "a\nb\nc\nd\nE\nf\ng\nh\ni\nj\nk\n";
+  std::string diff = UnifiedDiff("x", "y", before, after, 2);
+  EXPECT_NE(diff.find("@@ -3,5 +3,5 @@"), std::string::npos) << diff;
+}
+
+}  // namespace
+}  // namespace gocc
