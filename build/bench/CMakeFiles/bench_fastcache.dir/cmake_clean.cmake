@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fastcache.dir/bench_fastcache.cc.o"
+  "CMakeFiles/bench_fastcache.dir/bench_fastcache.cc.o.d"
+  "bench_fastcache"
+  "bench_fastcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fastcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

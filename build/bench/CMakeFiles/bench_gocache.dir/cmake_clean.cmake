@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gocache.dir/bench_gocache.cc.o"
+  "CMakeFiles/bench_gocache.dir/bench_gocache.cc.o.d"
+  "bench_gocache"
+  "bench_gocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_htm.dir/bench_htm.cc.o"
+  "CMakeFiles/bench_htm.dir/bench_htm.cc.o.d"
+  "bench_htm"
+  "bench_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perceptron.cc" "bench/CMakeFiles/bench_perceptron.dir/bench_perceptron.cc.o" "gcc" "bench/CMakeFiles/bench_perceptron.dir/bench_perceptron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gocc_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gopool/CMakeFiles/gocc_gopool.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gocc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/optilib/CMakeFiles/gocc_optilib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gosync/CMakeFiles/gocc_gosync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/gocc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

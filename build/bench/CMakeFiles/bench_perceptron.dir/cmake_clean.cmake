@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perceptron.dir/bench_perceptron.cc.o"
+  "CMakeFiles/bench_perceptron.dir/bench_perceptron.cc.o.d"
+  "bench_perceptron"
+  "bench_perceptron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perceptron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

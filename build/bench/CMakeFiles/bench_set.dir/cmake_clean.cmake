@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set.dir/bench_set.cc.o"
+  "CMakeFiles/bench_set.dir/bench_set.cc.o.d"
+  "bench_set"
+  "bench_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

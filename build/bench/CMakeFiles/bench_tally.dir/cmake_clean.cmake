@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tally.dir/bench_tally.cc.o"
+  "CMakeFiles/bench_tally.dir/bench_tally.cc.o.d"
+  "bench_tally"
+  "bench_tally.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tally.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

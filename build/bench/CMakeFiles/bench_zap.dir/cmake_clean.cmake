@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zap.dir/bench_zap.cc.o"
+  "CMakeFiles/bench_zap.dir/bench_zap.cc.o.d"
+  "bench_zap"
+  "bench_zap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgocc_bench_harness.a"
+  "../lib/libgocc_bench_harness.pdb"
+  "CMakeFiles/gocc_bench_harness.dir/bench_util.cc.o"
+  "CMakeFiles/gocc_bench_harness.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgocc_bench_util.a"
+  "../lib/libgocc_bench_util.pdb"
+  "CMakeFiles/gocc_bench_util.dir/corpus_util.cc.o"
+  "CMakeFiles/gocc_bench_util.dir/corpus_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

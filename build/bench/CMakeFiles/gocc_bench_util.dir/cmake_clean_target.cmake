@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgocc_bench_util.a"
+)

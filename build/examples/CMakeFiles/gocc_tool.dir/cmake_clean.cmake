@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_tool.dir/gocc_tool.cpp.o"
+  "CMakeFiles/gocc_tool.dir/gocc_tool.cpp.o.d"
+  "gocc_tool"
+  "gocc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

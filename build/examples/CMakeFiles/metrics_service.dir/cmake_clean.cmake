@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_service.dir/metrics_service.cpp.o"
+  "CMakeFiles/metrics_service.dir/metrics_service.cpp.o.d"
+  "metrics_service"
+  "metrics_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

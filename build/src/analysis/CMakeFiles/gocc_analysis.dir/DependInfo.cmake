@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/callgraph.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/callgraph.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/lupair.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/lupair.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/lupair.cc.o.d"
+  "/root/repo/src/analysis/pipeline.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/pipeline.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/pipeline.cc.o.d"
+  "/root/repo/src/analysis/pointsto.cc" "src/analysis/CMakeFiles/gocc_analysis.dir/pointsto.cc.o" "gcc" "src/analysis/CMakeFiles/gocc_analysis.dir/pointsto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gosrc/CMakeFiles/gocc_gosrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gocc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/gocc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_analysis.dir/callgraph.cc.o"
+  "CMakeFiles/gocc_analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/gocc_analysis.dir/cfg.cc.o"
+  "CMakeFiles/gocc_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/gocc_analysis.dir/dominators.cc.o"
+  "CMakeFiles/gocc_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/gocc_analysis.dir/lupair.cc.o"
+  "CMakeFiles/gocc_analysis.dir/lupair.cc.o.d"
+  "CMakeFiles/gocc_analysis.dir/pipeline.cc.o"
+  "CMakeFiles/gocc_analysis.dir/pipeline.cc.o.d"
+  "CMakeFiles/gocc_analysis.dir/pointsto.cc.o"
+  "CMakeFiles/gocc_analysis.dir/pointsto.cc.o.d"
+  "libgocc_analysis.a"
+  "libgocc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

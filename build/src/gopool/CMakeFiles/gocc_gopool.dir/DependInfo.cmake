@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gopool/gopool.cc" "src/gopool/CMakeFiles/gocc_gopool.dir/gopool.cc.o" "gcc" "src/gopool/CMakeFiles/gocc_gopool.dir/gopool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gosync/CMakeFiles/gocc_gosync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/gocc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_gopool.dir/gopool.cc.o"
+  "CMakeFiles/gocc_gopool.dir/gopool.cc.o.d"
+  "libgocc_gopool.a"
+  "libgocc_gopool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_gopool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

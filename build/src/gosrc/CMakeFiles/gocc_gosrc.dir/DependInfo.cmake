@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gosrc/lexer.cc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/lexer.cc.o" "gcc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/lexer.cc.o.d"
+  "/root/repo/src/gosrc/parser.cc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/parser.cc.o" "gcc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/parser.cc.o.d"
+  "/root/repo/src/gosrc/printer.cc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/printer.cc.o" "gcc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/printer.cc.o.d"
+  "/root/repo/src/gosrc/token.cc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/token.cc.o" "gcc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/token.cc.o.d"
+  "/root/repo/src/gosrc/types.cc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/types.cc.o" "gcc" "src/gosrc/CMakeFiles/gocc_gosrc.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_gosrc.dir/lexer.cc.o"
+  "CMakeFiles/gocc_gosrc.dir/lexer.cc.o.d"
+  "CMakeFiles/gocc_gosrc.dir/parser.cc.o"
+  "CMakeFiles/gocc_gosrc.dir/parser.cc.o.d"
+  "CMakeFiles/gocc_gosrc.dir/printer.cc.o"
+  "CMakeFiles/gocc_gosrc.dir/printer.cc.o.d"
+  "CMakeFiles/gocc_gosrc.dir/token.cc.o"
+  "CMakeFiles/gocc_gosrc.dir/token.cc.o.d"
+  "CMakeFiles/gocc_gosrc.dir/types.cc.o"
+  "CMakeFiles/gocc_gosrc.dir/types.cc.o.d"
+  "libgocc_gosrc.a"
+  "libgocc_gosrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_gosrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gosync/mutex.cc" "src/gosync/CMakeFiles/gocc_gosync.dir/mutex.cc.o" "gcc" "src/gosync/CMakeFiles/gocc_gosync.dir/mutex.cc.o.d"
+  "/root/repo/src/gosync/parking_lot.cc" "src/gosync/CMakeFiles/gocc_gosync.dir/parking_lot.cc.o" "gcc" "src/gosync/CMakeFiles/gocc_gosync.dir/parking_lot.cc.o.d"
+  "/root/repo/src/gosync/runtime.cc" "src/gosync/CMakeFiles/gocc_gosync.dir/runtime.cc.o" "gcc" "src/gosync/CMakeFiles/gocc_gosync.dir/runtime.cc.o.d"
+  "/root/repo/src/gosync/rwmutex.cc" "src/gosync/CMakeFiles/gocc_gosync.dir/rwmutex.cc.o" "gcc" "src/gosync/CMakeFiles/gocc_gosync.dir/rwmutex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/htm/CMakeFiles/gocc_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

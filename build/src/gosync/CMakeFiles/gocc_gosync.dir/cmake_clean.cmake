@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_gosync.dir/mutex.cc.o"
+  "CMakeFiles/gocc_gosync.dir/mutex.cc.o.d"
+  "CMakeFiles/gocc_gosync.dir/parking_lot.cc.o"
+  "CMakeFiles/gocc_gosync.dir/parking_lot.cc.o.d"
+  "CMakeFiles/gocc_gosync.dir/runtime.cc.o"
+  "CMakeFiles/gocc_gosync.dir/runtime.cc.o.d"
+  "CMakeFiles/gocc_gosync.dir/rwmutex.cc.o"
+  "CMakeFiles/gocc_gosync.dir/rwmutex.cc.o.d"
+  "libgocc_gosync.a"
+  "libgocc_gosync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_gosync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

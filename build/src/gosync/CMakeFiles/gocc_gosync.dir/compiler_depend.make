@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gocc_gosync.
+# This may be replaced when dependencies are built.

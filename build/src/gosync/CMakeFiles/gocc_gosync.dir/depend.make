@@ -1,0 +1,2 @@
+# Empty dependencies file for gocc_gosync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/config.cc" "src/htm/CMakeFiles/gocc_htm.dir/config.cc.o" "gcc" "src/htm/CMakeFiles/gocc_htm.dir/config.cc.o.d"
+  "/root/repo/src/htm/rtm_backend.cc" "src/htm/CMakeFiles/gocc_htm.dir/rtm_backend.cc.o" "gcc" "src/htm/CMakeFiles/gocc_htm.dir/rtm_backend.cc.o.d"
+  "/root/repo/src/htm/stripe_table.cc" "src/htm/CMakeFiles/gocc_htm.dir/stripe_table.cc.o" "gcc" "src/htm/CMakeFiles/gocc_htm.dir/stripe_table.cc.o.d"
+  "/root/repo/src/htm/tx.cc" "src/htm/CMakeFiles/gocc_htm.dir/tx.cc.o" "gcc" "src/htm/CMakeFiles/gocc_htm.dir/tx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gocc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_htm.dir/config.cc.o"
+  "CMakeFiles/gocc_htm.dir/config.cc.o.d"
+  "CMakeFiles/gocc_htm.dir/rtm_backend.cc.o"
+  "CMakeFiles/gocc_htm.dir/rtm_backend.cc.o.d"
+  "CMakeFiles/gocc_htm.dir/stripe_table.cc.o"
+  "CMakeFiles/gocc_htm.dir/stripe_table.cc.o.d"
+  "CMakeFiles/gocc_htm.dir/tx.cc.o"
+  "CMakeFiles/gocc_htm.dir/tx.cc.o.d"
+  "libgocc_htm.a"
+  "libgocc_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_optilib.dir/optilock.cc.o"
+  "CMakeFiles/gocc_optilib.dir/optilock.cc.o.d"
+  "libgocc_optilib.a"
+  "libgocc_optilib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_optilib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gocc_optilib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_profile.dir/profile.cc.o"
+  "CMakeFiles/gocc_profile.dir/profile.cc.o.d"
+  "libgocc_profile.a"
+  "libgocc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

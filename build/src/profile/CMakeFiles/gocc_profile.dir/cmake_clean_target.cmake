@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgocc_profile.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_sim.dir/desim.cc.o"
+  "CMakeFiles/gocc_sim.dir/desim.cc.o.d"
+  "libgocc_sim.a"
+  "libgocc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

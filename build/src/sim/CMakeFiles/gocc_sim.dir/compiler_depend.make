@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gocc_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_support.dir/diff.cc.o"
+  "CMakeFiles/gocc_support.dir/diff.cc.o.d"
+  "CMakeFiles/gocc_support.dir/status.cc.o"
+  "CMakeFiles/gocc_support.dir/status.cc.o.d"
+  "CMakeFiles/gocc_support.dir/strings.cc.o"
+  "CMakeFiles/gocc_support.dir/strings.cc.o.d"
+  "libgocc_support.a"
+  "libgocc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

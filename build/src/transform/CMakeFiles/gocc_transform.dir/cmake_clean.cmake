@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocc_transform.dir/transformer.cc.o"
+  "CMakeFiles/gocc_transform.dir/transformer.cc.o.d"
+  "libgocc_transform.a"
+  "libgocc_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocc_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

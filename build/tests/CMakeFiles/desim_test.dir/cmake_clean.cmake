@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desim_test.dir/desim_test.cc.o"
+  "CMakeFiles/desim_test.dir/desim_test.cc.o.d"
+  "desim_test"
+  "desim_test.pdb"
+  "desim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

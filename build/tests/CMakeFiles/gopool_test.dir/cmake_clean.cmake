@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopool_test.dir/gopool_test.cc.o"
+  "CMakeFiles/gopool_test.dir/gopool_test.cc.o.d"
+  "gopool_test"
+  "gopool_test.pdb"
+  "gopool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gosrc_test.dir/gosrc_test.cc.o"
+  "CMakeFiles/gosrc_test.dir/gosrc_test.cc.o.d"
+  "gosrc_test"
+  "gosrc_test.pdb"
+  "gosrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gosrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gosync_test.dir/gosync_test.cc.o"
+  "CMakeFiles/gosync_test.dir/gosync_test.cc.o.d"
+  "gosync_test"
+  "gosync_test.pdb"
+  "gosync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gosync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

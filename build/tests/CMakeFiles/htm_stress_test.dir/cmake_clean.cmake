@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_stress_test.dir/htm_stress_test.cc.o"
+  "CMakeFiles/htm_stress_test.dir/htm_stress_test.cc.o.d"
+  "htm_stress_test"
+  "htm_stress_test.pdb"
+  "htm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optilock_test.dir/optilock_test.cc.o"
+  "CMakeFiles/optilock_test.dir/optilock_test.cc.o.d"
+  "optilock_test"
+  "optilock_test.pdb"
+  "optilock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optilock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

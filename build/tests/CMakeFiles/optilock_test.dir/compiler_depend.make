@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optilock_test.
+# This may be replaced when dependencies are built.

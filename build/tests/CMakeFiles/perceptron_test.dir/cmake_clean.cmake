@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptron_test.dir/perceptron_test.cc.o"
+  "CMakeFiles/perceptron_test.dir/perceptron_test.cc.o.d"
+  "perceptron_test"
+  "perceptron_test.pdb"
+  "perceptron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
