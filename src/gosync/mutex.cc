@@ -5,6 +5,7 @@
 
 #include "src/gosync/parking_lot.h"
 #include "src/gosync/runtime.h"
+#include "src/htm/fault.h"
 #include "src/htm/tx.h"
 
 namespace gocc::gosync {
@@ -35,6 +36,9 @@ void DoSpin() {
 
 bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
   if (tracking_ == ElisionTracking::kEnabled) {
+    // Chaos hook: widen the window between a transaction's subscription read
+    // and this slow-path acquisition (no-op unless the injector is armed).
+    htm::fault::MaybeStall();
     bool ok = false;
     htm::StripeGuardedUpdate(&state_, [&] {
       ok = state_.compare_exchange_strong(expected, desired,
@@ -50,6 +54,7 @@ bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
 
 void Mutex::AcquiringAdd(int64_t delta) {
   if (tracking_ == ElisionTracking::kEnabled) {
+    htm::fault::MaybeStall();
     htm::StripeGuardedUpdate(&state_, [&] {
       state_.fetch_add(static_cast<uint64_t>(delta),
                        std::memory_order_acq_rel);

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/gosync/parking_lot.h"
+#include "src/htm/fault.h"
 #include "src/htm/tx.h"
 
 namespace gocc::gosync {
@@ -10,6 +11,9 @@ namespace gocc::gosync {
 int64_t RWMutex::ReaderCountAdd(int64_t delta) {
   int64_t result = 0;
   if (tracking_ == ElisionTracking::kEnabled) {
+    // Chaos hook: stretch the stripe-guarded reader-count transition so
+    // injected schedules can interleave with subscribed transactions.
+    htm::fault::MaybeStall();
     htm::StripeGuardedUpdate(&reader_count_, [&] {
       result = static_cast<int64_t>(reader_count_.fetch_add(
                    static_cast<uint64_t>(delta), std::memory_order_acq_rel)) +

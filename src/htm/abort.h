@@ -29,6 +29,9 @@ enum class AbortCode : int {
   kSpurious = 6,
 };
 
+// Number of distinct AbortCode values (for histogram arrays indexed by code).
+inline constexpr int kNumAbortCodes = 7;
+
 // Human-readable abort-code name.
 inline const char* AbortCodeName(AbortCode code) {
   switch (code) {

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/htm/fault.h"
 #include "src/htm/rtm_backend.h"
 #include "src/htm/stats.h"
 #include "src/htm/stripe_table.h"
@@ -84,6 +85,15 @@ TxStats g_stats;
   tx.ResetSets();
   assert(env != nullptr && "SimTM abort without a checkpoint");
   std::longjmp(*env, static_cast<int>(code));
+}
+
+// Fault-injection hook for in-transaction accesses: an injected code aborts
+// through the normal rollback path, exactly like an organic abort.
+void MaybeInjectedAbort(TxContext& tx, fault::Site site) {
+  AbortCode code = fault::MaybeInject(site);
+  if (code != AbortCode::kNone) {
+    AbortInternal(tx, code);
+  }
 }
 
 void MaybeSpuriousAbort(TxContext& tx) {
@@ -221,6 +231,16 @@ int TxDepth() { return tls_tx.depth; }
 
 BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
   if (ActiveBackend() == Backend::kRtm) {
+    // Pre-RTM decision path: an injected code is reported exactly like an
+    // xbegin that aborted before the transaction ran (models best-effort
+    // refusal and TSX being disabled mid-run by microcode).
+    if (!RtmInTx()) {
+      AbortCode injected = fault::MaybeInject(fault::Site::kBegin);
+      if (injected != AbortCode::kNone) {
+        g_stats.RecordAbort(injected);
+        return BeginStatus{false, injected};
+      }
+    }
     BeginStatus status = RtmBegin();
     if (status.started) {
       g_stats.begins.fetch_add(1, std::memory_order_relaxed);
@@ -242,6 +262,15 @@ BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
     ++tx.depth;
     return BeginStatus{true, AbortCode::kNone};
   }
+  {
+    // Outermost SimTM begin: an injected failure is reported through the
+    // BeginStatus (no checkpoint exists yet to long-jump to).
+    AbortCode injected = fault::MaybeInject(fault::Site::kBegin);
+    if (injected != AbortCode::kNone) {
+      g_stats.RecordAbort(injected);
+      return BeginStatus{false, injected};
+    }
+  }
   tx.depth = 1;
   tx.env = env;
   tx.rv = GlobalClock().load(std::memory_order_acquire);
@@ -262,6 +291,7 @@ void TxCommit() {
     return;  // nested commit defers to the outermost (RTM behaviour)
   }
   tx.depth = 1;  // CommitOutermost may abort; keep state coherent until done
+  MaybeInjectedAbort(tx, fault::Site::kCommit);
   CommitOutermost(tx);
 }
 
@@ -323,6 +353,7 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
   if (tx.read_lines.size() > Config().read_capacity_lines) {
     AbortInternal(tx, AbortCode::kCapacity);
   }
+  MaybeInjectedAbort(tx, fault::Site::kLoad);
   MaybeSpuriousAbort(tx);
   return value;
 }
@@ -371,6 +402,7 @@ void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
   } else {
     tx.writes[it->second].value = value;
   }
+  MaybeInjectedAbort(tx, fault::Site::kStore);
   MaybeSpuriousAbort(tx);
 }
 

@@ -1,0 +1,126 @@
+// Per-(mutex, call-site) elision circuit breaker.
+//
+// The perceptron (perceptron.h) learns *profitability*; it is still willing
+// to re-probe a hostile pair every kDecayThreshold slow decisions, and its
+// weights move by ±1, so a pair whose transactions abort persistently (an
+// injected storm, a capacity-hostile phase, RTM disabled mid-run) keeps
+// paying periodic abort taxes. The breaker adds a second, coarser layer,
+// keyed by the same (mutex ^ call-site) hash: after `threshold` consecutive
+// episodes that exhausted their retry budget and fell back to the lock, the
+// cell *opens* and quarantines elision outright for a cooldown measured in
+// episodes; after the cooldown exactly one episode is admitted as a
+// half-open probe. A successful probe closes the cell; a failed probe
+// re-opens it immediately.
+//
+// Layering, not replacement: the breaker sits after the perceptron in the
+// decision path, so perceptron statistics (slow streaks, decay resets) keep
+// their paper semantics, and the breaker only sees episodes the perceptron
+// was still willing to speculate on.
+//
+// All state is relaxed atomics in the perceptron's "racy but fast" spirit:
+// a lost failure count or a double-admitted probe is harmless — mutual
+// exclusion never depends on the breaker, only fallback economics do.
+
+#ifndef GOCC_SRC_OPTILIB_BREAKER_H_
+#define GOCC_SRC_OPTILIB_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gocc::optilib {
+
+enum class BreakerDecision {
+  kClosed,   // elision admitted, breaker not involved
+  kOpen,     // quarantined: go straight to the lock
+  kReprobe,  // cooldown expired: this episode is the half-open probe
+};
+
+class BreakerTable {
+ public:
+  // Same index space as the perceptron tables so one hashed Indices value
+  // addresses both layers.
+  static constexpr uint32_t kTableSize = 4096;
+
+  // Admission check for cell `idx` at episode time `now`.
+  // `threshold` <= 0 disables the breaker entirely (seed behaviour).
+  BreakerDecision Admit(uint32_t idx, uint64_t now, int threshold) {
+    if (threshold <= 0) {
+      return BreakerDecision::kClosed;
+    }
+    Cell& cell = cells_[idx & (kTableSize - 1)];
+    uint64_t until = cell.open_until.load(std::memory_order_relaxed);
+    if (until == 0) {
+      return BreakerDecision::kClosed;
+    }
+    if (now < until) {
+      return BreakerDecision::kOpen;
+    }
+    // Cooldown elapsed: exactly one episode claims the half-open probe; a
+    // single failed probe must re-open, so the failure streak restarts one
+    // short of the threshold.
+    if (cell.open_until.compare_exchange_strong(until, 0,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      cell.failures.store(static_cast<uint32_t>(threshold - 1),
+                          std::memory_order_relaxed);
+      return BreakerDecision::kReprobe;
+    }
+    // Lost the claim race; defer to whatever state the winner left.
+    return cell.open_until.load(std::memory_order_relaxed) == 0
+               ? BreakerDecision::kClosed
+               : BreakerDecision::kOpen;
+  }
+
+  // A fast-path commit on this cell: the pair is healthy again.
+  void RecordSuccess(uint32_t idx) {
+    cells_[idx & (kTableSize - 1)].failures.store(0,
+                                                  std::memory_order_relaxed);
+  }
+
+  // An exhausted-budget fallback on this cell. Returns true when this
+  // failure tripped the breaker open (until episode `now + cooldown`).
+  bool RecordFailure(uint32_t idx, uint64_t now, int threshold,
+                     uint64_t cooldown) {
+    if (threshold <= 0) {
+      return false;
+    }
+    Cell& cell = cells_[idx & (kTableSize - 1)];
+    uint32_t failures =
+        cell.failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failures >= static_cast<uint32_t>(threshold)) {
+      cell.failures.store(0, std::memory_order_relaxed);
+      cell.open_until.store(now + (cooldown == 0 ? 1 : cooldown),
+                            std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // True when the cell is currently quarantined (test observability).
+  bool IsOpen(uint32_t idx, uint64_t now) const {
+    uint64_t until =
+        cells_[idx & (kTableSize - 1)].open_until.load(
+            std::memory_order_relaxed);
+    return until != 0 && now < until;
+  }
+
+  void Reset() {
+    for (uint32_t i = 0; i < kTableSize; ++i) {
+      cells_[i].failures.store(0, std::memory_order_relaxed);
+      cells_[i].open_until.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint32_t> failures{0};
+    // Episode time until which the cell is open; 0 = closed.
+    std::atomic<uint64_t> open_until{0};
+  };
+
+  Cell cells_[kTableSize];
+};
+
+}  // namespace gocc::optilib
+
+#endif  // GOCC_SRC_OPTILIB_BREAKER_H_

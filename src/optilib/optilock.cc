@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/gosync/runtime.h"
+#include "src/optilib/breaker.h"
+#include "src/support/rng.h"
 #include "src/support/strings.h"
 
 namespace gocc::optilib {
@@ -11,6 +13,27 @@ namespace {
 OptiConfig g_config;
 OptiStats g_stats;
 Perceptron g_perceptron;
+BreakerTable g_breaker;
+
+// Process-wide episode clock: one tick per elision decision. Breaker and
+// watchdog cooldowns are denominated in these ticks so they need no
+// wall-clock reads on the fast path.
+std::atomic<uint64_t> g_episode_clock{0};
+
+// Watchdog state: consecutive exhausted-budget fallbacks with no fast commit
+// in between, and the episode tick until which slow-only mode holds.
+std::atomic<uint64_t> g_storm_streak{0};
+std::atomic<uint64_t> g_slow_only_until{0};
+
+// Deterministic per-thread jitter stream for backoff.
+SplitMix64& BackoffRng() {
+  static std::atomic<uint64_t> thread_counter{0};
+  thread_local SplitMix64 rng(
+      g_config.backoff_seed ^
+      SplitMix64(thread_counter.fetch_add(1, std::memory_order_relaxed) + 1)
+          .Next());
+  return rng;
+}
 
 }  // namespace
 
@@ -28,10 +51,20 @@ void OptiStats::Reset() {
   perceptron_resets.store(0, std::memory_order_relaxed);
   single_proc_bypasses.store(0, std::memory_order_relaxed);
   mismatch_recoveries.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < htm::kNumAbortCodes; ++i) {
+    episode_aborts[i].store(0, std::memory_order_relaxed);
+  }
+  backoff_waits.store(0, std::memory_order_relaxed);
+  backoff_pauses.store(0, std::memory_order_relaxed);
+  breaker_trips.store(0, std::memory_order_relaxed);
+  breaker_short_circuits.store(0, std::memory_order_relaxed);
+  breaker_reprobes.store(0, std::memory_order_relaxed);
+  watchdog_trips.store(0, std::memory_order_relaxed);
+  watchdog_bypasses.store(0, std::memory_order_relaxed);
 }
 
 std::string OptiStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "fast_commits=%llu nested=%llu slow=%llu attempts=%llu "
       "perceptron_slow=%llu perceptron_resets=%llu single_proc=%llu "
       "mismatch=%llu",
@@ -51,6 +84,38 @@ std::string OptiStats::ToString() const {
           single_proc_bypasses.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           mismatch_recoveries.load(std::memory_order_relaxed)));
+  out += " episode_aborts{";
+  for (int i = 1; i < htm::kNumAbortCodes; ++i) {
+    out += StrFormat(
+        "%s%s=%llu", i == 1 ? "" : " ",
+        htm::AbortCodeName(static_cast<htm::AbortCode>(i)),
+        static_cast<unsigned long long>(
+            episode_aborts[i].load(std::memory_order_relaxed)));
+  }
+  out += StrFormat(
+      "} backoff{waits=%llu pauses=%llu} breaker{trips=%llu "
+      "short_circuits=%llu reprobes=%llu} watchdog{trips=%llu bypasses=%llu}",
+      static_cast<unsigned long long>(
+          backoff_waits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          backoff_pauses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          breaker_trips.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          breaker_short_circuits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          breaker_reprobes.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          watchdog_trips.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          watchdog_bypasses.load(std::memory_order_relaxed)));
+  return out;
+}
+
+void ResetHardeningState() {
+  g_breaker.Reset();
+  g_storm_streak.store(0, std::memory_order_relaxed);
+  g_slow_only_until.store(0, std::memory_order_relaxed);
 }
 
 void OptiLock::PrepareCommon() {
@@ -58,8 +123,11 @@ void OptiLock::PrepareCommon() {
   force_slow_ = false;
   decision_made_ = false;
   predicted_htm_ = false;
+  exhausted_budget_ = false;
   attempts_left_ = g_config.max_attempts;
   conflict_retries_left_ = g_config.conflict_retries;
+  backoff_exponent_ = 0;
+  episode_now_ = 0;
 }
 
 void OptiLock::PrepareMutex(gosync::Mutex* m) {
@@ -88,6 +156,8 @@ void OptiLock::FastLockStep(int setjmp_code) {
 }
 
 void OptiLock::HandleAbort(htm::AbortCode code) {
+  g_stats.episode_aborts[static_cast<int>(code)].fetch_add(
+      1, std::memory_order_relaxed);
   switch (code) {
     case htm::AbortCode::kMutexMismatch:
       // The code patch paired this FastLock with an unintended unlock point
@@ -99,19 +169,54 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       return;
     case htm::AbortCode::kLockHeld:
       // Retryable: the slow-path holder will release (Listing 19 retries
-      // LockHeld aborts while trials remain).
+      // LockHeld aborts while trials remain; the retry already pause-spins
+      // on the lock word, so no extra backoff is layered here).
       if (attempts_left_-- <= 0) {
+        exhausted_budget_ = true;
         force_slow_ = true;
       }
       return;
     default:
       // Conflict, capacity, explicit, spurious: the paper falls back to the
       // lock immediately; conflict_retries (default 0) relaxes this for the
-      // ablation study.
+      // ablation study. When retries are granted, back off before
+      // re-speculating so contenders de-synchronize instead of re-colliding
+      // (the lemming cascade).
       if (conflict_retries_left_-- <= 0) {
+        exhausted_budget_ = true;
         force_slow_ = true;
+      } else {
+        BackoffBeforeRetry();
       }
       return;
+  }
+}
+
+void OptiLock::BackoffBeforeRetry() {
+  const OptiConfig& cfg = g_config;
+  if (cfg.backoff_base_pauses <= 0) {
+    return;
+  }
+  int64_t limit = cfg.backoff_base_pauses;
+  for (int i = 0; i < backoff_exponent_ && limit < cfg.backoff_cap_pauses;
+       ++i) {
+    limit <<= 1;
+  }
+  if (limit > cfg.backoff_cap_pauses) {
+    limit = cfg.backoff_cap_pauses;
+  }
+  ++backoff_exponent_;
+  // Jitter in [limit/2, limit]: full-limit lockstep would just re-align the
+  // storm on the next attempt.
+  int64_t pauses =
+      limit / 2 +
+      static_cast<int64_t>(BackoffRng().NextBelow(
+          static_cast<uint64_t>(limit / 2 + 1)));
+  g_stats.backoff_waits.fetch_add(1, std::memory_order_relaxed);
+  g_stats.backoff_pauses.fetch_add(static_cast<uint64_t>(pauses),
+                                   std::memory_order_relaxed);
+  for (int64_t i = 0; i < pauses; ++i) {
+    gosync::CpuPause();
   }
 }
 
@@ -141,8 +246,20 @@ void OptiLock::AttemptLoop() {
         TakeSlowPath();
         return;
       }
+      episode_now_ =
+          g_episode_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+      indices_ = Perceptron::IndicesFor(target_, this);
+      // Episode watchdog: during a declared abort storm every decision goes
+      // straight to the lock. Episodes already past this point (in a
+      // transaction or on the slow path) are untouched, so hot-degrading
+      // can never deadlock in-flight work.
+      if (cfg.watchdog_threshold > 0 &&
+          episode_now_ < g_slow_only_until.load(std::memory_order_relaxed)) {
+        g_stats.watchdog_bypasses.fetch_add(1, std::memory_order_relaxed);
+        TakeSlowPath();
+        return;
+      }
       if (cfg.use_perceptron) {
-        indices_ = Perceptron::IndicesFor(target_, this);
         if (!g_perceptron.Predict(indices_)) {
           g_stats.perceptron_slow_decisions.fetch_add(
               1, std::memory_order_relaxed);
@@ -152,6 +269,22 @@ void OptiLock::AttemptLoop() {
           TakeSlowPath();
           return;
         }
+      }
+      // Circuit breaker, layered after the perceptron: it only ever sees
+      // episodes the perceptron was still willing to speculate on, so the
+      // paper's predictor statistics keep their semantics.
+      switch (g_breaker.Admit(indices_.mutex_cell, episode_now_,
+                              cfg.breaker_threshold)) {
+        case BreakerDecision::kOpen:
+          g_stats.breaker_short_circuits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          TakeSlowPath();
+          return;
+        case BreakerDecision::kReprobe:
+          g_stats.breaker_reprobes.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case BreakerDecision::kClosed:
+          break;
       }
       predicted_htm_ = true;
     }
@@ -245,8 +378,15 @@ void OptiLock::FinishFastEpisode() {
     g_stats.nested_fast_commits.fetch_add(1, std::memory_order_relaxed);
   } else {
     g_stats.fast_commits.fetch_add(1, std::memory_order_relaxed);
-    if (predicted_htm_ && g_config.use_perceptron) {
-      g_perceptron.RewardHtm(indices_);
+    if (predicted_htm_) {
+      if (g_config.use_perceptron) {
+        g_perceptron.RewardHtm(indices_);
+      }
+      if (g_config.breaker_threshold > 0) {
+        g_breaker.RecordSuccess(indices_.mutex_cell);
+      }
+      // Any fast commit ends a storm streak: aborts are flowing again.
+      g_storm_streak.store(0, std::memory_order_relaxed);
     }
   }
   ResetEpisode();
@@ -258,6 +398,27 @@ void OptiLock::FinishSlowEpisode() {
     // (Listing 19: "if htm fails, decrease perceptron weights").
     g_perceptron.PenalizeHtm(indices_);
   }
+  if (predicted_htm_ && exhausted_budget_) {
+    // The episode burned its whole retry budget on aborts — the outcome the
+    // breaker quarantines per pair and the watchdog aggregates per process.
+    if (g_config.breaker_threshold > 0 &&
+        g_breaker.RecordFailure(indices_.mutex_cell, episode_now_,
+                                g_config.breaker_threshold,
+                                g_config.breaker_cooldown_episodes)) {
+      g_stats.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (g_config.watchdog_threshold > 0) {
+      uint64_t streak =
+          g_storm_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (streak >= static_cast<uint64_t>(g_config.watchdog_threshold)) {
+        g_storm_streak.store(0, std::memory_order_relaxed);
+        g_slow_only_until.store(
+            episode_now_ + g_config.watchdog_cooldown_episodes,
+            std::memory_order_relaxed);
+        g_stats.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
   ResetEpisode();
 }
 
@@ -268,6 +429,9 @@ void OptiLock::ResetEpisode() {
   force_slow_ = false;
   decision_made_ = false;
   predicted_htm_ = false;
+  exhausted_budget_ = false;
+  backoff_exponent_ = 0;
+  episode_now_ = 0;
 }
 
 void OptiLock::FastUnlock(gosync::Mutex* m) {

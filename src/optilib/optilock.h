@@ -60,6 +60,33 @@ struct OptiConfig {
   // Bounded pause-spin while the elided lock is held before starting a
   // transaction (Listing 19: "spin with pause till lock held").
   int spin_pauses_while_locked = 512;
+
+  // --- abort-storm hardening (all default to seed-equivalent behaviour) ---
+
+  // Bounded exponential backoff with deterministic jitter before retrying a
+  // conflict-class abort (applies only while conflict_retries remain, so the
+  // paper's default of immediate fallback is unchanged). Each retry waits a
+  // jittered [limit/2, limit] pause-spins, with limit doubling from
+  // backoff_base_pauses up to backoff_cap_pauses. 0 disables the wait.
+  int backoff_base_pauses = 16;
+  int backoff_cap_pauses = 2048;
+  // Seed for the per-thread jitter streams (deterministic per thread).
+  uint64_t backoff_seed = 0x6f707469'6c6f636bULL;
+
+  // Per-(mutex, call-site) circuit breaker (see breaker.h): `threshold`
+  // consecutive exhausted-budget fallbacks quarantine the pair's elision for
+  // `cooldown` episodes, then re-probe once. 0 disables (default).
+  int breaker_threshold = 0;
+  uint64_t breaker_cooldown_episodes = 256;
+
+  // Episode watchdog: after `threshold` consecutive exhausted-budget
+  // fallbacks process-wide with no intervening fast commit — the signature
+  // of an abort storm or of RTM dying mid-run — hot-degrade every call site
+  // to slow-path-only mode for `cooldown` episodes. In-flight episodes are
+  // unaffected (the check sits in the pre-transaction decision path only).
+  // 0 disables (default).
+  int watchdog_threshold = 0;
+  uint64_t watchdog_cooldown_episodes = 4096;
 };
 
 OptiConfig& MutableOptiConfig();
@@ -75,11 +102,35 @@ struct OptiStats {
   std::atomic<uint64_t> single_proc_bypasses{0};
   std::atomic<uint64_t> mismatch_recoveries{0};
 
+  // Per-AbortCode histogram of aborts delivered to episodes (indexed by
+  // htm::AbortCode; distinct from TxStats, which counts substrate aborts —
+  // this one counts what optiLib's retry policy actually had to handle).
+  std::atomic<uint64_t> episode_aborts[htm::kNumAbortCodes] = {};
+
+  // Backoff / breaker / watchdog observability.
+  std::atomic<uint64_t> backoff_waits{0};
+  std::atomic<uint64_t> backoff_pauses{0};
+  std::atomic<uint64_t> breaker_trips{0};
+  std::atomic<uint64_t> breaker_short_circuits{0};
+  std::atomic<uint64_t> breaker_reprobes{0};
+  std::atomic<uint64_t> watchdog_trips{0};
+  std::atomic<uint64_t> watchdog_bypasses{0};
+
+  uint64_t EpisodeAborts(htm::AbortCode code) const {
+    return episode_aborts[static_cast<int>(code)].load(
+        std::memory_order_relaxed);
+  }
+
   void Reset();
   std::string ToString() const;
 };
 
 OptiStats& GlobalOptiStats();
+
+// Clears cross-episode hardening state: every circuit-breaker cell and the
+// watchdog's storm streak / slow-only window (test & benchmark isolation;
+// the episode clock itself stays monotonic).
+void ResetHardeningState();
 
 class OptiLock {
  public:
@@ -122,6 +173,8 @@ class OptiLock {
   void PrepareCommon();
   void AttemptLoop();
   void HandleAbort(htm::AbortCode code);
+  // Jittered bounded-exponential pause-spin between conflict-class retries.
+  void BackoffBeforeRetry();
   void TakeSlowPath();
   // Transactionally reads the elided lock word (adding it to the read set)
   // and aborts with LockHeld if the lock is unavailable.
@@ -147,8 +200,16 @@ class OptiLock {
   bool force_slow_ = false;
   bool decision_made_ = false;
   bool predicted_htm_ = false;
+  // True once this episode's retry budget was exhausted by aborts — the
+  // outcome the breaker and watchdog count (mismatch and perceptron-directed
+  // fallbacks are not storms).
+  bool exhausted_budget_ = false;
   int attempts_left_ = 0;
   int conflict_retries_left_ = 0;
+  int backoff_exponent_ = 0;
+  // This episode's tick of the process-wide episode clock (breaker/watchdog
+  // cooldowns are measured in episodes).
+  uint64_t episode_now_ = 0;
   Perceptron::Indices indices_{0, 0};
 };
 
