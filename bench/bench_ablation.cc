@@ -36,6 +36,23 @@ using gocc::sim::Scenario;
 using gocc::sim::SimResult;
 using gocc::sim::Simulate;
 
+// One sweep point -> one JSON record in the active BENCH_ablation.json.
+void EmitPoint(const std::string& benchmark, const std::string& mode,
+               double ns_per_op, uint64_t total_ops,
+               std::vector<std::pair<std::string, double>> counters) {
+  if (gocc::bench::JsonReport* r = gocc::bench::JsonReport::Active()) {
+    gocc::bench::JsonRecord rec;
+    rec.benchmark = benchmark;
+    rec.mode = mode;
+    rec.section = "ablation";
+    rec.threads = 0;
+    rec.ns_per_op = ns_per_op;
+    rec.total_ops = total_ops;
+    rec.counters = std::move(counters);
+    r->Add(std::move(rec));
+  }
+}
+
 Scenario MixedScenario() {
   Scenario s;
   s.name = "mixed";
@@ -63,6 +80,10 @@ void RetryBudgetSweep() {
                     static_cast<double>(r.total_ops),
                 static_cast<double>(r.fallbacks) /
                     static_cast<double>(r.total_ops));
+    EmitPoint("A1/retry_budget", "sim-elided", r.ns_per_op, r.total_ops,
+              {{"attempts", static_cast<double>(attempts)},
+               {"aborts", static_cast<double>(r.htm_aborts)},
+               {"fallbacks", static_cast<double>(r.fallbacks)}});
   }
   std::printf("  (paper default: a small retry budget; retries only pay "
               "off for LockHeld\n   aborts because the holder is about to "
@@ -85,6 +106,9 @@ void DecayThresholdSweep() {
     std::printf("  %10d %12.2f %14.4f\n", decay, r.ns_per_op,
                 static_cast<double>(r.htm_aborts) /
                     static_cast<double>(r.total_ops));
+    EmitPoint("A3/perceptron_decay", "sim-elided", r.ns_per_op, r.total_ops,
+              {{"decay", static_cast<double>(decay)},
+               {"aborts", static_cast<double>(r.htm_aborts)}});
   }
   std::printf("  (the paper picks 1000: hostile sites re-probe rarely "
               "enough to be cheap,\n   yet phase changes are noticed within "
@@ -110,6 +134,9 @@ void ConflictRetryAblation() {
     std::printf("  %-22s %12.2f ns/op\n",
                 retry_conflicts ? "retry conflicts (x3)" : "fallback (paper)",
                 r.ns_per_op);
+    EmitPoint("A1b/conflict_policy",
+              retry_conflicts ? "sim-retry" : "sim-fallback", r.ns_per_op,
+              r.total_ops, {});
   }
 }
 
@@ -175,6 +202,11 @@ void BackoffSweep() {
                 waits == 0 ? 0.0
                            : static_cast<double>(st.backoff_pauses.load()) /
                                  static_cast<double>(waits));
+    EmitPoint("A4/backoff_base", "gocc", ns / ops,
+              static_cast<uint64_t>(ops),
+              {{"base", static_cast<double>(base)},
+               {"fast_commits", static_cast<double>(st.fast_commits.load())},
+               {"backoff_waits", static_cast<double>(waits)}});
   }
   std::printf("  (base 0 = retry immediately: contenders re-collide in "
               "lockstep. A small\n   jittered base de-synchronizes them; "
@@ -217,6 +249,11 @@ void BreakerSweep() {
                 static_cast<double>(st.htm_attempts.load()) / kEpisodes,
                 static_cast<unsigned long long>(st.breaker_trips.load()),
                 static_cast<unsigned long long>(st.breaker_reprobes.load()));
+    EmitPoint("A5/breaker", "gocc", ns / kEpisodes, kEpisodes,
+              {{"threshold", static_cast<double>(threshold)},
+               {"cooldown", static_cast<double>(cooldown)},
+               {"trips", static_cast<double>(st.breaker_trips.load())},
+               {"reprobes", static_cast<double>(st.breaker_reprobes.load())}});
   };
 
   std::printf("  threshold sweep (cooldown=256):\n");
@@ -240,6 +277,7 @@ void BreakerSweep() {
 }  // namespace
 
 int main() {
+  gocc::bench::JsonReport report("ablation");
   std::printf("== Ablations over optiLib policy knobs (DES model) ==\n");
   RetryBudgetSweep();
   DecayThresholdSweep();

@@ -106,6 +106,7 @@ std::vector<SimCase> SimCases() {
 }  // namespace gocc::bench
 
 int main() {
+  gocc::bench::JsonReport report("gocache");
   using gocc::bench::MeasuredCase;
   using gocc::workloads::Elided;
   using gocc::workloads::Pessimistic;

@@ -1,0 +1,263 @@
+// §6.2 overhead reproduction: what does one uncontended FastLock/FastUnlock
+// episode cost, compared to a plain pessimistic Lock/Unlock?
+//
+// The paper measures the perceptron at ~10 ns/episode and argues the whole
+// elided fast path is "a few nanoseconds of bookkeeping". This bench pins
+// that claim for *our* runtime: every thread gets its own cache-line-padded
+// (mutex, counter) slot — no lock is ever contended, no transaction ever
+// conflicts — so the measured ns/op is pure fast-path latency. Any shared
+// cache line the runtime writes per episode (global stats, the episode
+// clock, hot perceptron cells) shows up here as multi-thread degradation
+// that the disjointness of the workload cannot excuse.
+//
+// Modes per critical-section variant:
+//   lock     — pessimistic m.Lock()/m.Unlock() baseline
+//   gocc     — elided fast path, perceptron on (production default)
+//   gocc-np  — elided, perceptron off (isolates predictor cost)
+// CS variants:
+//   empty    — no shared access: the transaction is read-only (subscription
+//              load only), the purest runtime-overhead measurement
+//   counter  — one htm::Shared<int64_t> increment: exercises the write-set
+//              commit path
+//
+// Flags:
+//   --quick           shorter windows and a reduced sweep (perf-smoke CI)
+//   --check <json>    after running, compare the single-thread elided
+//                     fast-path latency against "fastpath_ns_1t" in the
+//                     given baseline JSON; exit 1 on a >3x regression.
+//
+// Emits BENCH_overhead.json (see bench_util.h) with one record per cell
+// plus summary records for the derived per-episode overhead numbers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gosync/mutex.h"
+#include "src/gosync/runtime.h"
+#include "src/htm/config.h"
+#include "src/htm/shared.h"
+#include "src/htm/stats.h"
+#include "src/optilib/optilock.h"
+#include "src/support/stats.h"
+
+namespace gocc::bench {
+namespace {
+
+// One per-thread slot: the mutex and the counter live on separate cache
+// lines so the only line an elided episode *must* touch is the lock word
+// it subscribes to (plus the counter line it increments).
+struct Slot {
+  alignas(64) gosync::Mutex mu;
+  alignas(64) htm::Shared<int64_t> counter{0};
+  alignas(64) char pad = 0;
+};
+
+enum class Mode { kLock, kGocc, kGoccNoPerceptron };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kLock:
+      return "lock";
+    case Mode::kGocc:
+      return "gocc";
+    case Mode::kGoccNoPerceptron:
+      return "gocc-np";
+  }
+  return "?";
+}
+
+// Builds a RunParallel body. Each thread claims a distinct slot, so all
+// lock acquisitions are uncontended and all transactions conflict-free.
+std::function<void(gopool::PB&)> MakeBody(Mode mode, bool empty_cs,
+                                          std::vector<Slot>* slots,
+                                          std::atomic<uint32_t>* next_slot) {
+  return [mode, empty_cs, slots, next_slot](gopool::PB& pb) {
+    Slot& slot =
+        (*slots)[next_slot->fetch_add(1, std::memory_order_relaxed) %
+                 slots->size()];
+    if (mode == Mode::kLock) {
+      if (empty_cs) {
+        while (pb.Next()) {
+          slot.mu.Lock();
+          slot.mu.Unlock();
+        }
+      } else {
+        while (pb.Next()) {
+          slot.mu.Lock();
+          slot.counter.Add(1);
+          slot.mu.Unlock();
+        }
+      }
+      return;
+    }
+    optilib::OptiLock ol;
+    if (empty_cs) {
+      while (pb.Next()) {
+        ol.WithLock(&slot.mu, [] {});
+      }
+    } else {
+      while (pb.Next()) {
+        ol.WithLock(&slot.mu, [&] { slot.counter.Add(1); });
+      }
+    }
+  };
+}
+
+void ConfigureRuntime(Mode mode) {
+  ResetRuntimeState();
+  optilib::OptiConfig& cfg = optilib::MutableOptiConfig();
+  cfg = optilib::OptiConfig{};
+  // The single-P bypass would route every 1-thread episode to the lock and
+  // measure nothing; §6.2 measures the fast path itself.
+  cfg.single_proc_bypass = false;
+  cfg.use_perceptron = mode != Mode::kGoccNoPerceptron;
+}
+
+struct Cell {
+  Mode mode;
+  bool empty_cs;
+  int threads;
+  double ns_per_op;
+};
+
+double FindCell(const std::vector<Cell>& cells, Mode mode, bool empty_cs,
+                int threads) {
+  for (const Cell& c : cells) {
+    if (c.mode == mode && c.empty_cs == empty_cs && c.threads == threads) {
+      return c.ns_per_op;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main(int argc, char** argv) {
+  using namespace gocc::bench;
+
+  bool quick = false;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    }
+  }
+
+  JsonReport report("overhead");
+  std::printf("== §6.2 overhead: uncontended FastLock/FastUnlock episode "
+              "latency ==\n");
+
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const auto window =
+      std::chrono::milliseconds(quick ? 25 : 80);
+  const int max_threads = thread_counts.back();
+
+  ResetRuntimeState();  // probes the backend before we report it
+  report.Config("quick", quick ? 1.0 : 0.0);
+  report.Config("window_ms", static_cast<double>(window.count()));
+  report.Config("single_proc_bypass", 0.0);
+  report.Config("workload", "disjoint per-thread (mutex, counter) slots");
+
+  std::vector<Cell> cells;
+  std::printf("  %-10s %-9s %8s %12s %14s\n", "cs", "mode", "threads",
+              "ns/op", "ops/sec");
+  for (bool empty_cs : {true, false}) {
+    for (Mode mode :
+         {Mode::kLock, Mode::kGocc, Mode::kGoccNoPerceptron}) {
+      for (int threads : thread_counts) {
+        ConfigureRuntime(mode);
+        // Fresh slots per cell: no perceptron/stat state leaks across cells
+        // and every thread count starts cold the same way.
+        auto slots = std::make_unique<std::vector<Slot>>(max_threads);
+        std::atomic<uint32_t> next_slot{0};
+        auto body = MakeBody(mode, empty_cs, slots.get(), &next_slot);
+        // Warm-up window (trains the perceptron, faults in the slots). Then
+        // clear the counters — but keep the trained weights — and measure
+        // the same slots again.
+        gocc::gopool::RunParallel(threads, window / 4, body);
+        gocc::optilib::GlobalOptiStats().Reset();
+        gocc::htm::GlobalTxStats().Reset();
+        next_slot.store(0);
+        gocc::gopool::BenchResult r =
+            gocc::gopool::RunParallel(threads, window, body);
+
+        const char* cs = empty_cs ? "empty" : "counter";
+        std::printf("  %-10s %-9s %8d %12.2f %14.0f\n", cs, ModeName(mode),
+                    threads, r.ns_per_op,
+                    r.ns_per_op > 0 ? 1e9 / r.ns_per_op : 0.0);
+        cells.push_back({mode, empty_cs, threads, r.ns_per_op});
+        if (std::getenv("GOCC_BENCH_DEBUG")) PrintRuntimeStats();
+
+        JsonRecord rec;
+        rec.benchmark = std::string("uncontended/") + cs;
+        rec.mode = ModeName(mode);
+        rec.section = "measured";
+        rec.threads = threads;
+        rec.ns_per_op = r.ns_per_op;
+        rec.ops_per_sec = r.ns_per_op > 0 ? 1e9 / r.ns_per_op : 0.0;
+        rec.total_ops = r.total_ops;
+        AppendRuntimeCounters(&rec.counters);
+        report.Add(std::move(rec));
+      }
+    }
+  }
+
+  // Derived summary: the elided fast path's latency and its overhead above
+  // the pessimistic baseline, single- and multi-threaded.
+  const double lock_1t = FindCell(cells, Mode::kLock, false, 1);
+  const double gocc_1t = FindCell(cells, Mode::kGocc, false, 1);
+  const double lock_mt = FindCell(cells, Mode::kLock, false, max_threads);
+  const double gocc_mt = FindCell(cells, Mode::kGocc, false, max_threads);
+  const double np_1t = FindCell(cells, Mode::kGoccNoPerceptron, false, 1);
+  report.Config("fastpath_ns_1t", gocc_1t);
+  report.Config("fastpath_ns_mt", gocc_mt);
+  report.Config("overhead_ns_1t", gocc_1t - lock_1t);
+  report.Config("overhead_ns_mt", gocc_mt - lock_mt);
+  report.Config("perceptron_ns_1t", gocc_1t - np_1t);
+  report.Config("mt_threads", static_cast<double>(max_threads));
+
+  std::printf("\n  summary (counter CS):\n");
+  std::printf("    1-thread : lock %.1f ns, elided %.1f ns "
+              "(overhead %+.1f ns, perceptron %+.1f ns)\n",
+              lock_1t, gocc_1t, gocc_1t - lock_1t, gocc_1t - np_1t);
+  std::printf("    %d-thread: lock %.1f ns, elided %.1f ns "
+              "(overhead %+.1f ns)\n",
+              max_threads, lock_mt, gocc_mt, gocc_mt - lock_mt);
+
+  if (!check_path.empty()) {
+    std::string baseline;
+    double base_1t = 0.0;
+    if (!ReadFileToString(check_path, &baseline) ||
+        !JsonLookupNumber(baseline, "fastpath_ns_1t", &base_1t) ||
+        base_1t <= 0.0) {
+      std::fprintf(stderr,
+                   "perf-smoke: no usable fastpath_ns_1t baseline in %s "
+                   "(skipping check)\n",
+                   check_path.c_str());
+      return 0;
+    }
+    constexpr double kHeadroom = 3.0;
+    std::printf("\n  perf-smoke: fastpath_ns_1t %.1f vs baseline %.1f "
+                "(limit %.1f)\n",
+                gocc_1t, base_1t, base_1t * kHeadroom);
+    if (gocc_1t > base_1t * kHeadroom) {
+      std::fprintf(stderr,
+                   "perf-smoke FAILED: uncontended fast-path latency "
+                   "%.1f ns > %.0fx baseline %.1f ns\n",
+                   gocc_1t, kHeadroom, base_1t);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -136,6 +136,7 @@ void PerceptronOverheadExperiment() {
 }  // namespace gocc::bench
 
 int main() {
+  gocc::bench::JsonReport report("perceptron");
   std::printf("== Figure 10: perceptron vs no-perceptron (NP) ==\n");
 
   auto cases = gocc::bench::Figure10Cases();

@@ -119,6 +119,7 @@ std::vector<SimCase> SimCases() {
 }  // namespace gocc::bench
 
 int main() {
+  gocc::bench::JsonReport report("set");
   using gocc::bench::MeasuredCase;
   using gocc::workloads::Elided;
   using gocc::workloads::Pessimistic;

@@ -111,6 +111,7 @@ std::vector<SimCase> SimCases() {
 }  // namespace gocc::bench
 
 int main() {
+  gocc::bench::JsonReport report("tally");
   using gocc::bench::MeasuredCase;
 
   std::printf("== Figure 6: Tally — lock vs GOCC ==\n");

@@ -1,22 +1,88 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "src/htm/config.h"
 #include "src/htm/stats.h"
 #include "src/optilib/optilock.h"
 #include "src/support/stats.h"
+#include "src/support/strings.h"
+
+#ifndef GOCC_REPO_ROOT
+#define GOCC_REPO_ROOT "."
+#endif
 
 namespace gocc::bench {
 
 namespace {
 
 // Probe once: measured sections run on real RTM when the hardware commits
-// transactions, otherwise on SimTM.
+// transactions, otherwise on SimTM. GOCC_BENCH_FORCE_SIM pins SimTM
+// regardless of the probe — committed baselines and the perf-smoke CI gate
+// use it so numbers never silently flip backend on hosts whose TSX passes
+// the probe but aborts under sustained load.
 bool UseRtm() {
-  static const bool rtm = htm::EnableRtmIfSupported();
+  static const bool rtm = [] {
+    if (std::getenv("GOCC_BENCH_FORCE_SIM") != nullptr) {
+      return false;
+    }
+    return htm::EnableRtmIfSupported();
+  }();
   return rtm;
+}
+
+JsonReport* g_active_report = nullptr;
+
+void AppendCellRecord(const std::string& benchmark, const std::string& mode,
+                      int threads, const gopool::BenchResult& r) {
+  if (g_active_report == nullptr) {
+    return;
+  }
+  JsonRecord rec;
+  rec.benchmark = benchmark;
+  rec.mode = mode;
+  rec.section = "measured";
+  rec.threads = threads;
+  rec.ns_per_op = r.ns_per_op;
+  rec.ops_per_sec = r.ns_per_op > 0.0 ? 1e9 / r.ns_per_op : 0.0;
+  rec.total_ops = r.total_ops;
+  AppendRuntimeCounters(&rec.counters);
+  g_active_report->Add(std::move(rec));
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Formats doubles compactly without locale surprises; integers stay
+// integral so committed baselines diff cleanly.
+std::string JsonNumber(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 1e15 && v > -1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.4f", v);
 }
 
 }  // namespace
@@ -28,12 +94,130 @@ void ResetRuntimeState() {
   htm::GlobalTxStats().Reset();
   optilib::GlobalOptiStats().Reset();
   optilib::GlobalPerceptron().Reset();
+  optilib::ResetHardeningState();
 }
 
 void PrintRuntimeStats() {
   std::printf("  optiLib: %s\n",
               optilib::GlobalOptiStats().ToString().c_str());
   std::printf("  tm:      %s\n", htm::GlobalTxStats().ToString().c_str());
+}
+
+void AppendRuntimeCounters(std::vector<std::pair<std::string, double>>* out) {
+  const auto& os = optilib::GlobalOptiStats();
+  const auto& ts = htm::GlobalTxStats();
+  auto add = [out](const char* name, uint64_t v) {
+    out->emplace_back(name, static_cast<double>(v));
+  };
+  add("fast_commits", os.fast_commits.load());
+  add("nested_fast_commits", os.nested_fast_commits.load());
+  add("slow_acquires", os.slow_acquires.load());
+  add("htm_attempts", os.htm_attempts.load());
+  add("perceptron_slow_decisions", os.perceptron_slow_decisions.load());
+  add("tm_begins", ts.begins.load());
+  add("tm_commits", ts.commits.load());
+  add("tm_aborts", ts.TotalAborts());
+}
+
+JsonReport::JsonReport(const std::string& bench_name) : name_(bench_name) {
+  const char* dir = std::getenv("GOCC_BENCH_JSON_DIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : GOCC_REPO_ROOT;
+  path_ = base + "/BENCH_" + name_ + ".json";
+  g_active_report = this;
+}
+
+JsonReport::~JsonReport() {
+  if (g_active_report == this) {
+    g_active_report = nullptr;
+  }
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(name_) << "\",\n";
+  out << "  \"config\": {";
+  for (size_t i = 0; i < config_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << JsonEscape(config_[i].first)
+        << "\": " << config_[i].second;
+  }
+  out << (config_.empty() ? "},\n" : "\n  },\n");
+  out << "  \"records\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const JsonRecord& r = records_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"benchmark\": \"" << JsonEscape(r.benchmark)
+        << "\", \"mode\": \"" << JsonEscape(r.mode) << "\", \"section\": \""
+        << JsonEscape(r.section) << "\", \"threads\": " << r.threads
+        << ", \"ns_per_op\": " << JsonNumber(r.ns_per_op)
+        << ", \"ops_per_sec\": " << JsonNumber(r.ops_per_sec)
+        << ", \"total_ops\": " << r.total_ops;
+    if (!r.counters.empty()) {
+      out << ", \"counters\": {";
+      for (size_t c = 0; c < r.counters.size(); ++c) {
+        if (c != 0) {
+          out << ", ";
+        }
+        out << "\"" << JsonEscape(r.counters[c].first)
+            << "\": " << JsonNumber(r.counters[c].second);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << (records_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+
+  std::ofstream f(path_);
+  if (!f) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+    return;
+  }
+  f << out.str();
+  std::printf("\n[json] wrote %s (%zu records)\n", path_.c_str(),
+              records_.size());
+}
+
+void JsonReport::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void JsonReport::Config(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+void JsonReport::Add(JsonRecord record) {
+  records_.push_back(std::move(record));
+}
+
+JsonReport* JsonReport::Active() { return g_active_report; }
+
+bool JsonLookupNumber(const std::string& text, const std::string& key,
+                      double* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+    ++pos;
+  }
+  char* end = nullptr;
+  double v = std::strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) {
+    out->clear();
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
 }
 
 void RunMeasured(const std::string& figure,
@@ -44,6 +228,9 @@ void RunMeasured(const std::string& figure,
   ResetRuntimeState();
   const char* backend =
       htm::ActiveBackend() == htm::Backend::kRtm ? "Intel RTM" : "SimTM";
+  if (JsonReport* report = JsonReport::Active()) {
+    report->Config("backend", backend);
+  }
   std::printf("\n[measured] %s — real optiLib runtime (%s backend)\n",
               figure.c_str(), backend);
   if (hw < 8) {
@@ -65,11 +252,13 @@ void RunMeasured(const std::string& figure,
       auto lock_body = benchmark.make_lock_body();
       gopool::BenchResult lock =
           gopool::RunParallel(threads, window, lock_body);
+      AppendCellRecord(benchmark.name, "lock", threads, lock);
 
       ResetRuntimeState();
       auto elided_body = benchmark.make_elided_body();
       gopool::BenchResult elided =
           gopool::RunParallel(threads, window, elided_body);
+      AppendCellRecord(benchmark.name, "gocc", threads, elided);
 
       std::printf("  %-24s %8d %12.2f %12.2f %+9.1f%%\n",
                   benchmark.name.c_str(), threads, lock.ns_per_op,
@@ -103,6 +292,23 @@ void RunSimulated(const std::string& figure,
               ? static_cast<double>(htm.htm_aborts) /
                     static_cast<double>(htm.total_ops)
               : 0.0;
+      if (JsonReport* report = JsonReport::Active()) {
+        auto record = [&](const char* mode, const sim::SimResult& r) {
+          JsonRecord rec;
+          rec.benchmark = benchmark.name;
+          rec.mode = mode;
+          rec.section = "simulated";
+          rec.threads = cores;
+          rec.ns_per_op = r.ns_per_op;
+          rec.ops_per_sec = r.ns_per_op > 0.0 ? 1e9 / r.ns_per_op : 0.0;
+          rec.total_ops = r.total_ops;
+          rec.counters.emplace_back("htm_aborts",
+                                    static_cast<double>(r.htm_aborts));
+          report->Add(std::move(rec));
+        };
+        record("sim-lock", lock);
+        record(with_perceptron ? "sim-gocc" : "sim-gocc-np", htm);
+      }
       std::printf("  %-24s %6d %12.2f %12.2f %+9.1f%% %10.3f\n",
                   benchmark.name.c_str(), cores, lock.ns_per_op,
                   htm.ns_per_op,

@@ -8,13 +8,20 @@
 //    warns when that is the case).
 //  * [simulated] — the DES concurrency-cost model at 1/2/4/8 cores, which
 //    reproduces the paper's scaling shapes (see DESIGN.md §1).
+//
+// Every binary additionally leaves a machine-readable perf artifact: a
+// JsonReport declared in main() collects one record per (benchmark, mode,
+// threads) cell and writes BENCH_<name>.json at the repo root on exit, so
+// successive PRs accumulate a perf trajectory (see EXPERIMENTS.md).
 
 #ifndef GOCC_BENCH_BENCH_UTIL_H_
 #define GOCC_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/gopool/gopool.h"
@@ -51,11 +58,68 @@ void RunSimulated(const std::string& figure,
                   const std::vector<int>& core_counts,
                   bool with_perceptron = true);
 
-// Resets global TM/optiLib state between cells (perceptron, stats).
+// Resets global TM/optiLib state between cells (perceptron, stats,
+// hardening residue, batched-clock residue).
 void ResetRuntimeState();
 
 // Prints the accumulated optiLib and TM statistics for the section.
 void PrintRuntimeStats();
+
+// --- machine-readable results (BENCH_<name>.json) -------------------------
+
+// One result cell. `counters` carries whatever observability numbers the
+// cell wants to persist (abort/commit counts, derived overheads, ...).
+struct JsonRecord {
+  std::string benchmark;  // e.g. "RWMutexMapGet" or "uncontended/counter"
+  std::string mode;       // "lock" | "gocc" | "gocc-np" | "sim-lock" | ...
+  std::string section;    // "measured" | "simulated" | "summary"
+  int threads = 0;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t total_ops = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+// Declared once in a benchmark's main(); while alive it is the process-wide
+// active report and RunMeasured/RunSimulated append their cells to it
+// automatically. The destructor writes BENCH_<name>.json into
+// $GOCC_BENCH_JSON_DIR if set, else the repo root (GOCC_REPO_ROOT).
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench_name);
+  ~JsonReport();
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  // Top-level key/value config describing the run (backend, knobs, ...).
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, double value);
+  void Add(JsonRecord record);
+
+  const std::string& path() const { return path_; }
+
+  // The report currently in scope, or nullptr outside any benchmark main.
+  static JsonReport* Active();
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-rendered
+  std::vector<JsonRecord> records_;
+};
+
+// Snapshots the global optiLib/TM counters into `out` (used for per-cell
+// JSON records; names are stable across PRs so trajectories diff cleanly).
+void AppendRuntimeCounters(std::vector<std::pair<std::string, double>>* out);
+
+// Minimal numeric lookup for the JSON files this harness itself writes:
+// finds the first `"key": <number>` occurrence. Good enough for regression
+// gates against committed baselines; not a general JSON parser.
+bool JsonLookupNumber(const std::string& text, const std::string& key,
+                      double* out);
+
+// Reads a whole file; returns false (and empty string) when unreadable.
+bool ReadFileToString(const std::string& path, std::string* out);
 
 }  // namespace gocc::bench
 

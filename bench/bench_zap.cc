@@ -91,6 +91,7 @@ std::vector<SimCase> SimCases() {
 }  // namespace gocc::bench
 
 int main() {
+  gocc::bench::JsonReport report("zap");
   using gocc::bench::MeasuredCase;
   using gocc::workloads::Elided;
   using gocc::workloads::Pessimistic;

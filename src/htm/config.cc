@@ -3,20 +3,13 @@
 #include "src/htm/rtm_backend.h"
 
 namespace gocc::htm {
-namespace {
+
+namespace internal {
 
 TxConfig g_config;
 std::atomic<Backend> g_backend{Backend::kSim};
 
-}  // namespace
-
-TxConfig& MutableConfig() { return g_config; }
-
-const TxConfig& Config() { return g_config; }
-
-Backend ActiveBackend() {
-  return g_backend.load(std::memory_order_relaxed);
-}
+}  // namespace internal
 
 bool EnableRtmIfSupported() {
   if (!RtmCompiledIn()) {
@@ -25,12 +18,12 @@ bool EnableRtmIfSupported() {
   if (!RtmProbe()) {
     return false;
   }
-  g_backend.store(Backend::kRtm, std::memory_order_relaxed);
+  internal::g_backend.store(Backend::kRtm, std::memory_order_relaxed);
   return true;
 }
 
 void ForceSimBackend() {
-  g_backend.store(Backend::kSim, std::memory_order_relaxed);
+  internal::g_backend.store(Backend::kSim, std::memory_order_relaxed);
 }
 
 }  // namespace gocc::htm

@@ -40,15 +40,24 @@ struct TxConfig {
   uint64_t spurious_seed = 0x9e3779b97f4a7c15ULL;
 };
 
+namespace internal {
+// Storage for the inline accessors below (they sit on the per-access SimTM
+// fast path, where an out-of-line getter call is measurable).
+extern TxConfig g_config;
+extern std::atomic<Backend> g_backend;
+}  // namespace internal
+
 // Returns the mutable global configuration. Not thread-safe against
 // concurrent transactions; set it up before starting workers (tests do).
-TxConfig& MutableConfig();
+inline TxConfig& MutableConfig() { return internal::g_config; }
 
 // Read-only accessor.
-const TxConfig& Config();
+inline const TxConfig& Config() { return internal::g_config; }
 
 // Active backend (kSim unless EnableRtmIfSupported succeeded).
-Backend ActiveBackend();
+inline Backend ActiveBackend() {
+  return internal::g_backend.load(std::memory_order_relaxed);
+}
 
 // Probes the CPU for usable RTM and, if transactions actually commit,
 // switches the backend to kRtm. Returns true when RTM is now active.

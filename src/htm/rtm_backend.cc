@@ -1,5 +1,6 @@
 #include "src/htm/rtm_backend.h"
 
+#include <cstdint>
 #include <cstdlib>
 
 #if defined(GOCC_HAVE_RTM)
@@ -13,16 +14,25 @@ namespace gocc::htm {
 bool RtmCompiledIn() { return true; }
 
 bool RtmProbe() {
-  // Try a few transactions; virtualized hosts that fuse TSX off abort every
-  // attempt, so demand an actual commit.
-  for (int i = 0; i < 16; ++i) {
+  // Demand *sustained* commits of transactions that do real work, not just
+  // one lucky empty commit: virtualized hosts with mitigated TSX can commit
+  // an occasional bare _xbegin/_xend while aborting ~100% of transactions
+  // under load, which would latch a backend that silently falls back to the
+  // lock on every episode (and wrecks benchmark comparability). Require a
+  // large majority of load+store transactions to commit before trusting the
+  // hardware.
+  volatile uint64_t cell = 0;
+  int commits = 0;
+  constexpr int kAttempts = 64;
+  for (int i = 0; i < kAttempts; ++i) {
     unsigned status = _xbegin();
     if (status == _XBEGIN_STARTED) {
+      cell = cell + 1;
       _xend();
-      return true;
+      ++commits;
     }
   }
-  return false;
+  return commits >= (kAttempts * 3) / 4;
 }
 
 BeginStatus RtmBegin() {

@@ -57,10 +57,18 @@ class Shared {
     return next;
   }
 
-  // Adds `delta` (arithmetic T only).
+  // Adds `delta` (arithmetic T only). For integral T this routes through the
+  // fused TxFetchAdd — one write-set lookup and one validation instead of a
+  // Load/Store pair (wrapping addition on zero-extended bits produces the
+  // correct wrapped value in the low sizeof(T) bytes, so the bit-domain add
+  // is exact for integers). Floating-point T takes the generic path.
   T Add(T delta) {
     static_assert(std::is_arithmetic_v<T>);
-    return Update([delta](T v) { return static_cast<T>(v + delta); });
+    if constexpr (std::is_integral_v<T> && !std::is_same_v<T, bool>) {
+      return Unpack(TxFetchAdd(&cell_, Pack(delta)));
+    } else {
+      return Update([delta](T v) { return static_cast<T>(v + delta); });
+    }
   }
 
   // Direct unversioned access for initialization before the cell becomes

@@ -1,8 +1,12 @@
 // Process-wide transactional-memory statistics.
 //
-// Counters are relaxed atomics: cheap, approximately consistent, and good
-// enough for reporting (the paper's perceptron takes the same
-// "racy-but-fast" stance for its weight tables).
+// Counters are sharded per thread (support/sharded.h): TxBegin/TxCommit sit
+// on the elision fast path, and as single global atomics these counters
+// made every committing thread write the same cache line — metadata false
+// sharing that a disjoint-lock workload cannot avoid. Each thread now bumps
+// its own padded shard with a relaxed load+store; reads sum the shards.
+// Same "racy-but-fast, approximately consistent" reporting contract as
+// before (the paper's perceptron takes the same stance for its weights).
 
 #ifndef GOCC_SRC_HTM_STATS_H_
 #define GOCC_SRC_HTM_STATS_H_
@@ -12,67 +16,75 @@
 #include <string>
 
 #include "src/htm/abort.h"
+#include "src/support/sharded.h"
 
 namespace gocc::htm {
 
 struct TxStats {
-  std::atomic<uint64_t> begins{0};
-  std::atomic<uint64_t> commits{0};
-  std::atomic<uint64_t> read_only_commits{0};
-  std::atomic<uint64_t> aborts_conflict{0};
-  std::atomic<uint64_t> aborts_capacity{0};
-  std::atomic<uint64_t> aborts_explicit{0};
-  std::atomic<uint64_t> aborts_lock_held{0};
-  std::atomic<uint64_t> aborts_mutex_mismatch{0};
-  std::atomic<uint64_t> aborts_spurious{0};
+  // Slot layout inside each per-thread shard; abort slots are indexed by
+  // AbortCode so RecordAbort is branch-free.
+  enum Slot : int {
+    kBegins = 0,
+    kCommits,
+    kReadOnlyCommits,
+    kAbortsBase,  // + AbortCode, kNumAbortCodes slots (kNone unused)
+    kNumSlots = kAbortsBase + kNumAbortCodes,
+  };
+
+  TxStats()
+      : begins(&shards_, kBegins),
+        commits(&shards_, kCommits),
+        read_only_commits(&shards_, kReadOnlyCommits),
+        aborts_conflict(&shards_, kAbortsBase +
+                                      static_cast<int>(AbortCode::kConflict)),
+        aborts_capacity(&shards_, kAbortsBase +
+                                      static_cast<int>(AbortCode::kCapacity)),
+        aborts_explicit(&shards_, kAbortsBase +
+                                      static_cast<int>(AbortCode::kExplicit)),
+        aborts_lock_held(&shards_, kAbortsBase +
+                                       static_cast<int>(AbortCode::kLockHeld)),
+        aborts_mutex_mismatch(
+            &shards_,
+            kAbortsBase + static_cast<int>(AbortCode::kMutexMismatch)),
+        aborts_spurious(&shards_, kAbortsBase +
+                                      static_cast<int>(AbortCode::kSpurious)) {
+  }
+
+  support::ShardedCounter begins;
+  support::ShardedCounter commits;
+  support::ShardedCounter read_only_commits;
+  support::ShardedCounter aborts_conflict;
+  support::ShardedCounter aborts_capacity;
+  support::ShardedCounter aborts_explicit;
+  support::ShardedCounter aborts_lock_held;
+  support::ShardedCounter aborts_mutex_mismatch;
+  support::ShardedCounter aborts_spurious;
 
   uint64_t TotalAborts() const {
-    return aborts_conflict.load(std::memory_order_relaxed) +
-           aborts_capacity.load(std::memory_order_relaxed) +
-           aborts_explicit.load(std::memory_order_relaxed) +
-           aborts_lock_held.load(std::memory_order_relaxed) +
-           aborts_mutex_mismatch.load(std::memory_order_relaxed) +
-           aborts_spurious.load(std::memory_order_relaxed);
+    uint64_t total = 0;
+    for (int i = 1; i < kNumAbortCodes; ++i) {
+      total += shards_.Sum(kAbortsBase + i);
+    }
+    return total;
   }
 
   void RecordAbort(AbortCode code) {
-    switch (code) {
-      case AbortCode::kConflict:
-        aborts_conflict.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kCapacity:
-        aborts_capacity.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kExplicit:
-        aborts_explicit.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kLockHeld:
-        aborts_lock_held.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kMutexMismatch:
-        aborts_mutex_mismatch.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kSpurious:
-        aborts_spurious.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case AbortCode::kNone:
-        break;
+    if (code == AbortCode::kNone) {
+      return;
     }
+    shards_.Incr(kAbortsBase + static_cast<int>(code));
   }
 
-  void Reset() {
-    begins.store(0, std::memory_order_relaxed);
-    commits.store(0, std::memory_order_relaxed);
-    read_only_commits.store(0, std::memory_order_relaxed);
-    aborts_conflict.store(0, std::memory_order_relaxed);
-    aborts_capacity.store(0, std::memory_order_relaxed);
-    aborts_explicit.store(0, std::memory_order_relaxed);
-    aborts_lock_held.store(0, std::memory_order_relaxed);
-    aborts_mutex_mismatch.store(0, std::memory_order_relaxed);
-    aborts_spurious.store(0, std::memory_order_relaxed);
-  }
+  // The calling thread's private slot array (single-writer; index with
+  // Slot). The TM hot path bumps this directly.
+  std::atomic<uint64_t>* LocalShard() { return shards_.Local(); }
+
+  void Reset() { shards_.ResetAll(); }
 
   std::string ToString() const;
+
+ private:
+  support::ShardedCounters shards_{kNumSlots};
 };
 
 // Global statistics instance.

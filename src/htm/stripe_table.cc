@@ -1,37 +1,13 @@
 #include "src/htm/stripe_table.h"
 
 namespace gocc::htm {
-namespace {
 
-struct alignas(64) PaddedStripe {
-  std::atomic<uint64_t> word{0};
-};
+namespace internal {
 
-// Sixteen stripes share a cache line would defeat the point; pad each group.
-// We pad individual stripes: 64 KiB * 64 B = 4 MiB — acceptable for a
-// process-wide table and removes false sharing between stripes entirely.
 PaddedStripe g_stripes[kNumStripes];
-
 std::atomic<uint64_t> g_clock{0};
 
-inline size_t HashAddr(const void* addr) {
-  auto p = reinterpret_cast<uintptr_t>(addr);
-  // Mix to spread adjacent words (shift past the word-offset bits, then a
-  // Fibonacci multiply).
-  p >>= 3;
-  p *= 0x9e3779b97f4a7c15ULL;
-  return static_cast<size_t>(p >> 40) & (kNumStripes - 1);
-}
-
-}  // namespace
-
-std::atomic<uint64_t>& GlobalClock() { return g_clock; }
-
-std::atomic<uint64_t>* StripeFor(const void* addr) {
-  return &g_stripes[HashAddr(addr)].word;
-}
-
-size_t StripeIndexFor(const void* addr) { return HashAddr(addr); }
+}  // namespace internal
 
 void NotifyNonTxWrite(const void* addr) {
   std::atomic<uint64_t>* stripe = StripeFor(addr);

@@ -22,14 +22,39 @@ namespace gocc::htm {
 inline constexpr size_t kNumStripes = 1u << 16;
 inline constexpr uint64_t kStripeLockedBit = 1;
 
-// Global version clock. Incremented once per writing commit.
-std::atomic<uint64_t>& GlobalClock();
+namespace internal {
+// Storage for the inline accessors below. Stripes are individually padded:
+// 64 Ki stripes * 64 B = 4 MiB — acceptable for a process-wide table and
+// removes false sharing between stripes entirely.
+struct alignas(64) PaddedStripe {
+  std::atomic<uint64_t> word{0};
+};
+extern PaddedStripe g_stripes[kNumStripes];
+extern std::atomic<uint64_t> g_clock;
+
+inline size_t HashAddr(const void* addr) {
+  auto p = reinterpret_cast<uintptr_t>(addr);
+  // Mix to spread adjacent words (shift past the word-offset bits, then a
+  // Fibonacci multiply).
+  p >>= 3;
+  p *= 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(p >> 40) & (kNumStripes - 1);
+}
+}  // namespace internal
+
+// Global version clock. Incremented once per writing commit. (Inline — the
+// clock and stripe lookups sit on the per-access SimTM fast path.)
+inline std::atomic<uint64_t>& GlobalClock() { return internal::g_clock; }
 
 // The stripe guarding `addr`.
-std::atomic<uint64_t>* StripeFor(const void* addr);
+inline std::atomic<uint64_t>* StripeFor(const void* addr) {
+  return &internal::g_stripes[internal::HashAddr(addr)].word;
+}
 
 // Stripe index (exposed for tests).
-size_t StripeIndexFor(const void* addr);
+inline size_t StripeIndexFor(const void* addr) {
+  return internal::HashAddr(addr);
+}
 
 inline bool StripeIsLocked(uint64_t stripe_word) {
   return (stripe_word & kStripeLockedBit) != 0;

@@ -38,6 +38,51 @@ struct LockedStripe {
   uint64_t pre_lock_version;
 };
 
+// Dedup set tuned for SimTM's common case: a transformed critical section
+// touches a handful of addresses, so membership is a linear scan over a
+// reused flat vector — no hashing, no node allocation, and clear() is a
+// size reset. Transactions that outgrow kSpill migrate into the hash set
+// once and keep O(1) membership from then on (read/write capacity limits
+// are in the hundreds of lines, where the scan would be quadratic).
+template <typename T>
+class SmallSet {
+ public:
+  static constexpr size_t kSpill = 16;
+
+  // Returns true when `v` was newly inserted.
+  bool insert(T v) {
+    if (!spilled_) {
+      for (const T& x : vec_) {
+        if (x == v) {
+          return false;
+        }
+      }
+      vec_.push_back(v);
+      if (vec_.size() > kSpill) {
+        spill_.insert(vec_.begin(), vec_.end());
+        spilled_ = true;
+      }
+      return true;
+    }
+    return spill_.insert(v).second;
+  }
+
+  size_t size() const { return spilled_ ? spill_.size() : vec_.size(); }
+
+  void clear() {
+    vec_.clear();
+    if (spilled_) {
+      spill_.clear();
+      spilled_ = false;
+    }
+  }
+
+ private:
+  std::vector<T> vec_;
+  std::unordered_set<T> spill_;
+  bool spilled_ = false;
+};
+
 // Per-thread SimTM transaction context. Containers keep their capacity
 // across transactions, so steady-state operation allocates nothing.
 struct TxContext {
@@ -46,14 +91,20 @@ struct TxContext {
   std::jmp_buf* env = nullptr;
 
   std::vector<ReadEntry> reads;
-  std::unordered_set<const std::atomic<uint64_t>*> read_stripes_seen;
+  SmallSet<const std::atomic<uint64_t>*> read_stripes_seen;
   std::vector<WriteEntry> writes;
+  // Populated only once the write set spills past SmallSet::kSpill entries;
+  // below that, write lookups linear-scan `writes` directly.
   std::unordered_map<const std::atomic<uint64_t>*, size_t> write_index;
-  std::unordered_set<uintptr_t> read_lines;
-  std::unordered_set<uintptr_t> write_lines;
+  bool writes_spilled = false;
+  SmallSet<uintptr_t> read_lines;
+  SmallSet<uintptr_t> write_lines;
 
   // Stripes locked during an in-progress commit; released on abort.
   std::vector<LockedStripe> locked;
+  // Scratch for CommitOutermost's sorted stripe list (reused capacity —
+  // a per-commit local vector would malloc/free every episode).
+  std::vector<std::atomic<uint64_t>*> commit_stripes;
 
   SplitMix64 rng{0};
   bool rng_seeded = false;
@@ -62,16 +113,57 @@ struct TxContext {
     reads.clear();
     read_stripes_seen.clear();
     writes.clear();
-    write_index.clear();
+    if (writes_spilled) {
+      write_index.clear();
+      writes_spilled = false;
+    }
     read_lines.clear();
     write_lines.clear();
     locked.clear();
   }
 };
 
-thread_local TxContext tls_tx;
+// The write-set entry for `addr`, or nullptr. Linear scan below the spill
+// threshold, hash lookup above it.
+WriteEntry* FindWrite(TxContext& tx, const std::atomic<uint64_t>* addr) {
+  if (!tx.writes_spilled) {
+    for (WriteEntry& w : tx.writes) {
+      if (w.addr == addr) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+  auto it = tx.write_index.find(addr);
+  return it == tx.write_index.end() ? nullptr : &tx.writes[it->second];
+}
+
+// TxContext has vector members, so a plain `thread_local TxContext` would
+// pay the guarded-initialization wrapper on every access — and tx.cc
+// touches the context several times per episode. The raw pointer below is
+// trivially initialized (direct TLS load, no guard); the owning object is
+// materialized once per thread in TlsSlow.
+thread_local TxContext* tls_tx_ptr = nullptr;
+
+[[gnu::noinline]] TxContext& TlsSlow() {
+  thread_local TxContext ctx;
+  tls_tx_ptr = &ctx;
+  return ctx;
+}
+
+inline TxContext& Tls() {
+  TxContext* p = tls_tx_ptr;
+  return p != nullptr ? *p : TlsSlow();
+}
 
 TxStats g_stats;
+
+// Single-writer bump of the calling thread's stat shard (see sharded.h).
+inline void BumpSlot(std::atomic<uint64_t>* shard, int slot) {
+  shard[slot].store(shard[slot].load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+}
+inline void BumpSlot(int slot) { BumpSlot(g_stats.LocalShard(), slot); }
 
 [[noreturn]] void AbortInternal(TxContext& tx, AbortCode code) {
   // Roll back stripes held by an in-progress commit.
@@ -135,8 +227,43 @@ void CommitOutermost(TxContext& tx) {
     // Read-only transaction: per-read validation against the fixed read
     // version already guarantees a consistent snapshot at rv; nothing to
     // publish.
-    g_stats.commits.fetch_add(1, std::memory_order_relaxed);
-    g_stats.read_only_commits.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<uint64_t>* shard = g_stats.LocalShard();
+    BumpSlot(shard, TxStats::kCommits);
+    BumpSlot(shard, TxStats::kReadOnlyCommits);
+    tx.depth = 0;
+    tx.env = nullptr;
+    tx.ResetSets();
+    return;
+  }
+
+  // Single-write transaction — the common transformed critical section —
+  // takes a fully inlined path: one stripe lock, validation that compares
+  // against that stripe directly (no find_if over `locked`), one publish.
+  if (tx.writes.size() == 1) {
+    const WriteEntry& w = tx.writes[0];
+    std::atomic<uint64_t>* stripe = StripeFor(w.addr);
+    if (!LockStripeForCommit(tx, stripe)) {
+      AbortInternal(tx, AbortCode::kConflict);
+    }
+    const uint64_t pre_lock_version = tx.locked[0].pre_lock_version;
+    const uint64_t wv =
+        GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (const ReadEntry& r : tx.reads) {
+      if (r.stripe == stripe) {
+        // The one stripe we hold: validate against its pre-lock version.
+        if (pre_lock_version != r.version) {
+          AbortInternal(tx, AbortCode::kConflict);
+        }
+        continue;
+      }
+      uint64_t word = r.stripe->load(std::memory_order_acquire);
+      if (StripeIsLocked(word) || StripeVersion(word) != r.version) {
+        AbortInternal(tx, AbortCode::kConflict);
+      }
+    }
+    w.addr->store(w.value, std::memory_order_relaxed);
+    stripe->store(wv << 1, std::memory_order_release);
+    BumpSlot(TxStats::kCommits);
     tx.depth = 0;
     tx.env = nullptr;
     tx.ResetSets();
@@ -145,7 +272,8 @@ void CommitOutermost(TxContext& tx) {
 
   // Lock the stripes covering the write set in address order (prevents
   // deadlock between committers).
-  std::vector<std::atomic<uint64_t>*> stripes;
+  std::vector<std::atomic<uint64_t>*>& stripes = tx.commit_stripes;
+  stripes.clear();
   stripes.reserve(tx.writes.size());
   for (const WriteEntry& w : tx.writes) {
     stripes.push_back(StripeFor(w.addr));
@@ -188,7 +316,7 @@ void CommitOutermost(TxContext& tx) {
     ls.stripe->store(wv << 1, std::memory_order_release);
   }
 
-  g_stats.commits.fetch_add(1, std::memory_order_relaxed);
+  BumpSlot(TxStats::kCommits);
   tx.depth = 0;
   tx.env = nullptr;
   tx.ResetSets();
@@ -224,10 +352,10 @@ bool InTx() {
   if (ActiveBackend() == Backend::kRtm) {
     return RtmInTx();
   }
-  return tls_tx.depth > 0;
+  return Tls().depth > 0;
 }
 
-int TxDepth() { return tls_tx.depth; }
+int TxDepth() { return Tls().depth; }
 
 BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
   if (ActiveBackend() == Backend::kRtm) {
@@ -250,7 +378,7 @@ BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
     return status;
   }
 
-  TxContext& tx = tls_tx;
+  TxContext& tx = Tls();
   if (setjmp_result != 0) {
     // An abort long-jumped back to the checkpoint; report it like xbegin
     // reporting the abort status in EAX.
@@ -274,8 +402,9 @@ BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
   tx.depth = 1;
   tx.env = env;
   tx.rv = GlobalClock().load(std::memory_order_acquire);
-  tx.ResetSets();
-  g_stats.begins.fetch_add(1, std::memory_order_relaxed);
+  // No ResetSets here: every transaction exit (commit or abort) clears the
+  // sets, so they are already clean on entry.
+  BumpSlot(TxStats::kBegins);
   return BeginStatus{true, AbortCode::kNone};
 }
 
@@ -285,7 +414,7 @@ void TxCommit() {
     g_stats.commits.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  TxContext& tx = tls_tx;
+  TxContext& tx = Tls();
   assert(tx.depth > 0 && "TxCommit outside a transaction");
   if (--tx.depth > 0) {
     return;  // nested commit defers to the outermost (RTM behaviour)
@@ -299,7 +428,7 @@ void TxAbort(AbortCode code) {
   if (ActiveBackend() == Backend::kRtm) {
     RtmAbort(code);
   }
-  TxContext& tx = tls_tx;
+  TxContext& tx = Tls();
   assert(tx.depth > 0 && "TxAbort outside a transaction");
   AbortInternal(tx, code);
   // AbortInternal does not return.
@@ -312,7 +441,7 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
     // it is a plain shared read.
     return addr->load(std::memory_order_acquire);
   }
-  TxContext& tx = tls_tx;
+  TxContext& tx = Tls();
   if (tx.depth == 0) {
     // Non-transactional read with strong atomicity: a committer publishes
     // its write set while holding the stripes, so waiting for an unlocked
@@ -328,10 +457,8 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
     return addr->load(std::memory_order_acquire);
   }
 
-  auto* mutable_addr = const_cast<std::atomic<uint64_t>*>(addr);
-  auto it = tx.write_index.find(mutable_addr);
-  if (it != tx.write_index.end()) {
-    return tx.writes[it->second].value;
+  if (const WriteEntry* w = FindWrite(tx, addr)) {
+    return w->value;
   }
 
   std::atomic<uint64_t>* stripe = StripeFor(addr);
@@ -346,11 +473,11 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
     AbortInternal(tx, AbortCode::kConflict);
   }
 
-  if (tx.read_stripes_seen.insert(stripe).second) {
+  if (tx.read_stripes_seen.insert(stripe)) {
     tx.reads.push_back({stripe, StripeVersion(w1)});
   }
-  tx.read_lines.insert(CacheLineOf(addr));
-  if (tx.read_lines.size() > Config().read_capacity_lines) {
+  if (tx.read_lines.insert(CacheLineOf(addr)) &&
+      tx.read_lines.size() > Config().read_capacity_lines) {
     AbortInternal(tx, AbortCode::kCapacity);
   }
   MaybeInjectedAbort(tx, fault::Site::kLoad);
@@ -367,7 +494,7 @@ void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
     }
     return;
   }
-  TxContext& tx = tls_tx;
+  TxContext& tx = Tls();
   if (tx.depth == 0) {
     // Strong atomicity: make the non-transactional store visible to
     // concurrent transactions' validation. The new stripe version must come
@@ -392,18 +519,136 @@ void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
     return;
   }
 
-  tx.write_lines.insert(CacheLineOf(addr));
-  if (tx.write_lines.size() > Config().write_capacity_lines) {
+  if (tx.write_lines.insert(CacheLineOf(addr)) &&
+      tx.write_lines.size() > Config().write_capacity_lines) {
     AbortInternal(tx, AbortCode::kCapacity);
   }
-  auto [it, inserted] = tx.write_index.try_emplace(addr, tx.writes.size());
-  if (inserted) {
-    tx.writes.push_back({addr, value});
+  if (WriteEntry* w = FindWrite(tx, addr)) {
+    w->value = value;
   } else {
-    tx.writes[it->second].value = value;
+    tx.writes.push_back({addr, value});
+    if (tx.writes_spilled) {
+      tx.write_index.emplace(addr, tx.writes.size() - 1);
+    } else if (tx.writes.size() > SmallSet<uintptr_t>::kSpill) {
+      for (size_t i = 0; i < tx.writes.size(); ++i) {
+        tx.write_index.emplace(tx.writes[i].addr, i);
+      }
+      tx.writes_spilled = true;
+    }
   }
   MaybeInjectedAbort(tx, fault::Site::kStore);
   MaybeSpuriousAbort(tx);
+}
+
+uint64_t TxSubscribe(const std::atomic<uint64_t>* addr) {
+  if (ActiveBackend() == Backend::kRtm) {
+    return addr->load(std::memory_order_acquire);
+  }
+  TxContext& tx = Tls();
+  if (tx.depth != 1 || !tx.reads.empty() || !tx.writes.empty()) {
+    // Nested subscription or not the first access: full generality.
+    return TxLoad(addr);
+  }
+  std::atomic<uint64_t>* stripe = StripeFor(addr);
+  uint64_t w1 = stripe->load(std::memory_order_acquire);
+  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  uint64_t value = addr->load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t w2 = stripe->load(std::memory_order_relaxed);
+  if (w1 != w2) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  tx.read_stripes_seen.insert(stripe);
+  tx.reads.push_back({stripe, StripeVersion(w1)});
+  tx.read_lines.insert(CacheLineOf(addr));
+  MaybeInjectedAbort(tx, fault::Site::kLoad);
+  MaybeSpuriousAbort(tx);
+  return value;
+}
+
+uint64_t TxFetchAdd(std::atomic<uint64_t>* addr, uint64_t delta) {
+  if (ActiveBackend() == Backend::kRtm) {
+    if (RtmInTx()) {
+      uint64_t next = addr->load(std::memory_order_relaxed) + delta;
+      addr->store(next, std::memory_order_relaxed);
+      return next;
+    }
+    return addr->fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+  TxContext& tx = Tls();
+  if (tx.depth == 0) {
+    // Non-transactional RMW under the stripe lock: strongly atomic against
+    // both committing transactions and other non-transactional updaters.
+    std::atomic<uint64_t>* stripe = StripeFor(addr);
+    uint64_t word = stripe->load(std::memory_order_relaxed);
+    while (true) {
+      if (StripeIsLocked(word)) {
+        word = stripe->load(std::memory_order_relaxed);
+        continue;
+      }
+      if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    uint64_t next = addr->load(std::memory_order_relaxed) + delta;
+    addr->store(next, std::memory_order_relaxed);
+    uint64_t version =
+        GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+    stripe->store(version << 1, std::memory_order_release);
+    return next;
+  }
+
+  if (WriteEntry* w = FindWrite(tx, addr)) {
+    // The cell is already ours: the buffered value is the transaction-local
+    // truth, no stripe validation or set accounting is needed.
+    w->value += delta;
+    MaybeInjectedAbort(tx, fault::Site::kStore);
+    MaybeSpuriousAbort(tx);
+    return w->value;
+  }
+
+  // Validated read of the committed value (same protocol as TxLoad).
+  std::atomic<uint64_t>* stripe = StripeFor(addr);
+  uint64_t w1 = stripe->load(std::memory_order_acquire);
+  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  uint64_t value = addr->load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t w2 = stripe->load(std::memory_order_relaxed);
+  if (w1 != w2) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  if (tx.read_stripes_seen.insert(stripe)) {
+    tx.reads.push_back({stripe, StripeVersion(w1)});
+  }
+  const uintptr_t line = CacheLineOf(addr);
+  if (tx.read_lines.insert(line) &&
+      tx.read_lines.size() > Config().read_capacity_lines) {
+    AbortInternal(tx, AbortCode::kCapacity);
+  }
+  if (tx.write_lines.insert(line) &&
+      tx.write_lines.size() > Config().write_capacity_lines) {
+    AbortInternal(tx, AbortCode::kCapacity);
+  }
+  value += delta;
+  tx.writes.push_back({addr, value});
+  if (tx.writes_spilled) {
+    tx.write_index.emplace(addr, tx.writes.size() - 1);
+  } else if (tx.writes.size() > SmallSet<uintptr_t>::kSpill) {
+    for (size_t i = 0; i < tx.writes.size(); ++i) {
+      tx.write_index.emplace(tx.writes[i].addr, i);
+    }
+    tx.writes_spilled = true;
+  }
+  MaybeInjectedAbort(tx, fault::Site::kLoad);
+  MaybeInjectedAbort(tx, fault::Site::kStore);
+  MaybeSpuriousAbort(tx);
+  return value;
 }
 
 void StripeGuardedUpdate(const void* addr, void (*fn)(void*), void* arg) {

@@ -65,6 +65,23 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr);
 // stripe-guarded so concurrent transactions observe it (strong atomicity).
 void TxStore(std::atomic<uint64_t>* addr, uint64_t value);
 
+// Transactional load specialized for the lock-word subscription that opens
+// every elided critical section: semantically identical to TxLoad, but when
+// this is the first access of an outermost transaction (empty read/write
+// sets — the overwhelmingly common case) it skips the write-set lookup and
+// the dedup/capacity scans, since a first access cannot be a duplicate and
+// one line cannot exceed capacity. Falls back to TxLoad otherwise (nested
+// subscription, RW locks issuing a second read).
+uint64_t TxSubscribe(const std::atomic<uint64_t>* addr);
+
+// Fused transactional read-modify-write: semantically TxStore(addr,
+// TxLoad(addr) + delta) (2^64 wrapping add in the bit domain), but performs
+// the write-set lookup, stripe validation, and capacity accounting once.
+// Outside a transaction the whole RMW happens under the stripe lock, so —
+// unlike a separate Load/Store pair — it is atomic against concurrent
+// non-transactional updaters too. Returns the new value.
+uint64_t TxFetchAdd(std::atomic<uint64_t>* addr, uint64_t delta);
+
 // Runs `fn` as a stripe-guarded non-transactional update of `addr`:
 // lock stripe -> fn() -> release stripe with a bumped version. Any in-flight
 // transaction that read `addr` will abort at (or before) commit. This is the

@@ -71,10 +71,14 @@ class BreakerTable {
                : BreakerDecision::kOpen;
   }
 
-  // A fast-path commit on this cell: the pair is healthy again.
+  // A fast-path commit on this cell: the pair is healthy again. The store
+  // is elided when the failure streak is already zero — the common case on
+  // every healthy commit, which would otherwise dirty the cell's line.
   void RecordSuccess(uint32_t idx) {
-    cells_[idx & (kTableSize - 1)].failures.store(0,
-                                                  std::memory_order_relaxed);
+    Cell& cell = cells_[idx & (kTableSize - 1)];
+    if (cell.failures.load(std::memory_order_relaxed) != 0) {
+      cell.failures.store(0, std::memory_order_relaxed);
+    }
   }
 
   // An exhausted-budget fallback on this cell. Returns true when this

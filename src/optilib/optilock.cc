@@ -15,15 +15,53 @@ OptiStats g_stats;
 Perceptron g_perceptron;
 BreakerTable g_breaker;
 
-// Process-wide episode clock: one tick per elision decision. Breaker and
+// Process-wide episode clock: one tick per elision decision (only taken
+// when the breaker or watchdog is enabled — with both off, cooldowns are
+// never consulted and the fast path skips the clock entirely). Breaker and
 // watchdog cooldowns are denominated in these ticks so they need no
 // wall-clock reads on the fast path.
+//
+// Ticks are claimed in thread-local batches of `episode_clock_batch`: the
+// shared fetch_add runs once per batch instead of once per episode, so the
+// clock's cache line is written O(episodes / batch) times. A thread's
+// in-hand ticks lag the frontier by < threads * batch — see the skew
+// analysis on OptiConfig::episode_clock_batch.
 std::atomic<uint64_t> g_episode_clock{0};
+
+// Bumped by ResetHardeningState to invalidate every thread's cached tick
+// batch, so back-to-back runs restart from tick zero with no residue.
+std::atomic<uint64_t> g_clock_epoch{0};
+
+struct ClockCache {
+  uint64_t next = 0;
+  uint64_t end = 0;  // exclusive
+  uint64_t epoch = 0;
+};
+
+uint64_t NextEpisodeTick(int batch) {
+  thread_local ClockCache cache;
+  const uint64_t epoch = g_clock_epoch.load(std::memory_order_relaxed);
+  if (cache.next >= cache.end || cache.epoch != epoch) {
+    const uint64_t n = batch < 1 ? 1 : static_cast<uint64_t>(batch);
+    cache.next = g_episode_clock.fetch_add(n, std::memory_order_relaxed);
+    cache.end = cache.next + n;
+    cache.epoch = epoch;
+  }
+  return ++cache.next;  // ticks are 1-based, matching the unbatched clock
+}
 
 // Watchdog state: consecutive exhausted-budget fallbacks with no fast commit
 // in between, and the episode tick until which slow-only mode holds.
 std::atomic<uint64_t> g_storm_streak{0};
 std::atomic<uint64_t> g_slow_only_until{0};
+
+// Single-writer bump of the calling thread's stat shard (see sharded.h:
+// relaxed load+store, no lock-prefixed RMW, no shared cache line).
+inline void Bump(int slot, uint64_t delta = 1) {
+  std::atomic<uint64_t>* s = g_stats.LocalShard() + slot;
+  s->store(s->load(std::memory_order_relaxed) + delta,
+           std::memory_order_relaxed);
+}
 
 // Deterministic per-thread jitter stream for backoff.
 SplitMix64& BackoffRng() {
@@ -42,26 +80,29 @@ const OptiConfig& GetOptiConfig() { return g_config; }
 OptiStats& GlobalOptiStats() { return g_stats; }
 Perceptron& GlobalPerceptron() { return g_perceptron; }
 
-void OptiStats::Reset() {
-  fast_commits.store(0, std::memory_order_relaxed);
-  nested_fast_commits.store(0, std::memory_order_relaxed);
-  slow_acquires.store(0, std::memory_order_relaxed);
-  htm_attempts.store(0, std::memory_order_relaxed);
-  perceptron_slow_decisions.store(0, std::memory_order_relaxed);
-  perceptron_resets.store(0, std::memory_order_relaxed);
-  single_proc_bypasses.store(0, std::memory_order_relaxed);
-  mismatch_recoveries.store(0, std::memory_order_relaxed);
+OptiStats::OptiStats()
+    : fast_commits(&shards_, kFastCommits),
+      nested_fast_commits(&shards_, kNestedFastCommits),
+      slow_acquires(&shards_, kSlowAcquires),
+      htm_attempts(&shards_, kHtmAttempts),
+      perceptron_slow_decisions(&shards_, kPerceptronSlowDecisions),
+      perceptron_resets(&shards_, kPerceptronResets),
+      single_proc_bypasses(&shards_, kSingleProcBypasses),
+      mismatch_recoveries(&shards_, kMismatchRecoveries),
+      backoff_waits(&shards_, kBackoffWaits),
+      backoff_pauses(&shards_, kBackoffPauses),
+      breaker_trips(&shards_, kBreakerTrips),
+      breaker_short_circuits(&shards_, kBreakerShortCircuits),
+      breaker_reprobes(&shards_, kBreakerReprobes),
+      watchdog_trips(&shards_, kWatchdogTrips),
+      watchdog_bypasses(&shards_, kWatchdogBypasses) {
   for (int i = 0; i < htm::kNumAbortCodes; ++i) {
-    episode_aborts[i].store(0, std::memory_order_relaxed);
+    episode_aborts[i] =
+        support::ShardedCounter(&shards_, kEpisodeAbortsBase + i);
   }
-  backoff_waits.store(0, std::memory_order_relaxed);
-  backoff_pauses.store(0, std::memory_order_relaxed);
-  breaker_trips.store(0, std::memory_order_relaxed);
-  breaker_short_circuits.store(0, std::memory_order_relaxed);
-  breaker_reprobes.store(0, std::memory_order_relaxed);
-  watchdog_trips.store(0, std::memory_order_relaxed);
-  watchdog_bypasses.store(0, std::memory_order_relaxed);
 }
+
+void OptiStats::Reset() { shards_.ResetAll(); }
 
 std::string OptiStats::ToString() const {
   std::string out = StrFormat(
@@ -116,16 +157,27 @@ void ResetHardeningState() {
   g_breaker.Reset();
   g_storm_streak.store(0, std::memory_order_relaxed);
   g_slow_only_until.store(0, std::memory_order_relaxed);
+  // Rewind the episode clock and invalidate every thread's cached batch
+  // (the epoch bump makes stale in-hand ticks unusable). Safe because the
+  // consumers of old ticks — breaker cells and the watchdog window — are
+  // cleared in the same call.
+  g_episode_clock.store(0, std::memory_order_relaxed);
+  g_clock_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpisodeClockFrontier() {
+  return g_episode_clock.load(std::memory_order_relaxed);
 }
 
 void OptiLock::PrepareCommon() {
+  cfg_ = g_config;  // one snapshot; the episode never re-reads the global
   slow_path_ = false;
   force_slow_ = false;
   decision_made_ = false;
   predicted_htm_ = false;
   exhausted_budget_ = false;
-  attempts_left_ = g_config.max_attempts;
-  conflict_retries_left_ = g_config.conflict_retries;
+  attempts_left_ = cfg_.max_attempts;
+  conflict_retries_left_ = cfg_.conflict_retries;
   backoff_exponent_ = 0;
   episode_now_ = 0;
 }
@@ -156,15 +208,14 @@ void OptiLock::FastLockStep(int setjmp_code) {
 }
 
 void OptiLock::HandleAbort(htm::AbortCode code) {
-  g_stats.episode_aborts[static_cast<int>(code)].fetch_add(
-      1, std::memory_order_relaxed);
+  Bump(OptiStats::kEpisodeAbortsBase + static_cast<int>(code));
   switch (code) {
     case htm::AbortCode::kMutexMismatch:
       // The code patch paired this FastLock with an unintended unlock point
       // (e.g. hand-over-hand traversal). The transaction already rolled
       // back every effect; recover by enforcing the slow path, which is
       // behaviourally identical to the untransformed program (Appendix C).
-      g_stats.mismatch_recoveries.fetch_add(1, std::memory_order_relaxed);
+      Bump(OptiStats::kMismatchRecoveries);
       force_slow_ = true;
       return;
     case htm::AbortCode::kLockHeld:
@@ -193,17 +244,16 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
 }
 
 void OptiLock::BackoffBeforeRetry() {
-  const OptiConfig& cfg = g_config;
-  if (cfg.backoff_base_pauses <= 0) {
+  if (cfg_.backoff_base_pauses <= 0) {
     return;
   }
-  int64_t limit = cfg.backoff_base_pauses;
-  for (int i = 0; i < backoff_exponent_ && limit < cfg.backoff_cap_pauses;
+  int64_t limit = cfg_.backoff_base_pauses;
+  for (int i = 0; i < backoff_exponent_ && limit < cfg_.backoff_cap_pauses;
        ++i) {
     limit <<= 1;
   }
-  if (limit > cfg.backoff_cap_pauses) {
-    limit = cfg.backoff_cap_pauses;
+  if (limit > cfg_.backoff_cap_pauses) {
+    limit = cfg_.backoff_cap_pauses;
   }
   ++backoff_exponent_;
   // Jitter in [limit/2, limit]: full-limit lockstep would just re-align the
@@ -212,16 +262,14 @@ void OptiLock::BackoffBeforeRetry() {
       limit / 2 +
       static_cast<int64_t>(BackoffRng().NextBelow(
           static_cast<uint64_t>(limit / 2 + 1)));
-  g_stats.backoff_waits.fetch_add(1, std::memory_order_relaxed);
-  g_stats.backoff_pauses.fetch_add(static_cast<uint64_t>(pauses),
-                                   std::memory_order_relaxed);
+  Bump(OptiStats::kBackoffWaits);
+  Bump(OptiStats::kBackoffPauses, static_cast<uint64_t>(pauses));
   for (int64_t i = 0; i < pauses; ++i) {
     gosync::CpuPause();
   }
 }
 
 void OptiLock::AttemptLoop() {
-  const OptiConfig& cfg = g_config;
   while (true) {
     if (htm::InTx()) {
       // Already executing transactionally (nested transformed critical
@@ -239,32 +287,38 @@ void OptiLock::AttemptLoop() {
     }
     if (!decision_made_) {
       decision_made_ = true;
-      if (cfg.single_proc_bypass && gosync::MaxProcs() <= 1) {
+      if (cfg_.single_proc_bypass && gosync::MaxProcs() <= 1) {
         // §5.4.2: with a single P there is no concurrency to exploit and
         // HTM's begin/commit overhead is pure loss.
-        g_stats.single_proc_bypasses.fetch_add(1, std::memory_order_relaxed);
+        Bump(OptiStats::kSingleProcBypasses);
         TakeSlowPath();
         return;
       }
-      episode_now_ =
-          g_episode_clock.fetch_add(1, std::memory_order_relaxed) + 1;
       indices_ = Perceptron::IndicesFor(target_, this);
-      // Episode watchdog: during a declared abort storm every decision goes
-      // straight to the lock. Episodes already past this point (in a
-      // transaction or on the slow path) are untouched, so hot-degrading
-      // can never deadlock in-flight work.
-      if (cfg.watchdog_threshold > 0 &&
-          episode_now_ < g_slow_only_until.load(std::memory_order_relaxed)) {
-        g_stats.watchdog_bypasses.fetch_add(1, std::memory_order_relaxed);
-        TakeSlowPath();
-        return;
+      // The episode clock only exists to denominate breaker/watchdog
+      // cooldowns: with both disabled (the default) no tick is claimed and
+      // the decision path touches no shared clock state at all.
+      const bool hardening =
+          cfg_.breaker_threshold > 0 || cfg_.watchdog_threshold > 0;
+      if (hardening) {
+        episode_now_ = NextEpisodeTick(cfg_.episode_clock_batch);
+        // Episode watchdog: during a declared abort storm every decision
+        // goes straight to the lock. Episodes already past this point (in a
+        // transaction or on the slow path) are untouched, so hot-degrading
+        // can never deadlock in-flight work.
+        if (cfg_.watchdog_threshold > 0 &&
+            episode_now_ <
+                g_slow_only_until.load(std::memory_order_relaxed)) {
+          Bump(OptiStats::kWatchdogBypasses);
+          TakeSlowPath();
+          return;
+        }
       }
-      if (cfg.use_perceptron) {
+      if (cfg_.use_perceptron) {
         if (!g_perceptron.Predict(indices_)) {
-          g_stats.perceptron_slow_decisions.fetch_add(
-              1, std::memory_order_relaxed);
+          Bump(OptiStats::kPerceptronSlowDecisions);
           if (g_perceptron.NoteSlowDecision(indices_)) {
-            g_stats.perceptron_resets.fetch_add(1, std::memory_order_relaxed);
+            Bump(OptiStats::kPerceptronResets);
           }
           TakeSlowPath();
           return;
@@ -273,29 +327,30 @@ void OptiLock::AttemptLoop() {
       // Circuit breaker, layered after the perceptron: it only ever sees
       // episodes the perceptron was still willing to speculate on, so the
       // paper's predictor statistics keep their semantics.
-      switch (g_breaker.Admit(indices_.mutex_cell, episode_now_,
-                              cfg.breaker_threshold)) {
-        case BreakerDecision::kOpen:
-          g_stats.breaker_short_circuits.fetch_add(1,
-                                                   std::memory_order_relaxed);
-          TakeSlowPath();
-          return;
-        case BreakerDecision::kReprobe:
-          g_stats.breaker_reprobes.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case BreakerDecision::kClosed:
-          break;
+      if (cfg_.breaker_threshold > 0) {
+        switch (g_breaker.Admit(indices_.mutex_cell, episode_now_,
+                                cfg_.breaker_threshold)) {
+          case BreakerDecision::kOpen:
+            Bump(OptiStats::kBreakerShortCircuits);
+            TakeSlowPath();
+            return;
+          case BreakerDecision::kReprobe:
+            Bump(OptiStats::kBreakerReprobes);
+            break;
+          case BreakerDecision::kClosed:
+            break;
+        }
       }
       predicted_htm_ = true;
     }
 
     // Wait for the elided lock to become available before starting the
     // transaction — beginning while it is held guarantees an abort.
-    for (int i = 0; i < cfg.spin_pauses_while_locked && TargetHeld(); ++i) {
+    for (int i = 0; i < cfg_.spin_pauses_while_locked && TargetHeld(); ++i) {
       gosync::CpuPause();
     }
 
-    g_stats.htm_attempts.fetch_add(1, std::memory_order_relaxed);
+    Bump(OptiStats::kHtmAttempts);
     htm::BeginStatus status = htm::TxBeginImpl(0, &env_);
     if (!status.started) {
       // The RTM backend reports aborts by re-returning here; SimTM reports
@@ -311,7 +366,7 @@ void OptiLock::AttemptLoop() {
 
 void OptiLock::TakeSlowPath() {
   slow_path_ = true;
-  g_stats.slow_acquires.fetch_add(1, std::memory_order_relaxed);
+  Bump(OptiStats::kSlowAcquires);
   switch (kind_) {
     case Target::kMutex:
       AsMutex()->Lock();
@@ -331,21 +386,21 @@ void OptiLock::TakeSlowPath() {
 void OptiLock::SubscribeOrAbort() {
   switch (kind_) {
     case Target::kMutex: {
-      uint64_t state = htm::TxLoad(AsMutex()->StateWord());
+      uint64_t state = htm::TxSubscribe(AsMutex()->StateWord());
       if ((state & gosync::Mutex::kLockedBit) != 0) {
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
       return;
     }
     case Target::kRWRead: {
-      auto readers = static_cast<int64_t>(htm::TxLoad(AsRW()->ReaderCountWord()));
+      auto readers = static_cast<int64_t>(htm::TxSubscribe(AsRW()->ReaderCountWord()));
       if (readers < 0) {  // writer pending or active
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
       return;
     }
     case Target::kRWWrite: {
-      auto readers = static_cast<int64_t>(htm::TxLoad(AsRW()->ReaderCountWord()));
+      auto readers = static_cast<int64_t>(htm::TxSubscribe(AsRW()->ReaderCountWord()));
       if (readers != 0) {  // active readers or a writer
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
@@ -375,25 +430,30 @@ void OptiLock::FinishFastEpisode() {
   if (htm::InTx()) {
     // Inner commit of a nested elision: defer bookkeeping to the outermost
     // commit (and keep perceptron updates outside the transaction).
-    g_stats.nested_fast_commits.fetch_add(1, std::memory_order_relaxed);
+    Bump(OptiStats::kNestedFastCommits);
   } else {
-    g_stats.fast_commits.fetch_add(1, std::memory_order_relaxed);
+    Bump(OptiStats::kFastCommits);
     if (predicted_htm_) {
-      if (g_config.use_perceptron) {
+      if (cfg_.use_perceptron) {
         g_perceptron.RewardHtm(indices_);
       }
-      if (g_config.breaker_threshold > 0) {
+      if (cfg_.breaker_threshold > 0) {
         g_breaker.RecordSuccess(indices_.mutex_cell);
       }
       // Any fast commit ends a storm streak: aborts are flowing again.
-      g_storm_streak.store(0, std::memory_order_relaxed);
+      // Only the watchdog reads the streak, and a redundant store of 0
+      // would dirty a shared line on every commit, so check first.
+      if (cfg_.watchdog_threshold > 0 &&
+          g_storm_streak.load(std::memory_order_relaxed) != 0) {
+        g_storm_streak.store(0, std::memory_order_relaxed);
+      }
     }
   }
   ResetEpisode();
 }
 
 void OptiLock::FinishSlowEpisode() {
-  if (predicted_htm_ && g_config.use_perceptron) {
+  if (predicted_htm_ && cfg_.use_perceptron) {
     // The perceptron said HTM but the episode ended on the lock: penalize
     // (Listing 19: "if htm fails, decrease perceptron weights").
     g_perceptron.PenalizeHtm(indices_);
@@ -401,21 +461,21 @@ void OptiLock::FinishSlowEpisode() {
   if (predicted_htm_ && exhausted_budget_) {
     // The episode burned its whole retry budget on aborts — the outcome the
     // breaker quarantines per pair and the watchdog aggregates per process.
-    if (g_config.breaker_threshold > 0 &&
+    if (cfg_.breaker_threshold > 0 &&
         g_breaker.RecordFailure(indices_.mutex_cell, episode_now_,
-                                g_config.breaker_threshold,
-                                g_config.breaker_cooldown_episodes)) {
-      g_stats.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+                                cfg_.breaker_threshold,
+                                cfg_.breaker_cooldown_episodes)) {
+      Bump(OptiStats::kBreakerTrips);
     }
-    if (g_config.watchdog_threshold > 0) {
+    if (cfg_.watchdog_threshold > 0) {
       uint64_t streak =
           g_storm_streak.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (streak >= static_cast<uint64_t>(g_config.watchdog_threshold)) {
+      if (streak >= static_cast<uint64_t>(cfg_.watchdog_threshold)) {
         g_storm_streak.store(0, std::memory_order_relaxed);
         g_slow_only_until.store(
-            episode_now_ + g_config.watchdog_cooldown_episodes,
+            episode_now_ + cfg_.watchdog_cooldown_episodes,
             std::memory_order_relaxed);
-        g_stats.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+        Bump(OptiStats::kWatchdogTrips);
       }
     }
   }

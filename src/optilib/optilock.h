@@ -42,6 +42,7 @@
 #include "src/htm/abort.h"
 #include "src/htm/tx.h"
 #include "src/optilib/perceptron.h"
+#include "src/support/sharded.h"
 
 namespace gocc::optilib {
 
@@ -87,50 +88,104 @@ struct OptiConfig {
   // 0 disables (default).
   int watchdog_threshold = 0;
   uint64_t watchdog_cooldown_episodes = 4096;
+
+  // Episode-clock ticks a thread claims per refill (see NextEpisodeTick in
+  // optilock.cc). 1 reproduces the unbatched global fetch_add exactly;
+  // larger values amortize the shared RMW over `batch` episodes at the cost
+  // of bounded cross-thread tick skew: a thread's current tick lags the
+  // clock's frontier by at most `threads * batch` ticks. Breaker/watchdog
+  // cooldowns tolerate that skew (a stale trip tick can only *shorten* an
+  // observed quarantine by the skew bound, never extend it or un-quarantine
+  // a cell before `cooldown - threads*batch` episodes have passed).
+  int episode_clock_batch = 64;
 };
 
 OptiConfig& MutableOptiConfig();
 const OptiConfig& GetOptiConfig();
 
+// Runtime counters, sharded per thread (support/sharded.h): an episode's
+// bookkeeping writes only the calling thread's cache-line-padded shard, so
+// disjoint-lock workloads share no stat cache line. The members keep the
+// `.load()` / `.fetch_add()` shape of the plain atomics they replaced —
+// `load()` sums across shards; all existing call sites read unchanged.
 struct OptiStats {
-  std::atomic<uint64_t> fast_commits{0};
-  std::atomic<uint64_t> nested_fast_commits{0};
-  std::atomic<uint64_t> slow_acquires{0};
-  std::atomic<uint64_t> htm_attempts{0};
-  std::atomic<uint64_t> perceptron_slow_decisions{0};
-  std::atomic<uint64_t> perceptron_resets{0};
-  std::atomic<uint64_t> single_proc_bypasses{0};
-  std::atomic<uint64_t> mismatch_recoveries{0};
+  // Slot layout inside each per-thread shard. The hot path (optilock.cc)
+  // indexes the raw shard with these instead of going through the handles.
+  enum Slot : int {
+    kFastCommits = 0,
+    kNestedFastCommits,
+    kSlowAcquires,
+    kHtmAttempts,
+    kPerceptronSlowDecisions,
+    kPerceptronResets,
+    kSingleProcBypasses,
+    kMismatchRecoveries,
+    kBackoffWaits,
+    kBackoffPauses,
+    kBreakerTrips,
+    kBreakerShortCircuits,
+    kBreakerReprobes,
+    kWatchdogTrips,
+    kWatchdogBypasses,
+    kEpisodeAbortsBase,  // + htm::AbortCode, kNumAbortCodes slots
+    kNumSlots = kEpisodeAbortsBase + htm::kNumAbortCodes,
+  };
+
+  OptiStats();
+
+  support::ShardedCounter fast_commits;
+  support::ShardedCounter nested_fast_commits;
+  support::ShardedCounter slow_acquires;
+  support::ShardedCounter htm_attempts;
+  support::ShardedCounter perceptron_slow_decisions;
+  support::ShardedCounter perceptron_resets;
+  support::ShardedCounter single_proc_bypasses;
+  support::ShardedCounter mismatch_recoveries;
 
   // Per-AbortCode histogram of aborts delivered to episodes (indexed by
   // htm::AbortCode; distinct from TxStats, which counts substrate aborts —
   // this one counts what optiLib's retry policy actually had to handle).
-  std::atomic<uint64_t> episode_aborts[htm::kNumAbortCodes] = {};
+  support::ShardedCounter episode_aborts[htm::kNumAbortCodes];
 
   // Backoff / breaker / watchdog observability.
-  std::atomic<uint64_t> backoff_waits{0};
-  std::atomic<uint64_t> backoff_pauses{0};
-  std::atomic<uint64_t> breaker_trips{0};
-  std::atomic<uint64_t> breaker_short_circuits{0};
-  std::atomic<uint64_t> breaker_reprobes{0};
-  std::atomic<uint64_t> watchdog_trips{0};
-  std::atomic<uint64_t> watchdog_bypasses{0};
+  support::ShardedCounter backoff_waits;
+  support::ShardedCounter backoff_pauses;
+  support::ShardedCounter breaker_trips;
+  support::ShardedCounter breaker_short_circuits;
+  support::ShardedCounter breaker_reprobes;
+  support::ShardedCounter watchdog_trips;
+  support::ShardedCounter watchdog_bypasses;
 
   uint64_t EpisodeAborts(htm::AbortCode code) const {
     return episode_aborts[static_cast<int>(code)].load(
         std::memory_order_relaxed);
   }
 
+  // The calling thread's private slot array (single-writer; index with
+  // Slot). One lookup per episode replaces per-counter handle dispatch.
+  std::atomic<uint64_t>* LocalShard() { return shards_.Local(); }
+  size_t ShardCount() const { return shards_.ShardCount(); }
+
   void Reset();
   std::string ToString() const;
+
+ private:
+  support::ShardedCounters shards_{kNumSlots};
 };
 
 OptiStats& GlobalOptiStats();
 
-// Clears cross-episode hardening state: every circuit-breaker cell and the
-// watchdog's storm streak / slow-only window (test & benchmark isolation;
-// the episode clock itself stays monotonic).
+// Clears cross-episode hardening state: every circuit-breaker cell, the
+// watchdog's storm streak / slow-only window, and the episode clock —
+// including each thread's locally cached tick batch, which is invalidated
+// via an epoch bump (test & benchmark isolation; back-to-back runs start
+// from tick zero).
 void ResetHardeningState();
+
+// Frontier of the process-wide episode clock: the next unclaimed tick
+// (test/bench observability; threads may hold claimed-but-unused ticks
+// below it, bounded by threads * episode_clock_batch).
+uint64_t EpisodeClockFrontier();
 
 class OptiLock {
  public:
@@ -208,9 +263,15 @@ class OptiLock {
   int conflict_retries_left_ = 0;
   int backoff_exponent_ = 0;
   // This episode's tick of the process-wide episode clock (breaker/watchdog
-  // cooldowns are measured in episodes).
+  // cooldowns are measured in episodes). Under batching the tick is claimed
+  // from the thread's local block, so it can lag the clock frontier by the
+  // documented skew bound.
   uint64_t episode_now_ = 0;
   Perceptron::Indices indices_{0, 0};
+  // Config snapshot taken once in PrepareCommon: the episode's decisions
+  // all read this copy, so a concurrent config edit can never be observed
+  // half-applied within one episode (and the hot path re-reads no globals).
+  OptiConfig cfg_;
 };
 
 template <typename Fn>

@@ -11,6 +11,10 @@
 // Weight decay: each cell counts consecutive perceptron-directed slow-path
 // decisions; at the threshold (1000) the cell resets so HTM is re-probed
 // after a phase change.
+//
+// Layout: cells are cache-line padded and trained cells elide redundant
+// stores, so in steady state a committing episode reads its two cells but
+// writes nothing shared (see DESIGN.md "fast-path cost model").
 
 #ifndef GOCC_SRC_OPTILIB_PERCEPTRON_H_
 #define GOCC_SRC_OPTILIB_PERCEPTRON_H_
@@ -52,14 +56,14 @@ class Perceptron {
   }
 
   // Rewards a correct HTM prediction (fast-path success): +1, saturating.
-  // Also clears the decay counters (paper: lockCounter = 0).
+  // Also clears the decay counters (paper: lockCounter = 0). Streak stores
+  // are skipped when already zero: in steady state every fast commit would
+  // otherwise dirty the cell's line even though nothing changed.
   void RewardHtm(Indices idx) {
     BumpWeight(mutex_table_[idx.mutex_cell], +1);
     BumpWeight(context_table_[idx.context_cell], +1);
-    mutex_table_[idx.mutex_cell].slow_streak.store(0,
-                                                   std::memory_order_relaxed);
-    context_table_[idx.context_cell].slow_streak.store(
-        0, std::memory_order_relaxed);
+    ClearStreak(mutex_table_[idx.mutex_cell]);
+    ClearStreak(context_table_[idx.context_cell]);
   }
 
   // Penalizes an incorrect HTM prediction (HTM attempted, fell back): -1.
@@ -96,7 +100,12 @@ class Perceptron {
   }
 
  private:
-  struct Cell {
+  // One cell per cache line: unpadded, eight 8-byte cells share a line, so
+  // two unrelated hot (mutex, call-site) pairs hashing to adjacent cells
+  // ping-pong that line between their threads even though their locks are
+  // disjoint. 64-byte alignment trades table footprint (2 x 256 KiB,
+  // cold cells are never faulted in) for zero cross-cell false sharing.
+  struct alignas(64) Cell {
     std::atomic<int32_t> weight{0};
     std::atomic<uint32_t> slow_streak{0};
   };
@@ -115,8 +124,18 @@ class Perceptron {
     } else if (next > kWeightMax) {
       next = kWeightMax;
     }
-    // Racy store, as in the paper: lost updates are tolerated.
-    cell.weight.store(next, std::memory_order_relaxed);
+    // Racy store, as in the paper: lost updates are tolerated. Saturated
+    // cells skip the store — a trained, always-committing site would
+    // otherwise redraw its cell's line into M state on every episode.
+    if (next != w) {
+      cell.weight.store(next, std::memory_order_relaxed);
+    }
+  }
+
+  static void ClearStreak(Cell& cell) {
+    if (cell.slow_streak.load(std::memory_order_relaxed) != 0) {
+      cell.slow_streak.store(0, std::memory_order_relaxed);
+    }
   }
 
   static bool NoteSlowOnCell(Cell& cell) {

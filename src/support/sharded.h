@@ -1,0 +1,164 @@
+// Per-thread sharded statistics counters.
+//
+// The runtime's observability counters (optilib::OptiStats, htm::TxStats)
+// are bumped on the episode fast path. As single global atomics they cost a
+// lock-prefixed RMW each and — worse — every thread writes the same handful
+// of cache lines, so a workload taking *disjoint* locks still ping-pongs
+// stat lines between cores (TL2-style STMs treat exactly this metadata
+// false sharing as a first-order scalability limit). Here each thread owns
+// a cache-line-padded shard of plain relaxed atomics; reads aggregate over
+// all shards.
+//
+// Write discipline: a shard is written only by its owning thread (relaxed
+// load+store, exact because single-writer, cheaper than a lock-prefixed
+// RMW, and race-free under TSan because the cells are atomics). Readers sum
+// shards under the registry mutex; a sum taken while writers run is
+// approximately consistent — the same contract the previous global relaxed
+// atomics offered. Reset() stores zero into every shard and therefore
+// requires writer quiescence for exactness — also the old contract (tests
+// and benches reset between phases, never mid-run).
+//
+// Shards persist for the process lifetime: a shard whose thread exited
+// keeps contributing its final values to sums, so totals never go
+// backwards. Registration is O(1) amortized per thread; lookup on the hot
+// path is one thread-local array index plus a null check.
+
+#ifndef GOCC_SRC_SUPPORT_SHARDED_H_
+#define GOCC_SRC_SUPPORT_SHARDED_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gocc::support {
+
+class ShardedCounters {
+ public:
+  // Process-wide cap on distinct counter domains (one per stats singleton;
+  // currently optiLib + TM use two). The cap keeps the thread-local lookup
+  // table a flat array.
+  static constexpr int kMaxDomains = 8;
+
+  explicit ShardedCounters(int counters)
+      : id_(next_domain_id().fetch_add(1, std::memory_order_relaxed)),
+        count_(counters) {
+    assert(id_ < kMaxDomains && "too many ShardedCounters domains");
+  }
+
+  ShardedCounters(const ShardedCounters&) = delete;
+  ShardedCounters& operator=(const ShardedCounters&) = delete;
+
+  int count() const { return count_; }
+
+  // The calling thread's private slot array, registered on first use. Slots
+  // are alignas(64) padded per shard, so no two threads' counters share a
+  // cache line. The pointer stays valid for the process lifetime.
+  std::atomic<uint64_t>* Local() {
+    std::atomic<uint64_t>* slots = tls_slots()[id_];
+    if (slots == nullptr) {
+      slots = RegisterShard();
+    }
+    return slots;
+  }
+
+  // Single-writer increment of the calling thread's slot `idx`.
+  void Incr(int idx, uint64_t delta = 1) {
+    std::atomic<uint64_t>* slot = Local() + idx;
+    slot->store(slot->load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+  }
+
+  // Sums slot `idx` across every shard ever registered.
+  uint64_t Sum(int idx) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->slots[idx].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Zeroes every slot of every shard. Exact only at writer quiescence (see
+  // header comment).
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+      for (int i = 0; i < count_; ++i) {
+        shard->slots[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Number of registered shards (test observability).
+  size_t ShardCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shards_.size();
+  }
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(int n) : slots(new std::atomic<uint64_t>[n]) {
+      for (int i = 0; i < n; ++i) {
+        slots[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    std::unique_ptr<std::atomic<uint64_t>[]> slots;
+  };
+
+  static std::atomic<int>& next_domain_id() {
+    static std::atomic<int> id{0};
+    return id;
+  }
+
+  using TlsTable = std::atomic<uint64_t>*[kMaxDomains];
+  static TlsTable& tls_slots() {
+    thread_local TlsTable table = {};
+    return table;
+  }
+
+  std::atomic<uint64_t>* RegisterShard() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>(count_));
+    std::atomic<uint64_t>* slots = shards_.back()->slots.get();
+    tls_slots()[id_] = slots;
+    return slots;
+  }
+
+  const int id_;
+  const int count_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Drop-in stand-in for the `std::atomic<uint64_t>` counter members the
+// stats structs used to expose: `load()` aggregates across shards,
+// `fetch_add()` bumps the calling thread's shard. Default-constructed
+// handles are unbound (for array members rebound in a ctor body).
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(ShardedCounters* domain, int idx)
+      : domain_(domain), idx_(idx) {}
+
+  uint64_t load(std::memory_order = std::memory_order_relaxed) const {
+    assert(domain_ != nullptr);
+    return domain_->Sum(idx_);
+  }
+
+  void fetch_add(uint64_t delta,
+                 std::memory_order = std::memory_order_relaxed) {
+    assert(domain_ != nullptr);
+    domain_->Incr(idx_, delta);
+  }
+
+ private:
+  ShardedCounters* domain_ = nullptr;
+  int idx_ = 0;
+};
+
+}  // namespace gocc::support
+
+#endif  // GOCC_SRC_SUPPORT_SHARDED_H_
