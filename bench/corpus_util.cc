@@ -40,8 +40,9 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return buffer.str();
 }
 
-StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
-                                             bool use_profile) {
+namespace {
+
+StatusOr<analysis::PipelineInput> LoadSources(const CorpusRepo& repo) {
   analysis::PipelineInput input;
   for (const std::string& file : repo.go_files) {
     auto content = ReadFileToString(file);
@@ -50,15 +51,37 @@ StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
     }
     input.sources.push_back({file, std::move(*content)});
   }
+  return input;
+}
+
+}  // namespace
+
+StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
+                                             bool use_profile) {
+  auto input = LoadSources(repo);
+  if (!input.ok()) {
+    return input.status();
+  }
   if (use_profile && !repo.profile_file.empty()) {
     auto profile = ReadFileToString(repo.profile_file);
     if (!profile.ok()) {
       return profile.status();
     }
-    input.profile_text = std::move(*profile);
-    input.has_profile = true;
+    input->profile_text = std::move(*profile);
+    input->has_profile = true;
   }
-  return analysis::RunPipeline(input);
+  return analysis::RunPipeline(*input);
+}
+
+StatusOr<analysis::PipelineOutput> RunOnRepoWithProfileText(
+    const CorpusRepo& repo, const std::string& profile_text) {
+  auto input = LoadSources(repo);
+  if (!input.ok()) {
+    return input.status();
+  }
+  input->profile_text = profile_text;
+  input->has_profile = true;
+  return analysis::RunPipeline(*input);
 }
 
 }  // namespace gocc::bench

@@ -28,6 +28,12 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 StatusOr<analysis::PipelineOutput> RunOnRepo(const CorpusRepo& repo,
                                              bool use_profile);
 
+// Runs the pipeline over a repo with a caller-supplied profile text instead
+// of the shipped profile_file — the loop-closing entry point for
+// self-collected profiles (src/obs/self_profile.h).
+StatusOr<analysis::PipelineOutput> RunOnRepoWithProfileText(
+    const CorpusRepo& repo, const std::string& profile_text);
+
 // Default corpus location: the GOCC_CORPUS_DIR compile definition.
 std::string DefaultCorpusDir();
 

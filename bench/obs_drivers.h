@@ -1,0 +1,46 @@
+// Self-profiling workload drivers: the measurement half of the closed loop
+// (DESIGN.md §4.8, Figure 1).
+//
+// Each corpus package has a driver that runs its C++ workload analogue in
+// the Elided build with the episode trace recorder on, attributing every
+// lock episode to the paper's per-function key ("Set.Len", "bucket.get")
+// via obs::ScopedSite. The drained trace aggregates into a profile text
+// that profile::Profile::Parse accepts, so the *measured* run replaces the
+// shipped corpus/*.profile stand-in as the pipeline's hotness input
+// (bench/table1_report --profile-from-run, tests/obs_test.cc).
+//
+// Operation mixes are deterministic (schedule by iteration index, seeded
+// keys) so repeated collections produce the same hot/cold decisions.
+
+#ifndef GOCC_BENCH_OBS_DRIVERS_H_
+#define GOCC_BENCH_OBS_DRIVERS_H_
+
+#include <string>
+
+#include "src/obs/recorder.h"
+#include "src/obs/self_profile.h"
+#include "src/support/status.h"
+
+namespace gocc::bench {
+
+// A completed self-profiling run.
+struct SelfProfileResult {
+  std::string profile_text;   // EmitProfileText output (Parse-ready)
+  obs::SelfProfile profile;   // aggregated rows, for reporting
+  obs::DrainStats drain;      // recorded/drained/dropped accounting
+};
+
+// Whether `repo_name` (Table 1 naming: "tally", "zap", "go-cache",
+// "fastcache", "set") has a workload driver.
+bool HasSelfProfileDriver(const std::string& repo_name);
+
+// Runs the repo's workload with tracing on and returns the collected
+// profile. Saves and restores the global OptiConfig and MaxProcs; discards
+// any previously recorded trace so the profile covers exactly this run.
+StatusOr<SelfProfileResult> CollectSelfProfile(const std::string& repo_name,
+                                               int threads = 2,
+                                               int ops_per_thread = 3000);
+
+}  // namespace gocc::bench
+
+#endif  // GOCC_BENCH_OBS_DRIVERS_H_

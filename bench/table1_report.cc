@@ -3,13 +3,21 @@
 // HTM-unfitness (intra/inter), nested aliased locks, and transformed pairs
 // without and with profile filtering.
 //
-// Usage: table1_report [--diffs] [--detail] [corpus_dir]
+// With --profile-from-run the shipped corpus/*.profile stand-ins are
+// replaced by profiles the binary collects itself: each package's C++
+// workload analogue runs with the episode trace recorder on, the drained
+// trace aggregates into per-function critical-section fractions, and the
+// pipeline re-runs on that measured profile — the paper's Figure 1 loop,
+// closed inside one process (DESIGN.md §4.8).
+//
+// Usage: table1_report [--diffs] [--detail] [--profile-from-run] [corpus_dir]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/corpus_util.h"
+#include "bench/obs_drivers.h"
 #include "src/analysis/lupair.h"
 #include "src/support/strings.h"
 
@@ -50,12 +58,15 @@ void PrintRow(const std::string& repo, const FunnelCounts& counts) {
 int main(int argc, char** argv) {
   bool show_diffs = false;
   bool show_detail = false;
+  bool profile_from_run = false;
   std::string corpus_dir = gocc::bench::DefaultCorpusDir();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--diffs") == 0) {
       show_diffs = true;
     } else if (std::strcmp(argv[i], "--detail") == 0) {
       show_detail = true;
+    } else if (std::strcmp(argv[i], "--profile-from-run") == 0) {
+      profile_from_run = true;
     } else {
       corpus_dir = argv[i];
     }
@@ -68,13 +79,40 @@ int main(int argc, char** argv) {
   PrintHeader();
 
   for (const auto& repo : gocc::bench::CorpusRepos(corpus_dir)) {
-    auto output = gocc::bench::RunOnRepo(repo, /*use_profile=*/true);
+    std::string self_profile_text;
+    if (profile_from_run) {
+      auto collected = gocc::bench::CollectSelfProfile(repo.name);
+      if (!collected.ok()) {
+        std::fprintf(stderr, "%s: self-profiling failed: %s\n",
+                     repo.name.c_str(),
+                     collected.status().ToString().c_str());
+        return 1;
+      }
+      self_profile_text = collected->profile_text;
+      if (show_detail) {
+        std::printf("    [self-profile] %s: %llu episodes, %llu dropped\n",
+                    repo.name.c_str(),
+                    static_cast<unsigned long long>(
+                        collected->profile.total_episodes),
+                    static_cast<unsigned long long>(collected->drain.dropped));
+        for (const auto& row : collected->profile.rows) {
+          std::printf("        %-24s %.6f  (%llu episodes)\n",
+                      row.func_key.c_str(), row.fraction,
+                      static_cast<unsigned long long>(row.episodes));
+        }
+      }
+    }
+    auto output =
+        profile_from_run
+            ? gocc::bench::RunOnRepoWithProfileText(repo, self_profile_text)
+            : gocc::bench::RunOnRepo(repo, /*use_profile=*/true);
     if (!output.ok()) {
       std::fprintf(stderr, "%s: %s\n", repo.name.c_str(),
                    output.status().ToString().c_str());
       return 1;
     }
-    PrintRow(repo.name, output->analysis.counts);
+    PrintRow(profile_from_run ? repo.name + "*" : repo.name,
+             output->analysis.counts);
 
     if (show_detail) {
       for (const auto& fr : output->analysis.functions) {
@@ -107,5 +145,11 @@ int main(int argc, char** argv) {
       "\nColumns follow the paper's Table 1. Absolute values differ from "
       "the paper\n(our replicas are smaller than the real repositories); "
       "the funnel semantics match.\n");
+  if (profile_from_run) {
+    std::printf(
+        "* profile columns use a self-collected profile (the package's C++ "
+        "workload\n  analogue ran in-process with episode tracing on) "
+        "instead of the shipped\n  corpus profile.\n");
+  }
   return 0;
 }

@@ -60,6 +60,15 @@ struct TxStats {
   support::ShardedCounter aborts_mutex_mismatch;
   support::ShardedCounter aborts_spurious;
 
+  // Substrate aborts recorded for one code (the named members above cover
+  // the same slots; this form lets exporters iterate the histogram).
+  uint64_t Aborts(AbortCode code) const {
+    if (code == AbortCode::kNone) {
+      return 0;
+    }
+    return shards_.Sum(kAbortsBase + static_cast<int>(code));
+  }
+
   uint64_t TotalAborts() const {
     uint64_t total = 0;
     for (int i = 1; i < kNumAbortCodes; ++i) {

@@ -1,0 +1,88 @@
+// Episode trace event model (closed-loop observability, DESIGN.md §4.8).
+//
+// Every completed OptiLock episode — fast commit, nested commit, or slow
+// acquire — can be recorded as one compact event in the calling thread's
+// ring buffer (recorder.h). An event answers, per episode: *which* call
+// site elided *which* mutex, how the episode ended, what the last abort
+// was, how many aborts the retry policy handled, and how long the critical
+// section ran in TSC ticks. The aggregators downstream (trace_export.h,
+// self_profile.h) never see the packed form; they work on this struct.
+//
+// Storage layout: three 64-bit words per event, so a ring slot is written
+// with three relaxed atomic stores and no allocation:
+//
+//   word 0 — metadata:  [0,16) site id   [16,20) abort code
+//                       [20,23) outcome  [24,32) retries (saturated)
+//                       [32,64) mutex id
+//   word 1 — episode start, TSC ticks (ticks.h)
+//   word 2 — critical-section duration, TSC ticks
+
+#ifndef GOCC_SRC_OBS_EVENT_H_
+#define GOCC_SRC_OBS_EVENT_H_
+
+#include <cstdint>
+
+#include "src/htm/abort.h"
+
+namespace gocc::obs {
+
+// How an episode ended — mirrors exactly the three OptiStats outcome
+// counters (fast_commits / nested_fast_commits / slow_acquires), so traced
+// events and stats conserve against each other.
+enum class Outcome : uint8_t {
+  kFastCommit = 0,
+  kNestedFastCommit = 1,
+  kSlowAcquire = 2,
+};
+
+inline const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kFastCommit:
+      return "FastCommit";
+    case Outcome::kNestedFastCommit:
+      return "NestedFastCommit";
+    case Outcome::kSlowAcquire:
+      return "SlowAcquire";
+  }
+  return "Unknown";
+}
+
+struct Event {
+  uint32_t site_id = 0;   // recorder.h site registry; 0 = unattributed
+  uint32_t mutex_id = 0;  // MutexId() hash of the elided lock's address
+  Outcome outcome = Outcome::kFastCommit;
+  htm::AbortCode last_abort = htm::AbortCode::kNone;
+  uint32_t retries = 0;  // aborts handled by the episode's retry policy
+  uint64_t start_ticks = 0;
+  uint64_t duration_ticks = 0;
+  int tid = 0;  // recorder-assigned thread ordinal (stable per thread)
+};
+
+// Words per ring slot (see layout above).
+inline constexpr int kWordsPerEvent = 3;
+
+// Field widths of the packed metadata word.
+inline constexpr uint32_t kMaxSiteId = (1u << 16) - 1;
+inline constexpr uint32_t kMaxRetries = (1u << 8) - 1;
+
+inline uint64_t PackMeta(uint32_t site_id, uint32_t mutex_id, Outcome outcome,
+                         htm::AbortCode last_abort, uint32_t retries) {
+  const uint64_t site = site_id > kMaxSiteId ? kMaxSiteId : site_id;
+  const uint64_t abort4 = static_cast<uint64_t>(last_abort) & 0xF;
+  const uint64_t out3 = static_cast<uint64_t>(outcome) & 0x7;
+  const uint64_t retr = retries > kMaxRetries ? kMaxRetries : retries;
+  return site | (abort4 << 16) | (out3 << 20) | (retr << 24) |
+         (static_cast<uint64_t>(mutex_id) << 32);
+}
+
+inline void UnpackMeta(uint64_t meta, Event* event) {
+  event->site_id = static_cast<uint32_t>(meta & 0xFFFF);
+  event->last_abort = static_cast<htm::AbortCode>((meta >> 16) & 0xF);
+  event->outcome = static_cast<Outcome>((meta >> 20) & 0x7);
+  event->retries = static_cast<uint32_t>((meta >> 24) & 0xFF);
+  event->mutex_id = static_cast<uint32_t>(meta >> 32);
+}
+
+}  // namespace gocc::obs
+
+#endif  // GOCC_SRC_OBS_EVENT_H_

@@ -1,0 +1,244 @@
+#include "src/obs/recorder.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gocc::obs {
+namespace {
+
+// --- site registry ---------------------------------------------------------
+
+struct SiteRegistry {
+  std::mutex mu;
+  // id -> name; slot 0 reserved for the unattributed site.
+  std::vector<std::unique_ptr<std::string>> names;
+  std::unordered_map<std::string_view, uint32_t> ids;
+
+  SiteRegistry() { names.push_back(std::make_unique<std::string>()); }
+};
+
+SiteRegistry& Sites() {
+  static SiteRegistry* registry = new SiteRegistry;
+  return *registry;
+}
+
+thread_local uint32_t t_current_site = 0;
+
+// --- ring registry ---------------------------------------------------------
+
+// One per-thread ring. The header (count + geometry) and the slot words are
+// owned by a single writer thread; the drainer reads them under the
+// registry mutex. alignas(64) keeps one thread's header off every other
+// thread's ring header.
+struct alignas(64) Ring {
+  Ring(size_t capacity_events, int tid_in)
+      : capacity(capacity_events),
+        mask(capacity_events - 1),
+        tid(tid_in),
+        words(new std::atomic<uint64_t>[capacity_events * kWordsPerEvent]) {
+    for (size_t i = 0; i < capacity_events * kWordsPerEvent; ++i) {
+      words[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const size_t capacity;  // events; power of two
+  const size_t mask;
+  const int tid;
+  // Total events ever recorded since the last drain. Written by the owner
+  // (release) and zeroed by the drainer; slot (recorded & mask) is the next
+  // write position.
+  std::atomic<uint64_t> recorded{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> words;
+};
+
+struct RingRegistry {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<size_t> new_ring_capacity{0};  // 0 = not yet initialized
+};
+
+RingRegistry& Rings() {
+  static RingRegistry* registry = new RingRegistry;
+  return *registry;
+}
+
+thread_local Ring* t_ring = nullptr;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+size_t InitialRingCapacity() {
+  const char* env = std::getenv("GOCC_OBS_RING_CAPACITY");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && v >= 16 && v <= (1ull << 24)) {
+      return RoundUpPow2(static_cast<size_t>(v));
+    }
+  }
+  return kDefaultRingCapacity;
+}
+
+Ring* RegisterRing() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t capacity = registry.new_ring_capacity.load(std::memory_order_relaxed);
+  if (capacity == 0) {
+    capacity = InitialRingCapacity();
+    registry.new_ring_capacity.store(capacity, std::memory_order_relaxed);
+  }
+  registry.rings.push_back(std::make_unique<Ring>(
+      capacity, static_cast<int>(registry.rings.size())));
+  t_ring = registry.rings.back().get();
+  return t_ring;
+}
+
+}  // namespace
+
+uint32_t RegisterSite(std::string_view func_key) {
+  if (func_key.empty()) {
+    return 0;
+  }
+  SiteRegistry& sites = Sites();
+  std::lock_guard<std::mutex> lock(sites.mu);
+  auto it = sites.ids.find(func_key);
+  if (it != sites.ids.end()) {
+    return it->second;
+  }
+  if (sites.names.size() > kMaxSiteId) {
+    return kMaxSiteId;  // overflow bucket; events stay countable
+  }
+  auto id = static_cast<uint32_t>(sites.names.size());
+  sites.names.push_back(std::make_unique<std::string>(func_key));
+  sites.ids.emplace(*sites.names.back(), id);
+  return id;
+}
+
+const std::string& SiteName(uint32_t site_id) {
+  SiteRegistry& sites = Sites();
+  std::lock_guard<std::mutex> lock(sites.mu);
+  if (site_id >= sites.names.size()) {
+    return *sites.names[0];
+  }
+  return *sites.names[site_id];
+}
+
+size_t SiteCount() {
+  SiteRegistry& sites = Sites();
+  std::lock_guard<std::mutex> lock(sites.mu);
+  return sites.names.size() - 1;
+}
+
+uint32_t CurrentSite() { return t_current_site; }
+void SetCurrentSite(uint32_t site_id) { t_current_site = site_id; }
+
+void RecordEpisode(uint32_t site_id, uint32_t mutex_id, Outcome outcome,
+                   htm::AbortCode last_abort, uint32_t retries,
+                   uint64_t start_ticks, uint64_t duration_ticks) {
+  Ring* ring = t_ring;
+  if (ring == nullptr) {
+    ring = RegisterRing();
+  }
+  const uint64_t n = ring->recorded.load(std::memory_order_relaxed);
+  const size_t base = (n & ring->mask) * kWordsPerEvent;
+  ring->words[base + 0].store(
+      PackMeta(site_id, mutex_id, outcome, last_abort, retries),
+      std::memory_order_relaxed);
+  ring->words[base + 1].store(start_ticks, std::memory_order_relaxed);
+  ring->words[base + 2].store(duration_ticks, std::memory_order_relaxed);
+  // Release-publish the slot: a drainer that acquires `recorded` sees the
+  // three words of every event below it.
+  ring->recorded.store(n + 1, std::memory_order_release);
+}
+
+std::vector<Event> DrainTrace(DrainStats* stats) {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  DrainStats local;
+  local.rings = registry.rings.size();
+  std::vector<Event> events;
+  for (const auto& ring : registry.rings) {
+    const uint64_t n = ring->recorded.load(std::memory_order_acquire);
+    const uint64_t from = n > ring->capacity ? n - ring->capacity : 0;
+    local.recorded += n;
+    local.dropped += from;
+    for (uint64_t k = from; k < n; ++k) {
+      const size_t base = (k & ring->mask) * kWordsPerEvent;
+      Event event;
+      UnpackMeta(ring->words[base + 0].load(std::memory_order_relaxed),
+                 &event);
+      event.start_ticks =
+          ring->words[base + 1].load(std::memory_order_relaxed);
+      event.duration_ticks =
+          ring->words[base + 2].load(std::memory_order_relaxed);
+      event.tid = ring->tid;
+      events.push_back(event);
+    }
+    ring->recorded.store(0, std::memory_order_relaxed);
+  }
+  local.drained = events.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return events;
+}
+
+void DiscardTrace() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    ring->recorded.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t TraceEventsRecorded() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t total = 0;
+  for (const auto& ring : registry.rings) {
+    total += ring->recorded.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t TraceRingCount() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.rings.size();
+}
+
+size_t TraceRingCapacity() {
+  RingRegistry& registry = Rings();
+  size_t capacity =
+      registry.new_ring_capacity.load(std::memory_order_relaxed);
+  if (capacity == 0) {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    capacity = registry.new_ring_capacity.load(std::memory_order_relaxed);
+    if (capacity == 0) {
+      capacity = InitialRingCapacity();
+      registry.new_ring_capacity.store(capacity, std::memory_order_relaxed);
+    }
+  }
+  return capacity;
+}
+
+void SetTraceRingCapacityForNewThreads(size_t capacity) {
+  if (capacity < 16) {
+    capacity = 16;
+  }
+  if (capacity > (1ull << 24)) {
+    capacity = 1ull << 24;
+  }
+  Rings().new_ring_capacity.store(RoundUpPow2(capacity),
+                                  std::memory_order_relaxed);
+}
+
+}  // namespace gocc::obs

@@ -1,0 +1,74 @@
+#include "src/obs/self_profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/obs/recorder.h"
+#include "src/support/strings.h"
+
+namespace gocc::obs {
+
+SelfProfile AggregateProfile(const std::vector<Event>& events) {
+  SelfProfile profile;
+  // key -> (ticks, episodes); std::map keeps emission order deterministic
+  // before the by-fraction sort settles ties.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_key;
+  for (const Event& event : events) {
+    profile.total_ticks += event.duration_ticks;
+    ++profile.total_episodes;
+    const std::string& key = SiteName(event.site_id);
+    if (key.empty()) {
+      ++profile.unattributed_episodes;
+      continue;
+    }
+    profile.attributed_ticks += event.duration_ticks;
+    auto& agg = by_key[key];
+    agg.first += event.duration_ticks;
+    agg.second += 1;
+  }
+  for (const auto& [key, agg] : by_key) {
+    SelfProfile::Row row;
+    row.func_key = key;
+    row.ticks = agg.first;
+    row.episodes = agg.second;
+    row.fraction = profile.total_ticks == 0
+                       ? 0.0
+                       : static_cast<double>(agg.first) /
+                             static_cast<double>(profile.total_ticks);
+    if (row.fraction > 1.0) {
+      row.fraction = 1.0;
+    }
+    profile.rows.push_back(std::move(row));
+  }
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const SelfProfile::Row& a, const SelfProfile::Row& b) {
+              if (a.fraction != b.fraction) {
+                return a.fraction > b.fraction;
+              }
+              return a.func_key < b.func_key;
+            });
+  return profile;
+}
+
+std::string EmitProfileText(const SelfProfile& profile,
+                            std::string_view header_comment) {
+  std::string out;
+  if (!header_comment.empty()) {
+    out += StrFormat("# self-collected profile: %.*s\n",
+                     static_cast<int>(header_comment.size()),
+                     header_comment.data());
+  }
+  out += StrFormat(
+      "# episodes=%llu attributed_ticks=%llu total_ticks=%llu "
+      "unattributed_episodes=%llu\n",
+      static_cast<unsigned long long>(profile.total_episodes),
+      static_cast<unsigned long long>(profile.attributed_ticks),
+      static_cast<unsigned long long>(profile.total_ticks),
+      static_cast<unsigned long long>(profile.unattributed_episodes));
+  for (const SelfProfile::Row& row : profile.rows) {
+    out += StrFormat("%s %.9f\n", row.func_key.c_str(), row.fraction);
+  }
+  return out;
+}
+
+}  // namespace gocc::obs

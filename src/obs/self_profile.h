@@ -1,0 +1,60 @@
+// Self-profiler: closes the Figure 1 loop (DESIGN.md §4.8).
+//
+// GOCC's pipeline consumes pprof-derived profiles to keep only critical
+// sections in functions with >= 1% of execution time (§5.2.6). The shipped
+// corpus/*.profile files are hand-written stand-ins for those pprof runs;
+// this module replaces them with *measured* data: aggregate a drained
+// episode trace (recorder.h) into per-function critical-section time and
+// emit the exact text format profile::Profile::Parse accepts —
+//
+//     # self-collected profile: <header>
+//     Set.Len     0.421337000
+//     Set.Exists  0.220000000
+//
+// so the transformed program's own run feeds the next pipeline invocation
+// (bench/table1_report --profile-from-run, tests/obs_test.cc).
+//
+// Fractions are each named site's share of the *total recorded
+// critical-section ticks* (attributed + unattributed), so they are in
+// [0, 1], sum to <= 1, and a function's hotness is independent of the tick
+// rate. Sites registered with the same function key aggregate into one row;
+// emission therefore never produces duplicate keys (which Parse rejects).
+
+#ifndef GOCC_SRC_OBS_SELF_PROFILE_H_
+#define GOCC_SRC_OBS_SELF_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace gocc::obs {
+
+struct SelfProfile {
+  struct Row {
+    std::string func_key;
+    uint64_t ticks = 0;
+    uint64_t episodes = 0;
+    double fraction = 0.0;  // ticks / total_ticks
+  };
+
+  std::vector<Row> rows;  // named sites only, sorted by fraction descending
+  uint64_t total_ticks = 0;         // all events, attributed or not
+  uint64_t attributed_ticks = 0;    // events with a named site
+  uint64_t total_episodes = 0;
+  uint64_t unattributed_episodes = 0;
+};
+
+// Aggregates a drained trace by site function key.
+SelfProfile AggregateProfile(const std::vector<Event>& events);
+
+// Renders the pprof-style text format Profile::Parse consumes.
+// `header_comment` lands in a leading `#` line (may be empty).
+std::string EmitProfileText(const SelfProfile& profile,
+                            std::string_view header_comment);
+
+}  // namespace gocc::obs
+
+#endif  // GOCC_SRC_OBS_SELF_PROFILE_H_

@@ -1,0 +1,108 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/obs/recorder.h"
+#include "src/obs/ticks.h"
+#include "src/support/strings.h"
+
+namespace gocc::obs {
+namespace {
+
+// Minimal JSON string escaping (site keys are identifier-like; this keeps
+// the exporter correct for arbitrary registered names anyway).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* OutcomeCategory(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kFastCommit:
+      return "fast";
+    case Outcome::kNestedFastCommit:
+      return "nested";
+    case Outcome::kSlowAcquire:
+      return "slow";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Event>& events) {
+  const double ticks_per_us = TicksPerMicrosecond();
+  uint64_t min_start = 0;
+  bool have_min = false;
+  std::set<int> tids;
+  for (const Event& event : events) {
+    if (!have_min || event.start_ticks < min_start) {
+      min_start = event.start_ticks;
+      have_min = true;
+    }
+    tids.insert(event.tid);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata so the viewer labels recorder threads.
+  out += StrFormat(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"gocc\"}}");
+  first = false;
+  for (int tid : tids) {
+    out += StrFormat(
+        ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"episode-ring-%d\"}}",
+        tid, tid);
+  }
+  for (const Event& event : events) {
+    const std::string& site = SiteName(event.site_id);
+    const std::string name =
+        site.empty() ? StrFormat("site#%u", event.site_id)
+                     : JsonEscape(site);
+    const double ts =
+        static_cast<double>(event.start_ticks - min_start) / ticks_per_us;
+    const double dur =
+        static_cast<double>(event.duration_ticks) / ticks_per_us;
+    out += StrFormat(
+        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"outcome\":\"%s\","
+        "\"abort\":\"%s\",\"retries\":%u,\"mutex\":\"%08x\"}}",
+        first ? "" : ",", name.c_str(), OutcomeCategory(event.outcome),
+        ts, dur, event.tid, OutcomeName(event.outcome),
+        htm::AbortCodeName(event.last_abort), event.retries, event.mutex_id);
+    first = false;
+  }
+  out += StrFormat(
+      "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"ticksPerMicrosecond\":"
+      "%.1f,\"events\":%zu}}",
+      ticks_per_us, events.size());
+  return out;
+}
+
+}  // namespace gocc::obs

@@ -1,0 +1,25 @@
+// Chrome trace_event JSON export of a drained episode trace.
+//
+// Produces the JSON Object Format chrome://tracing and Perfetto load
+// directly: one complete ("ph":"X") event per episode on the recording
+// thread's track, with the site name as the event name and the outcome,
+// last abort code, retry count, and mutex id in args. Timestamps are the
+// recorded TSC ticks rebased to the earliest event and converted to
+// microseconds with the calibrated tick rate (ticks.h), so a per-site
+// timeline of fast commits vs slow acquires is inspectable visually.
+
+#ifndef GOCC_SRC_OBS_TRACE_EXPORT_H_
+#define GOCC_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace gocc::obs {
+
+std::string ChromeTraceJson(const std::vector<Event>& events);
+
+}  // namespace gocc::obs
+
+#endif  // GOCC_SRC_OBS_TRACE_EXPORT_H_

@@ -1,8 +1,11 @@
 #include "src/optilib/optilock.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "src/gosync/runtime.h"
+#include "src/obs/recorder.h"
+#include "src/obs/ticks.h"
 #include "src/optilib/breaker.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
@@ -74,6 +77,21 @@ SplitMix64& BackoffRng() {
 }
 
 }  // namespace
+
+bool OptiConfig::DefaultTraceEpisodes() {
+  // Resolved once per process: GOCC_OBS_TRACE=1/true/on turns tracing on
+  // for every config default-constructed afterwards (including the global).
+  static const bool kDefault = [] {
+    const char* v = std::getenv("GOCC_OBS_TRACE");
+    if (v == nullptr) {
+      return false;
+    }
+    return v[0] == '1' || v[0] == 't' || v[0] == 'T' || v[0] == 'y' ||
+           v[0] == 'Y' || ((v[0] == 'o' || v[0] == 'O') &&
+                           (v[1] == 'n' || v[1] == 'N'));
+  }();
+  return kDefault;
+}
 
 OptiConfig& MutableOptiConfig() { return g_config; }
 const OptiConfig& GetOptiConfig() { return g_config; }
@@ -180,6 +198,11 @@ void OptiLock::PrepareCommon() {
   conflict_retries_left_ = cfg_.conflict_retries;
   backoff_exponent_ = 0;
   episode_now_ = 0;
+  obs_retries_ = 0;
+  obs_last_abort_ = htm::AbortCode::kNone;
+  if (cfg_.trace_episodes) {
+    obs_start_ticks_ = obs::NowTicks();
+  }
 }
 
 void OptiLock::PrepareMutex(gosync::Mutex* m) {
@@ -209,6 +232,12 @@ void OptiLock::FastLockStep(int setjmp_code) {
 
 void OptiLock::HandleAbort(htm::AbortCode code) {
   Bump(OptiStats::kEpisodeAbortsBase + static_cast<int>(code));
+  // Trace bookkeeping: plain member writes, off the uncontended path by
+  // construction (HandleAbort only runs after an abort).
+  obs_last_abort_ = code;
+  if (obs_retries_ < obs::kMaxRetries) {
+    ++obs_retries_;
+  }
   switch (code) {
     case htm::AbortCode::kMutexMismatch:
       // The code patch paired this FastLock with an unintended unlock point
@@ -431,6 +460,14 @@ void OptiLock::FinishFastEpisode() {
     // Inner commit of a nested elision: defer bookkeeping to the outermost
     // commit (and keep perceptron updates outside the transaction).
     Bump(OptiStats::kNestedFastCommits);
+    if (cfg_.trace_episodes) {
+      // Recording inside the enclosing transaction is safe: ring writes are
+      // this thread's own line, so they add no conflict footprint beyond the
+      // stat bump above, and if the outer transaction aborts the event rolls
+      // back together with the kNestedFastCommits counter — the conservation
+      // invariant (events == episode outcome sum) holds either way.
+      RecordEpisodeTrace(obs::Outcome::kNestedFastCommit);
+    }
   } else {
     Bump(OptiStats::kFastCommits);
     if (predicted_htm_) {
@@ -447,6 +484,9 @@ void OptiLock::FinishFastEpisode() {
           g_storm_streak.load(std::memory_order_relaxed) != 0) {
         g_storm_streak.store(0, std::memory_order_relaxed);
       }
+    }
+    if (cfg_.trace_episodes) {
+      RecordEpisodeTrace(obs::Outcome::kFastCommit);
     }
   }
   ResetEpisode();
@@ -479,7 +519,20 @@ void OptiLock::FinishSlowEpisode() {
       }
     }
   }
+  if (cfg_.trace_episodes) {
+    RecordEpisodeTrace(obs::Outcome::kSlowAcquire);
+  }
   ResetEpisode();
+}
+
+void OptiLock::RecordEpisodeTrace(obs::Outcome outcome) {
+  // Duration spans lock acquisition through release — the paper's notion of
+  // critical-section time (what a pprof mutex profile would attribute to
+  // the function owning the section).
+  const uint64_t now = obs::NowTicks();
+  obs::RecordEpisode(obs::CurrentSite(), obs::MutexId(target_), outcome,
+                     obs_last_abort_, obs_retries_, obs_start_ticks_,
+                     now - obs_start_ticks_);
 }
 
 void OptiLock::ResetEpisode() {

@@ -41,6 +41,7 @@
 #include "src/gosync/rwmutex.h"
 #include "src/htm/abort.h"
 #include "src/htm/tx.h"
+#include "src/obs/event.h"
 #include "src/optilib/perceptron.h"
 #include "src/support/sharded.h"
 
@@ -88,6 +89,16 @@ struct OptiConfig {
   // 0 disables (default).
   int watchdog_threshold = 0;
   uint64_t watchdog_cooldown_episodes = 4096;
+
+  // Episode trace recorder (src/obs): when true, every completed episode
+  // appends one compact event (site, mutex, outcome, last abort, retries,
+  // TSC duration) to the calling thread's obs ring buffer. Off by default;
+  // the GOCC_OBS_TRACE environment variable flips the process-wide default
+  // so any binary can be traced without code changes. With the flag off the
+  // fast path pays one predicted branch on the episode's config snapshot
+  // and no shared-line writes (the §6.2 perf-smoke gate covers this).
+  bool trace_episodes = DefaultTraceEpisodes();
+  static bool DefaultTraceEpisodes();
 
   // Episode-clock ticks a thread claims per refill (see NextEpisodeTick in
   // optilock.cc). 1 reproduces the unbatched global fetch_add exactly;
@@ -238,6 +249,10 @@ class OptiLock {
   void FinishFastEpisode();
   void FinishSlowEpisode();
   void ResetEpisode();
+  // Appends this episode's trace event to the calling thread's obs ring.
+  // Only called when cfg_.trace_episodes is set, and always outside the
+  // transaction (after TxCommit / after the slow-path unlock decision).
+  void RecordEpisodeTrace(obs::Outcome outcome);
 
   gosync::Mutex* AsMutex() const {
     return static_cast<gosync::Mutex*>(target_);
@@ -267,6 +282,12 @@ class OptiLock {
   // from the thread's local block, so it can lag the clock frontier by the
   // documented skew bound.
   uint64_t episode_now_ = 0;
+  // Episode-trace bookkeeping (only written when cfg_.trace_episodes):
+  // start timestamp, abort-retry count (saturating at obs::kMaxRetries) and
+  // the most recent abort code, all private members — no shared state.
+  uint64_t obs_start_ticks_ = 0;
+  uint32_t obs_retries_ = 0;
+  htm::AbortCode obs_last_abort_ = htm::AbortCode::kNone;
   Perceptron::Indices indices_{0, 0};
   // Config snapshot taken once in PrepareCommon: the episode's decisions
   // all read this copy, so a concurrent config edit can never be observed

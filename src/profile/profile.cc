@@ -21,12 +21,18 @@ StatusOr<Profile> Profile::Parse(std::string_view text) {
     }
     std::string key(StripWhitespace(line.substr(0, split)));
     double fraction = 0.0;
-    if (!ParseDouble(line.substr(split + 1), &fraction) || fraction < 0.0 ||
-        fraction > 1.0) {
+    // Negated in-range test so NaN (every comparison false) is rejected too,
+    // not just out-of-range values.
+    if (!ParseDouble(line.substr(split + 1), &fraction) ||
+        !(fraction >= 0.0 && fraction <= 1.0)) {
       return InvalidArgumentError(StrFormat(
           "profile line %d: fraction must be a number in [0,1]", line_no));
     }
-    profile.fractions_[key] = fraction;
+    if (!profile.fractions_.emplace(key, fraction).second) {
+      return InvalidArgumentError(StrFormat(
+          "profile line %d: duplicate function key '%s'", line_no,
+          key.c_str()));
+    }
   }
   return profile;
 }

@@ -29,7 +29,9 @@ class Profile {
 
   Profile() = default;
 
-  // Parses the text format above.
+  // Parses the text format above. Rejects malformed lines, fractions
+  // outside [0, 1] (including NaN), and duplicate function keys with an
+  // InvalidArgument status naming the offending line.
   static StatusOr<Profile> Parse(std::string_view text);
 
   // Inclusive-time fraction for a function key ("Cache.Get"); 0 when the

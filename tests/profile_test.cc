@@ -36,5 +36,29 @@ TEST(ProfileTest, FunctionKeysWithDotsAndSpaces) {
   EXPECT_DOUBLE_EQ(p->FractionOf("Cache.Get"), 0.2);
 }
 
+TEST(ProfileTest, RejectsNonFiniteFractions) {
+  // NaN makes every comparison false, so a naive `< 0 || > 1` range check
+  // lets it through; the parser must reject it (and the infinities).
+  EXPECT_FALSE(Profile::Parse("f nan\n").ok());
+  EXPECT_FALSE(Profile::Parse("f -nan\n").ok());
+  EXPECT_FALSE(Profile::Parse("f inf\n").ok());
+  EXPECT_FALSE(Profile::Parse("f -inf\n").ok());
+}
+
+TEST(ProfileTest, RejectsDuplicateFunctionKeys) {
+  auto p = Profile::Parse("Cache.Get 0.4\nCache.Set 0.1\nCache.Get 0.2\n");
+  ASSERT_FALSE(p.ok());
+  // The status names the duplicate and the line it reappeared on.
+  EXPECT_NE(p.status().ToString().find("Cache.Get"), std::string::npos);
+  EXPECT_NE(p.status().ToString().find("line 3"), std::string::npos);
+}
+
+TEST(ProfileTest, AcceptsBoundaryFractions) {
+  auto p = Profile::Parse("zero 0.0\none 1.0\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_DOUBLE_EQ(p->FractionOf("zero"), 0.0);
+  EXPECT_DOUBLE_EQ(p->FractionOf("one"), 1.0);
+}
+
 }  // namespace
 }  // namespace gocc::profile
