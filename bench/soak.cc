@@ -1,0 +1,106 @@
+// Standalone soak/torture driver (DESIGN.md §4.9). Runs the shared harness
+// from bench/soak_core.h at CLI-selected intensity and exits nonzero when
+// any lifecycle invariant breaks — the long-running counterpart of the
+// `ctest -L soak` battery.
+//
+//   ./bench/soak --seed=7 --waves=20 --threads=16 --iters=50000
+//
+// GOCC_CHAOS_SEED (the chaos-battery convention) seeds the run when no
+// --seed flag is given, so one environment variable replays a CI failure.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/soak_core.h"
+#include "src/htm/config.h"
+#include "src/support/env.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "[soak] malformed flag: %s\n", arg);
+    std::exit(2);
+  }
+  *out = value;
+  return true;
+}
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed=N] [--waves=N] [--threads=N] [--iters=N]\n"
+      "          [--locks=N] [--rwlocks=N] [--throw-permille=N]\n"
+      "          [--misuse-permille=N] [--fault-permille=N]\n"
+      "          [--no-toggle] [--rtm]\n"
+      "Runs the lifecycle soak harness; exits 0 iff every invariant held.\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gocc::soak::SoakOptions opts;
+  opts.seed = gocc::support::EnvUint64("GOCC_CHAOS_SEED", opts.seed, 0,
+                                       UINT64_MAX);
+  // Driver defaults are deliberately heavier than the ctest battery.
+  opts.waves = 12;
+  opts.threads_per_wave = 12;
+  opts.iters_per_thread = 20000;
+  bool want_rtm = false;
+
+  for (int i = 1; i < argc; ++i) {
+    long long v = 0;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      opts.seed = static_cast<uint64_t>(v);
+    } else if (ParseFlag(argv[i], "--waves", &v)) {
+      opts.waves = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      opts.threads_per_wave = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--iters", &v)) {
+      opts.iters_per_thread = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--locks", &v)) {
+      opts.locks = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--rwlocks", &v)) {
+      opts.rwlocks = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--throw-permille", &v)) {
+      opts.throw_rate = static_cast<double>(v) / 1000.0;
+    } else if (ParseFlag(argv[i], "--misuse-permille", &v)) {
+      opts.misuse_rate = static_cast<double>(v) / 1000.0;
+    } else if (ParseFlag(argv[i], "--fault-permille", &v)) {
+      opts.fault_rate = static_cast<double>(v) / 1000.0;
+    } else if (std::strcmp(argv[i], "--no-toggle") == 0) {
+      opts.toggle_config = false;
+    } else if (std::strcmp(argv[i], "--rtm") == 0) {
+      want_rtm = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (want_rtm) {
+    if (!gocc::htm::EnableRtmIfSupported()) {
+      std::fprintf(stderr, "[soak] --rtm requested but RTM unavailable\n");
+      return 2;
+    }
+    std::fprintf(stderr, "[soak] backend=rtm\n");
+  } else {
+    gocc::htm::ForceSimBackend();
+  }
+
+  std::fprintf(stderr, "[soak] GOCC_CHAOS_SEED=%llu\n",
+               (unsigned long long)opts.seed);
+  const gocc::soak::SoakReport report = gocc::soak::RunSoak(opts);
+  std::printf("%s\n", report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}

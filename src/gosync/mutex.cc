@@ -7,6 +7,7 @@
 #include "src/gosync/runtime.h"
 #include "src/htm/fault.h"
 #include "src/htm/tx.h"
+#include "src/support/misuse.h"
 
 namespace gocc::gosync {
 namespace {
@@ -33,6 +34,32 @@ void DoSpin() {
 }
 
 }  // namespace
+
+Mutex::~Mutex() {
+  const uint64_t state = state_.load(std::memory_order_acquire);
+  if (state != 0) {
+    const char* detail = "stale-bits";
+    if ((state & kLockedBit) != 0 && (state >> kWaiterShift) != 0) {
+      detail = "locked+waiters-parked";
+    } else if ((state & kLockedBit) != 0) {
+      detail = "locked";
+    } else if ((state >> kWaiterShift) != 0) {
+      detail = "waiters-parked";
+    }
+    support::ReportMisuse(support::MisuseKind::kMutexDestroyedInUse, this,
+                          detail);
+  }
+  if (tracking_ == ElisionTracking::kEnabled) {
+    // Poison the state word: bumping its stripe version (and setting the
+    // locked bit) aborts any transaction still subscribed to this word, so
+    // its commit-time validation never races the storage being reused.
+    // Destruction is never on the episode fast path, so the stripe CAS is
+    // an acceptable fixed cost.
+    htm::StripeGuardedUpdate(&state_, [&] {
+      state_.store(kLockedBit, std::memory_order_release);
+    });
+  }
+}
 
 bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
   if (tracking_ == ElisionTracking::kEnabled) {

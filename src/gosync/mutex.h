@@ -40,6 +40,15 @@ class Mutex {
   Mutex() = default;
   explicit Mutex(ElisionTracking tracking) : tracking_(tracking) {}
 
+  // Destroying a Mutex that is locked or has parked waiters is misuse
+  // (kMutexDestroyedInUse, DESIGN.md §4.9): reported, and under the recover
+  // policy the destructor proceeds — parked waiters are abandoned, exactly
+  // as with any destroyed-while-held lock. Independently of misuse, a
+  // tracked destructor always poisons the state word's stripe so any
+  // in-flight transaction still subscribed to this (dying) word aborts to
+  // its checkpoint instead of validating a freed address at commit.
+  ~Mutex();
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 

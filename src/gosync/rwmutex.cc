@@ -5,8 +5,29 @@
 #include "src/gosync/parking_lot.h"
 #include "src/htm/fault.h"
 #include "src/htm/tx.h"
+#include "src/support/misuse.h"
 
 namespace gocc::gosync {
+
+RWMutex::~RWMutex() {
+  const int64_t rc =
+      static_cast<int64_t>(reader_count_.load(std::memory_order_acquire));
+  if (rc != 0) {
+    support::ReportMisuse(support::MisuseKind::kRWMutexDestroyedInUse, this,
+                          rc > 0 ? "readers-active"
+                                 : "writer-active-or-pending");
+  }
+  if (tracking_ == ElisionTracking::kEnabled) {
+    // Poison readerCount: park it at the writer-pending sentinel under the
+    // stripe lock so any subscribed reader transaction aborts (and a
+    // use-after-destroy RLock would take the slow path rather than eliding).
+    htm::StripeGuardedUpdate(&reader_count_, [&] {
+      reader_count_.store(static_cast<uint64_t>(-kMaxReaders),
+                          std::memory_order_release);
+    });
+  }
+  // w_ is destroyed after this body runs and reports separately if held.
+}
 
 int64_t RWMutex::ReaderCountAdd(int64_t delta) {
   int64_t result = 0;

@@ -30,6 +30,14 @@ class RWMutex {
   explicit RWMutex(ElisionTracking tracking)
       : tracking_(tracking), w_(tracking) {}
 
+  // Destroying an RWMutex with readers active, a writer active, or a writer
+  // pending is misuse (kRWMutexDestroyedInUse, DESIGN.md §4.9). A tracked
+  // destructor always poisons the readerCount stripe so subscribed reader
+  // transactions abort instead of validating freed storage. Note: a
+  // write-locked RWMutex additionally reports kMutexDestroyedInUse when the
+  // inner writer Mutex is destroyed right after.
+  ~RWMutex();
+
   RWMutex(const RWMutex&) = delete;
   RWMutex& operator=(const RWMutex&) = delete;
 

@@ -1,6 +1,7 @@
 #include "src/htm/config.h"
 
 #include "src/htm/rtm_backend.h"
+#include "src/support/env.h"
 
 namespace gocc::htm {
 
@@ -13,6 +14,12 @@ std::atomic<Backend> g_backend{Backend::kSim};
 
 bool EnableRtmIfSupported() {
   if (!RtmCompiledIn()) {
+    return false;
+  }
+  // Operational kill switch: force the SimTM backend even on machines whose
+  // hardware probe passes (bisecting suspected TSX erratum behaviour, or
+  // pinning a fleet to one backend for comparable metrics).
+  if (support::EnvBool("GOCC_RTM_DISABLE", false)) {
     return false;
   }
   if (!RtmProbe()) {

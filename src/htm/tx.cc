@@ -165,16 +165,23 @@ inline void BumpSlot(std::atomic<uint64_t>* shard, int slot) {
 }
 inline void BumpSlot(int slot) { BumpSlot(g_stats.LocalShard(), slot); }
 
-[[noreturn]] void AbortInternal(TxContext& tx, AbortCode code) {
-  // Roll back stripes held by an in-progress commit.
+// Rollback half of an abort: releases stripes held by an in-progress
+// commit, records the abort, and clears all transaction state. Shared by
+// AbortInternal (which then long-jumps) and TxCancel (which returns so a
+// C++ exception can keep unwinding).
+void RollbackInternal(TxContext& tx, AbortCode code) {
   for (const LockedStripe& ls : tx.locked) {
     ls.stripe->store(ls.pre_lock_version << 1, std::memory_order_release);
   }
   g_stats.RecordAbort(code);
-  std::jmp_buf* env = tx.env;
   tx.depth = 0;
   tx.env = nullptr;
   tx.ResetSets();
+}
+
+[[noreturn]] void AbortInternal(TxContext& tx, AbortCode code) {
+  std::jmp_buf* env = tx.env;
+  RollbackInternal(tx, code);
   assert(env != nullptr && "SimTM abort without a checkpoint");
   std::longjmp(*env, static_cast<int>(code));
 }
@@ -415,7 +422,14 @@ void TxCommit() {
     return;
   }
   TxContext& tx = Tls();
-  assert(tx.depth > 0 && "TxCommit outside a transaction");
+  if (tx.depth == 0) {
+    // Defensive (DESIGN.md §4.9): a misuse-recovered episode — e.g. an
+    // unpaired FastUnlock cancelled via TxCancel inside flat nesting — can
+    // leave an enclosing FastUnlock committing at depth zero. That flow has
+    // already been counted as misuse; committing nothing is the defined
+    // recovery, not UB.
+    return;
+  }
   if (--tx.depth > 0) {
     return;  // nested commit defers to the outermost (RTM behaviour)
   }
@@ -433,6 +447,20 @@ void TxAbort(AbortCode code) {
   AbortInternal(tx, code);
   // AbortInternal does not return.
   std::abort();
+}
+
+void TxCancel(AbortCode code) {
+  if (ActiveBackend() == Backend::kRtm) {
+    // An exception unwind cannot reach software with a hardware transaction
+    // still open: the first unwind step aborts it back to xbegin
+    // ("unwind-is-abort"). Nothing to cancel here.
+    return;
+  }
+  TxContext& tx = Tls();
+  if (tx.depth == 0) {
+    return;
+  }
+  RollbackInternal(tx, code);
 }
 
 uint64_t TxLoad(const std::atomic<uint64_t>* addr) {

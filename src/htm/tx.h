@@ -57,6 +57,17 @@ void TxCommit();
 // buffered writes. Does not return to the call site.
 [[noreturn]] void TxAbort(AbortCode code);
 
+// Cancels the current transaction — identical rollback and abort accounting
+// to TxAbort, but control RETURNS to the caller instead of long-jumping to
+// the checkpoint. This is the C++-exception escape hatch (DESIGN.md §4.9):
+// a longjmp would skip destructors of in-flight unwind machinery, so the
+// episode guard cancels the transaction in-place and lets the exception
+// propagate normally. No-op when no transaction is open. Under real RTM an
+// unwind never reaches software with a hardware transaction still open (the
+// first unwind step aborts it back to xbegin), so this only has to handle
+// SimTM state.
+void TxCancel(AbortCode code);
+
 // Transactional load of a 64-bit cell. Outside a transaction this is a plain
 // acquire load.
 uint64_t TxLoad(const std::atomic<uint64_t>* addr);

@@ -26,13 +26,17 @@
 
 namespace gocc::obs {
 
-// How an episode ended — mirrors exactly the three OptiStats outcome
-// counters (fast_commits / nested_fast_commits / slow_acquires), so traced
-// events and stats conserve against each other.
+// How an episode ended — the first three mirror exactly the OptiStats
+// outcome counters (fast_commits / nested_fast_commits / slow_acquires), so
+// traced events and stats conserve against each other. kUnwind marks an
+// episode torn down by AbandonEpisode (exception unwound through the
+// critical section); it conserves against unwind_cancels +
+// unwind_slow_unlocks instead.
 enum class Outcome : uint8_t {
   kFastCommit = 0,
   kNestedFastCommit = 1,
   kSlowAcquire = 2,
+  kUnwind = 3,
 };
 
 inline const char* OutcomeName(Outcome outcome) {
@@ -43,6 +47,8 @@ inline const char* OutcomeName(Outcome outcome) {
       return "NestedFastCommit";
     case Outcome::kSlowAcquire:
       return "SlowAcquire";
+    case Outcome::kUnwind:
+      return "Unwind";
   }
   return "Unknown";
 }

@@ -6,6 +6,7 @@
 #include "src/htm/stats.h"
 #include "src/obs/recorder.h"
 #include "src/optilib/optilock.h"
+#include "src/support/misuse.h"
 #include "src/support/strings.h"
 
 namespace gocc::obs {
@@ -109,6 +110,29 @@ std::vector<Metric> CollectRuntimeMetrics() {
   out.push_back(Counter1("gocc_opti_watchdog_bypasses_total",
                          "Episodes bypassed during a watchdog cooldown.",
                          Load(opti.watchdog_bypasses)));
+
+  // --- lifecycle: unwind & misuse (DESIGN.md §4.9) -------------------------
+  out.push_back(Counter1(
+      "gocc_opti_unwind_cancels_total",
+      "Fast-path episodes cancelled because an exception unwound through.",
+      Load(opti.unwind_cancels)));
+  out.push_back(Counter1(
+      "gocc_opti_unwind_slow_unlocks_total",
+      "Slow-path episodes whose lock was released during exception unwind.",
+      Load(opti.unwind_slow_unlocks)));
+  {
+    Metric m;
+    m.name = "gocc_opti_misuse_total";
+    m.help = "API misuse occurrences detected and recovered, by kind.";
+    m.type = "counter";
+    for (int i = 0; i < support::kNumMisuseKinds; ++i) {
+      const auto kind = static_cast<support::MisuseKind>(i);
+      m.samples.push_back(
+          {StrFormat("kind=\"%s\"", support::MisuseKindName(kind)),
+           static_cast<double>(support::MisuseCount(kind))});
+    }
+    out.push_back(std::move(m));
+  }
 
   // --- TM substrate --------------------------------------------------------
   out.push_back(Counter1("gocc_tx_begins_total",

@@ -1,10 +1,12 @@
 #include "src/obs/recorder.h"
 
+#include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+
+#include "src/support/env.h"
 
 namespace gocc::obs {
 namespace {
@@ -57,6 +59,14 @@ struct alignas(64) Ring {
 struct RingRegistry {
   mutable std::mutex mu;
   std::vector<std::unique_ptr<Ring>> rings;
+  // Rings whose owner thread exited, available for reuse (thread-churn
+  // safety, DESIGN.md §4.9). A retired ring keeps its undrained events and
+  // its count — retirement loses nothing — and a thread that adopts it
+  // keeps appending where the previous owner stopped (adoption skips rings
+  // backlogged past half capacity; see RegisterRing). The registry mutex
+  // orders the old owner's final stores before the new owner's first.
+  std::vector<Ring*> free_rings;
+  uint64_t retired_count = 0;  // rings ever pushed to free_rings (monotone)
   std::atomic<size_t> new_ring_capacity{0};  // 0 = not yet initialized
 };
 
@@ -67,6 +77,23 @@ RingRegistry& Rings() {
 
 thread_local Ring* t_ring = nullptr;
 
+// Returns the calling thread's ring to the free list at thread exit so a
+// churny workload (worker pools spawning short-lived threads) reuses a
+// bounded set of rings instead of growing the registry forever.
+struct RingRetirer {
+  ~RingRetirer() {
+    Ring* ring = t_ring;
+    if (ring == nullptr) {
+      return;
+    }
+    t_ring = nullptr;
+    RingRegistry& registry = Rings();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.free_rings.push_back(ring);
+    ++registry.retired_count;
+  }
+};
+
 size_t RoundUpPow2(size_t n) {
   size_t p = 1;
   while (p < n) {
@@ -76,28 +103,67 @@ size_t RoundUpPow2(size_t n) {
 }
 
 size_t InitialRingCapacity() {
-  const char* env = std::getenv("GOCC_OBS_RING_CAPACITY");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 0);
-    if (end != env && v >= 16 && v <= (1ull << 24)) {
-      return RoundUpPow2(static_cast<size_t>(v));
-    }
-  }
-  return kDefaultRingCapacity;
+  return RoundUpPow2(static_cast<size_t>(
+      support::EnvUint64("GOCC_OBS_RING_CAPACITY", kDefaultRingCapacity,
+                         /*min=*/16, /*max=*/uint64_t{1} << 24)));
 }
 
 Ring* RegisterRing() {
   RingRegistry& registry = Rings();
-  std::lock_guard<std::mutex> lock(registry.mu);
-  size_t capacity = registry.new_ring_capacity.load(std::memory_order_relaxed);
-  if (capacity == 0) {
-    capacity = InitialRingCapacity();
-    registry.new_ring_capacity.store(capacity, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    size_t capacity =
+        registry.new_ring_capacity.load(std::memory_order_relaxed);
+    if (capacity == 0) {
+      capacity = InitialRingCapacity();
+      registry.new_ring_capacity.store(capacity, std::memory_order_relaxed);
+    }
+    // Prefer a retired ring of the right geometry. Its tid is thereby a
+    // ring-slot ordinal, not a thread identity: events recorded by
+    // successive owners of the same slot share a tid in exported traces.
+    //
+    // Adoption appends after the previous owner's backlog, so pick the
+    // emptiest candidate and skip any ring holding at least half a ring of
+    // undrained events: adopting it would let the new owner wrap over data
+    // a pending drain still expects (a staggered thread pool can retire a
+    // full ring while its sibling is still starting up). A backlogged ring
+    // stays on the free list — still drained in place — and becomes
+    // adoptable again once a drain or discard empties it. The ring pool is
+    // therefore bounded by peak concurrency for any consumer that drains
+    // at least once per churn generation; with tracing left on and never
+    // drained, backlogged rings pin memory instead of silently losing
+    // events.
+    Ring* reused = nullptr;
+    for (Ring* candidate : registry.free_rings) {
+      if (candidate->capacity != capacity) {
+        continue;
+      }
+      if (reused == nullptr ||
+          candidate->recorded.load(std::memory_order_relaxed) <
+              reused->recorded.load(std::memory_order_relaxed)) {
+        reused = candidate;
+      }
+    }
+    if (reused != nullptr &&
+        reused->recorded.load(std::memory_order_relaxed) >= capacity / 2) {
+      reused = nullptr;
+    }
+    if (reused != nullptr) {
+      registry.free_rings.erase(
+          std::find(registry.free_rings.begin(), registry.free_rings.end(),
+                    reused));
+    }
+    if (reused != nullptr) {
+      t_ring = reused;
+    } else {
+      registry.rings.push_back(std::make_unique<Ring>(
+          capacity, static_cast<int>(registry.rings.size())));
+      t_ring = registry.rings.back().get();
+    }
   }
-  registry.rings.push_back(std::make_unique<Ring>(
-      capacity, static_cast<int>(registry.rings.size())));
-  t_ring = registry.rings.back().get();
+  // Materialized outside the registry lock: the retirer's destructor locks
+  // the same mutex at thread exit.
+  thread_local RingRetirer retirer;
   return t_ring;
 }
 
@@ -213,6 +279,18 @@ size_t TraceRingCount() {
   RingRegistry& registry = Rings();
   std::lock_guard<std::mutex> lock(registry.mu);
   return registry.rings.size();
+}
+
+size_t TraceRingFreeCount() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.free_rings.size();
+}
+
+uint64_t TraceRingsRetired() {
+  RingRegistry& registry = Rings();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.retired_count;
 }
 
 size_t TraceRingCapacity() {

@@ -19,8 +19,9 @@
 // and resets the counts. Like support/sharded.h, reads are approximately
 // consistent while writers run and exact at writer quiescence — tests and
 // exporters drain after joining workers, the same contract stats Reset()
-// already imposes. Rings persist for the process lifetime (a ring whose
-// thread exited keeps its undrained events until the next drain).
+// already imposes. A ring whose thread exited keeps its undrained events
+// until the next drain and is recycled to the next new thread (see
+// TraceRingCount below), so thread churn does not grow the registry.
 //
 // Site registry: workloads attribute episodes to the paper's per-function
 // keys ("Set.Len", "Cache.Get") by registering a site once and setting it —
@@ -113,8 +114,20 @@ void DiscardTrace();
 // number of completed episodes.
 uint64_t TraceEventsRecorded();
 
-// Number of per-thread rings ever registered.
+// Number of per-thread rings ever allocated. Bounded by peak thread
+// concurrency, not by threads ever created: a thread that exits returns its
+// ring (events and count intact — nothing is lost) to a free list, and the
+// next new thread with the same capacity adopts it, continuing to append
+// where the previous owner stopped. A reused ring keeps its tid, so the
+// event `tid` field is a ring-slot ordinal — successive owners of a slot
+// share it in exported traces.
 size_t TraceRingCount();
+
+// Retired rings currently waiting for reuse (gauge).
+size_t TraceRingFreeCount();
+
+// Rings ever retired by an exiting thread (monotone counter).
+uint64_t TraceRingsRetired();
 
 // Capacity (events) a new thread's ring will be created with. Defaults to
 // kDefaultRingCapacity, overridable via $GOCC_OBS_RING_CAPACITY; rounded up

@@ -48,6 +48,8 @@ const char* OutcomeCategory(Outcome outcome) {
       return "nested";
     case Outcome::kSlowAcquire:
       return "slow";
+    case Outcome::kUnwind:
+      return "unwind";
   }
   return "unknown";
 }

@@ -2,21 +2,88 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
+#include <type_traits>
 
 #include "src/gosync/runtime.h"
 #include "src/obs/recorder.h"
 #include "src/obs/ticks.h"
 #include "src/optilib/breaker.h"
+#include "src/support/env.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
 
 namespace gocc::optilib {
 namespace {
 
-OptiConfig g_config;
+// Live configuration, kept in two stores:
+//
+//  * Direct store: a plain OptiConfig behind MutableOptiConfig() /
+//    GetOptiConfig(). The historical test/bench idiom — retained mutable
+//    references, field-at-a-time writes — with its historical quiescence
+//    requirement (no episodes running while it is written).
+//
+//  * Published overlay: the same bytes serialized into a word array of
+//    relaxed atomics under a seqlock, written only by PublishOptiConfig.
+//    Episode snapshots read it with a word-wise retry copy: wait-free in
+//    practice (writers finish in nanoseconds and are externally
+//    serialized), immune to the slot-reuse window a pointer-swung ring has
+//    when a preempted reader sleeps through a full ring of publishes, and
+//    every access is atomic, so the copy is TSan-clean by construction.
+//
+// g_config_published selects the store an episode snapshot reads.
+// PublishOptiConfig flips it on; MutableOptiConfig() flips it back off
+// (reclaiming direct mode is a quiescent act, like the write that follows
+// it). The uncontended fast path pays one predicted branch on the flag —
+// in direct mode it replaces the acquire pointer load the ring needed, so
+// the snapshot is no more expensive than before.
+static_assert(std::is_trivially_copyable_v<OptiConfig>,
+              "config snapshots are word-wise memcpys");
+constexpr size_t kConfigWords = (sizeof(OptiConfig) + 7) / 8;
+OptiConfig g_direct_config;
+std::atomic<bool> g_config_published{false};
+std::atomic<uint64_t> g_config_seq{0};
+std::atomic<uint64_t> g_config_words[kConfigWords];
+
+// Seqlock-validated copy of the published overlay (Boehm's recipe: acquire
+// seq, relaxed data, acquire fence, seq recheck).
+void LoadPublishedConfig(OptiConfig* out) {
+  uint64_t raw[kConfigWords];
+  while (true) {
+    const uint64_t before = g_config_seq.load(std::memory_order_acquire);
+    if ((before & 1) == 0) {
+      for (size_t i = 0; i < kConfigWords; ++i) {
+        raw[i] = g_config_words[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (g_config_seq.load(std::memory_order_relaxed) == before) {
+        break;
+      }
+    }
+    gosync::CpuPause();
+  }
+  std::memcpy(out, raw, sizeof(OptiConfig));
+}
+
 OptiStats g_stats;
 Perceptron g_perceptron;
 BreakerTable g_breaker;
+
+// Per-thread identity for cross-thread unlock detection: constant
+// initialization keeps reads guard-free, and the address is unique among
+// live threads.
+constinit thread_local char t_thread_anchor = 0;
+inline const void* ThreadAnchor() { return &t_thread_anchor; }
+
+// Count of aborts delivered to this thread's episodes (a SimTM longjmp and
+// an RTM status re-return both land in HandleAbort). An episode records the
+// epoch once it is established; finding stale episode state at the next
+// FastLock with a *different* epoch means an abort unwound past that
+// episode's frame — flat nesting rolls back to the outermost checkpoint, so
+// an inner episode's FastUnlock is simply never reached when its enclosing
+// transaction aborts. That is the substrate's normal re-execution, not a
+// double-FastLock misuse.
+constinit thread_local uint64_t t_abort_epoch = 0;
 
 // Process-wide episode clock: one tick per elision decision (only taken
 // when the breaker or watchdog is enabled — with both off, cooldowns are
@@ -70,7 +137,7 @@ inline void Bump(int slot, uint64_t delta = 1) {
 SplitMix64& BackoffRng() {
   static std::atomic<uint64_t> thread_counter{0};
   thread_local SplitMix64 rng(
-      g_config.backoff_seed ^
+      GetOptiConfig().backoff_seed ^
       SplitMix64(thread_counter.fetch_add(1, std::memory_order_relaxed) + 1)
           .Next());
   return rng;
@@ -79,22 +146,41 @@ SplitMix64& BackoffRng() {
 }  // namespace
 
 bool OptiConfig::DefaultTraceEpisodes() {
-  // Resolved once per process: GOCC_OBS_TRACE=1/true/on turns tracing on
-  // for every config default-constructed afterwards (including the global).
-  static const bool kDefault = [] {
-    const char* v = std::getenv("GOCC_OBS_TRACE");
-    if (v == nullptr) {
-      return false;
-    }
-    return v[0] == '1' || v[0] == 't' || v[0] == 'T' || v[0] == 'y' ||
-           v[0] == 'Y' || ((v[0] == 'o' || v[0] == 'O') &&
-                           (v[1] == 'n' || v[1] == 'N'));
-  }();
+  // Resolved once per process: GOCC_OBS_TRACE turns tracing on for every
+  // config default-constructed afterwards (including the global).
+  static const bool kDefault = support::EnvBool("GOCC_OBS_TRACE", false);
   return kDefault;
 }
 
-OptiConfig& MutableOptiConfig() { return g_config; }
-const OptiConfig& GetOptiConfig() { return g_config; }
+OptiConfig& MutableOptiConfig() {
+  // Reclaim direct mode: the caller is about to write the direct store,
+  // which requires episode quiescence anyway, so no snapshot can be
+  // mid-read in either store when the flag flips.
+  g_config_published.store(false, std::memory_order_release);
+  return g_direct_config;
+}
+const OptiConfig& GetOptiConfig() {
+  // Cold-path readers (save/restore harnesses, per-thread seed derivation)
+  // read the direct store; a concurrently *published* overlay is visible
+  // only to episode snapshots. The one internal consumer this skew can
+  // touch is the backoff-jitter seed, where staleness is harmless.
+  return g_direct_config;
+}
+
+void PublishOptiConfig(const OptiConfig& next) {
+  uint64_t raw[kConfigWords];
+  std::memset(raw, 0, sizeof(raw));  // deterministic tail padding
+  std::memcpy(raw, &next, sizeof(OptiConfig));
+  const uint64_t seq = g_config_seq.load(std::memory_order_relaxed);
+  g_config_seq.store(seq + 1, std::memory_order_relaxed);  // odd: in flight
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t i = 0; i < kConfigWords; ++i) {
+    g_config_words[i].store(raw[i], std::memory_order_relaxed);
+  }
+  g_config_seq.store(seq + 2, std::memory_order_release);
+  g_config_published.store(true, std::memory_order_release);
+}
+
 OptiStats& GlobalOptiStats() { return g_stats; }
 Perceptron& GlobalPerceptron() { return g_perceptron; }
 
@@ -113,7 +199,9 @@ OptiStats::OptiStats()
       breaker_short_circuits(&shards_, kBreakerShortCircuits),
       breaker_reprobes(&shards_, kBreakerReprobes),
       watchdog_trips(&shards_, kWatchdogTrips),
-      watchdog_bypasses(&shards_, kWatchdogBypasses) {
+      watchdog_bypasses(&shards_, kWatchdogBypasses),
+      unwind_cancels(&shards_, kUnwindCancels),
+      unwind_slow_unlocks(&shards_, kUnwindSlowUnlocks) {
   for (int i = 0; i < htm::kNumAbortCodes; ++i) {
     episode_aborts[i] =
         support::ShardedCounter(&shards_, kEpisodeAbortsBase + i);
@@ -168,6 +256,13 @@ std::string OptiStats::ToString() const {
           watchdog_trips.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           watchdog_bypasses.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      " unwind{cancels=%llu slow_unlocks=%llu} misuse{%s}",
+      static_cast<unsigned long long>(
+          unwind_cancels.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          unwind_slow_unlocks.load(std::memory_order_relaxed)),
+      support::MisuseCountsToString().c_str());
   return out;
 }
 
@@ -188,7 +283,49 @@ uint64_t EpisodeClockFrontier() {
 }
 
 void OptiLock::PrepareCommon() {
-  cfg_ = g_config;  // one snapshot; the episode never re-reads the global
+  if (kind_ != Target::kNone) {
+    if (abort_epoch_ != t_abort_epoch) {
+      // An abort long-jumped past this episode's frame after it was
+      // established: the episode was nested inside a transaction that
+      // rolled back (flat nesting unwinds to the outermost checkpoint), and
+      // the re-executed critical section is now re-locking. Fast-path state
+      // died with the rollback — just clear the episode. A slow-path lock
+      // is NOT transactional state and survived the longjmp; AbandonEpisode
+      // releases it (counted as an unwind) before the re-execution
+      // re-acquires. Best-effort: a genuine double FastLock that races an
+      // intervening abort on the same thread lands here and is recovered
+      // identically, only without the misuse report.
+      if (slow_path_) {
+        AbandonEpisode();
+      } else {
+        ResetEpisode();
+      }
+    } else {
+      // The previous episode on this OptiLock never reached its unlock:
+      // FastLock twice in a row (an OptiLock is goroutine-local, single-
+      // episode state). Recovery tears the stale episode down exactly as an
+      // exception unwind would — the open transaction is cancelled (its
+      // buffered writes discarded) or the held slow-path lock released — so
+      // the fresh episode does not silently nest inside an abandoned one and
+      // no lock is leaked. The teardown is visible in unwind_cancels /
+      // unwind_slow_unlocks alongside the kDoubleFastLock misuse count.
+      support::ReportMisuse(support::MisuseKind::kDoubleFastLock,
+                            cfg_.misuse_policy, this,
+                            "fast-lock-while-episode-open");
+      AbandonEpisode();
+    }
+  }
+  // One snapshot per episode; the episode never re-reads the global. In
+  // direct mode this is a plain copy under the quiescence contract; once a
+  // config has been published it is a seqlock-validated atomic copy, so a
+  // concurrent PublishOptiConfig yields a clean old-or-new snapshot, never
+  // a torn mix.
+  if (g_config_published.load(std::memory_order_acquire)) {
+    LoadPublishedConfig(&cfg_);
+  } else {
+    cfg_ = g_direct_config;
+  }
+  owner_ = ThreadAnchor();
   slow_path_ = false;
   force_slow_ = false;
   decision_made_ = false;
@@ -228,9 +365,14 @@ void OptiLock::FastLockStep(int setjmp_code) {
     HandleAbort(static_cast<htm::AbortCode>(setjmp_code));
   }
   AttemptLoop();
+  // Episode established (transaction open or slow lock held): record the
+  // thread's abort epoch so PrepareCommon can tell "an abort unwound past
+  // this episode" from a genuine double FastLock.
+  abort_epoch_ = t_abort_epoch;
 }
 
 void OptiLock::HandleAbort(htm::AbortCode code) {
+  ++t_abort_epoch;
   Bump(OptiStats::kEpisodeAbortsBase + static_cast<int>(code));
   // Trace bookkeeping: plain member writes, off the uncontended path by
   // construction (HandleAbort only runs after an abort).
@@ -538,6 +680,7 @@ void OptiLock::RecordEpisodeTrace(obs::Outcome outcome) {
 void OptiLock::ResetEpisode() {
   target_ = nullptr;
   kind_ = Target::kNone;
+  owner_ = nullptr;
   slow_path_ = false;
   force_slow_ = false;
   decision_made_ = false;
@@ -547,16 +690,128 @@ void OptiLock::ResetEpisode() {
   episode_now_ = 0;
 }
 
+void OptiLock::HandleUnlockMisuse(Target requested, void* passed) {
+  if (kind_ == Target::kNone) {
+    // No episode in flight on this OptiLock: the unlock is unpaired.
+    support::ReportMisuse(support::MisuseKind::kUnpairedUnlock,
+                          cfg_.misuse_policy, this, "unlock-with-no-episode");
+    RecoverUnpairedUnlock(requested, passed);
+    return;
+  }
+  if (owner_ != ThreadAnchor()) {
+    // A fast-path episode belongs to the thread that opened it — the
+    // transaction, checkpoint, and retry state are all thread-local, so a
+    // foreign thread can neither commit nor abort it. Recovery leaves the
+    // owner's episode untouched; this call site gets nothing.
+    support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                          cfg_.misuse_policy, this,
+                          "fast-unlock-from-foreign-thread");
+    return;
+  }
+  // Same thread, episode open, wrong target or mode: the paper's
+  // transactional mismatch recovery (Appendix C) — not programmer misuse in
+  // the §4.9 taxonomy, so it is counted by mismatch_recoveries, not the
+  // misuse counters. Control re-enters FastLock via the checkpoint.
+  htm::TxAbort(htm::AbortCode::kMutexMismatch);
+}
+
+void OptiLock::RecoverUnpairedUnlock(Target requested, void* passed) {
+  // Mirror untransformed Go where it is well-defined: unlocking a mutex
+  // held by another goroutine is the legal handoff pattern, so release iff
+  // observably held. An unlock of an un-held lock would panic in Go; here
+  // it stays a counted no-op. Inside an enclosing elided transaction the
+  // lock word reads unlocked (it is elided), so recovery correctly degrades
+  // to count-only.
+  switch (requested) {
+    case Target::kMutex: {
+      auto* m = static_cast<gosync::Mutex*>(passed);
+      if (m->IsLocked()) {
+        m->Unlock();
+      }
+      return;
+    }
+    case Target::kRWRead: {
+      auto* rw = static_cast<gosync::RWMutex*>(passed);
+      if (rw->ReaderCountValue() > 0) {
+        rw->RUnlock();
+      }
+      return;
+    }
+    case Target::kRWWrite: {
+      auto* rw = static_cast<gosync::RWMutex*>(passed);
+      if (rw->ReaderCountValue() < 0) {
+        rw->Unlock();
+      }
+      return;
+    }
+    case Target::kNone:
+      return;
+  }
+}
+
+void OptiLock::AbandonEpisode() noexcept {
+  if (kind_ == Target::kNone) {
+    return;  // no episode in flight — safe to call from shared cleanup
+  }
+  if (slow_path_) {
+    // Release the lock in the mode the episode actually acquired.
+    switch (kind_) {
+      case Target::kMutex:
+        AsMutex()->Unlock();
+        break;
+      case Target::kRWRead:
+        AsRW()->RUnlock();
+        break;
+      case Target::kRWWrite:
+        AsRW()->Unlock();
+        break;
+      case Target::kNone:
+        break;
+    }
+    Bump(OptiStats::kUnwindSlowUnlocks);
+    if (cfg_.trace_episodes) {
+      RecordEpisodeTrace(obs::Outcome::kUnwind);
+    }
+    ResetEpisode();
+    return;
+  }
+  // Fast path: cancel the transaction in place — rollback plus abort
+  // accounting without the longjmp — so the in-flight exception keeps
+  // unwinding and destructors run. Every buffered critical-section write is
+  // discarded; the caller observes a section that never executed. In a
+  // flattened nest this cancels the whole transaction (RTM semantics: an
+  // abort anywhere rolls back to the outermost begin); the enclosing
+  // episodes' AbandonEpisode calls then find no transaction and no-op at
+  // the substrate. Not an episode abort in OptiStats terms (nothing was
+  // delivered to a retry loop), so episode_aborts is untouched and the
+  // perceptron is not trained.
+  htm::TxCancel(htm::AbortCode::kExplicit);
+  Bump(OptiStats::kUnwindCancels);
+  if (cfg_.trace_episodes) {
+    RecordEpisodeTrace(obs::Outcome::kUnwind);
+  }
+  ResetEpisode();
+}
+
 void OptiLock::FastUnlock(gosync::Mutex* m) {
   if (slow_path_) {
+    if (owner_ != ThreadAnchor()) {
+      // Foreign-thread release of a slow-path episode: the unlock itself is
+      // Go's legal handoff, but the episode bookkeeping was another
+      // thread's; count it and proceed.
+      support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                            cfg_.misuse_policy, this,
+                            "slow-unlock-from-foreign-thread");
+    }
     // Unlock the mutex the program passed (identical to the untransformed
     // code even when it differs from the one recorded at FastLock).
     m->Unlock();
     FinishSlowEpisode();
     return;
   }
-  if (kind_ != Target::kMutex || m != AsMutex()) {
-    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  if (kind_ != Target::kMutex || m != AsMutex() || owner_ != ThreadAnchor()) {
+    HandleUnlockMisuse(Target::kMutex, m);
+    return;
   }
   htm::TxCommit();  // validation failure re-enters FastLock via the checkpoint
   FinishFastEpisode();
@@ -564,12 +819,27 @@ void OptiLock::FastUnlock(gosync::Mutex* m) {
 
 void OptiLock::FastRUnlock(gosync::RWMutex* m) {
   if (slow_path_) {
-    m->RUnlock();
+    if (owner_ != ThreadAnchor()) {
+      support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                            cfg_.misuse_policy, this,
+                            "slow-unlock-from-foreign-thread");
+    }
+    if (m == AsRW() && kind_ == Target::kRWWrite) {
+      // Same lock, wrong mode: the episode holds the WRITE lock. Releasing
+      // the mode actually held keeps the lock word sound; the requested
+      // mode is what the (buggy) program asked for, counted as misuse.
+      support::ReportMisuse(support::MisuseKind::kWrongModeUnlock,
+                            cfg_.misuse_policy, m, "r-unlock-of-w-episode");
+      m->Unlock();
+    } else {
+      m->RUnlock();
+    }
     FinishSlowEpisode();
     return;
   }
-  if (kind_ != Target::kRWRead || m != AsRW()) {
-    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  if (kind_ != Target::kRWRead || m != AsRW() || owner_ != ThreadAnchor()) {
+    HandleUnlockMisuse(Target::kRWRead, m);
+    return;
   }
   htm::TxCommit();
   FinishFastEpisode();
@@ -577,12 +847,26 @@ void OptiLock::FastRUnlock(gosync::RWMutex* m) {
 
 void OptiLock::FastWUnlock(gosync::RWMutex* m) {
   if (slow_path_) {
-    m->Unlock();
+    if (owner_ != ThreadAnchor()) {
+      support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                            cfg_.misuse_policy, this,
+                            "slow-unlock-from-foreign-thread");
+    }
+    if (m == AsRW() && kind_ == Target::kRWRead) {
+      // Same lock, wrong mode: the episode holds a READ lock; a writer
+      // unlock would corrupt readerCount. Release what is held.
+      support::ReportMisuse(support::MisuseKind::kWrongModeUnlock,
+                            cfg_.misuse_policy, m, "w-unlock-of-r-episode");
+      m->RUnlock();
+    } else {
+      m->Unlock();
+    }
     FinishSlowEpisode();
     return;
   }
-  if (kind_ != Target::kRWWrite || m != AsRW()) {
-    htm::TxAbort(htm::AbortCode::kMutexMismatch);
+  if (kind_ != Target::kRWWrite || m != AsRW() || owner_ != ThreadAnchor()) {
+    HandleUnlockMisuse(Target::kRWWrite, m);
+    return;
   }
   htm::TxCommit();
   FinishFastEpisode();

@@ -43,6 +43,7 @@
 #include "src/htm/tx.h"
 #include "src/obs/event.h"
 #include "src/optilib/perceptron.h"
+#include "src/support/misuse.h"
 #include "src/support/sharded.h"
 
 namespace gocc::optilib {
@@ -109,10 +110,34 @@ struct OptiConfig {
   // observed quarantine by the skew bound, never extend it or un-quarantine
   // a cell before `cooldown - threads*batch` episodes have passed).
   int episode_clock_batch = 64;
+
+  // Episode snapshot of the lock-API misuse policy (support/misuse.h):
+  // governs recovery for misuse detected *inside* episodes (double
+  // FastLock, unpaired/cross-thread unlocks, wrong-mode slow unlocks).
+  // Defaults to the build-type policy with the GOCC_MISUSE_POLICY override;
+  // mutex destructors, which have no episode snapshot, consult
+  // support::GetMisusePolicy() instead.
+  support::MisusePolicy misuse_policy = support::DefaultMisusePolicy();
 };
 
+// The live configuration. Direct writes through MutableOptiConfig() are the
+// test/bench idiom and require episode quiescence (a concurrent episode
+// snapshot would race the non-atomic fields); use PublishOptiConfig to
+// change configuration while episodes are running.
 OptiConfig& MutableOptiConfig();
 const OptiConfig& GetOptiConfig();
+
+// Atomically publishes `next` as the configuration for every episode that
+// *starts* after the call (in-flight episodes keep the snapshot they took).
+// Safe to call while episodes run on other threads: the value is written
+// into a seqlock-guarded word store that episode snapshots copy with a
+// validated atomic word-wise read, so a concurrent snapshot observes either
+// the old or the new config, never a torn mix — with no reader-lifetime
+// hazard (a reader preempted mid-copy simply retries; there is no slot that
+// can be reused out from under it). Publishers must be externally
+// serialized. A later MutableOptiConfig() call reclaims the direct store:
+// the next quiescent write wins over anything previously published.
+void PublishOptiConfig(const OptiConfig& next);
 
 // Runtime counters, sharded per thread (support/sharded.h): an episode's
 // bookkeeping writes only the calling thread's cache-line-padded shard, so
@@ -138,6 +163,8 @@ struct OptiStats {
     kBreakerReprobes,
     kWatchdogTrips,
     kWatchdogBypasses,
+    kUnwindCancels,      // fast-path episodes cancelled by exception unwind
+    kUnwindSlowUnlocks,  // slow-path episodes unlocked by exception unwind
     kEpisodeAbortsBase,  // + htm::AbortCode, kNumAbortCodes slots
     kNumSlots = kEpisodeAbortsBase + htm::kNumAbortCodes,
   };
@@ -167,6 +194,14 @@ struct OptiStats {
   support::ShardedCounter watchdog_trips;
   support::ShardedCounter watchdog_bypasses;
 
+  // Exception-unwind observability (DESIGN.md §4.9): episodes ended by
+  // AbandonEpisode instead of FastUnlock, split by which side of the
+  // fast/slow fork they were on. Per-kind misuse counters live in
+  // support/misuse.h (shared with the gosync destructors) and are appended
+  // to ToString().
+  support::ShardedCounter unwind_cancels;
+  support::ShardedCounter unwind_slow_unlocks;
+
   uint64_t EpisodeAborts(htm::AbortCode code) const {
     return episode_aborts[static_cast<int>(code)].load(
         std::memory_order_relaxed);
@@ -176,6 +211,8 @@ struct OptiStats {
   // Slot). One lookup per episode replaces per-counter handle dispatch.
   std::atomic<uint64_t>* LocalShard() { return shards_.Local(); }
   size_t ShardCount() const { return shards_.ShardCount(); }
+  size_t FreeShardCount() const { return shards_.FreeShardCount(); }
+  uint64_t RetiredShardTotal() const { return shards_.RetiredShardTotal(); }
 
   void Reset();
   std::string ToString() const;
@@ -213,12 +250,42 @@ class OptiLock {
   void FastWUnlock(gosync::RWMutex* m);
 
   // --- lambda embeddings ---
+  // Strongly exception-safe: if `fn` throws, the episode is abandoned
+  // (AbandonEpisode) before the exception propagates — the transaction is
+  // cancelled with every buffered write rolled back (fast path) or the
+  // original lock is released (slow path). Either way the caller observes
+  // the mutex free and, on the fast path, a critical section that never
+  // happened.
   template <typename Fn>
   void WithLock(gosync::Mutex* m, Fn&& fn);
   template <typename Fn>
   void WithRLock(gosync::RWMutex* m, Fn&& fn);
   template <typename Fn>
   void WithWLock(gosync::RWMutex* m, Fn&& fn);
+
+  // Unwind contract for the paper-textual OPTI_FAST_* / FastUnlock pairing:
+  // code between FastLock and FastUnlock that can throw must abandon the
+  // episode before letting the exception escape the frame that holds it —
+  //
+  //   OPTI_FAST_LOCK(ol, &mu);
+  //   try { ... critical section ... } catch (...) {
+  //     ol.AbandonEpisode();
+  //     throw;
+  //   }
+  //   ol.FastUnlock(&mu);
+  //
+  // On the fast path this cancels the transaction in place (htm::TxCancel —
+  // rollback and abort accounting without the longjmp, so C++ unwinding
+  // continues normally and destructors run); on the slow path it releases
+  // the lock in the mode actually held. Counted in unwind_cancels /
+  // unwind_slow_unlocks. No-op when no episode is in flight, so it is safe
+  // in a shared cleanup path. (Double-FastLock recovery reuses this
+  // teardown, so a recovered stale episode is counted here as well.) Under real RTM a throw inside a hardware
+  // transaction aborts to the checkpoint at the throw itself; the episode
+  // retries and the exception only reaches the catch block from the slow
+  // path, where this releases the lock. The perceptron is not trained by an
+  // abandoned episode (it neither committed nor completed the slow path).
+  void AbandonEpisode() noexcept;
 
   // True when the current episode fell back to the original lock.
   bool on_slow_path() const { return slow_path_; }
@@ -239,6 +306,16 @@ class OptiLock {
   void PrepareCommon();
   void AttemptLoop();
   void HandleAbort(htm::AbortCode code);
+  // Cold path behind the unlock-side misuse/mismatch test: classifies the
+  // failure (unpaired, cross-thread, wrong target/mode) and applies the
+  // §4.9 recovery. Only the wrong-target/mode case returns control to the
+  // episode (via TxAbort's longjmp); the misuse cases report, recover, and
+  // return so the unlock call site can bail out.
+  void HandleUnlockMisuse(Target requested, void* passed);
+  // Recovery for an unlock with no episode in flight: release `passed` in
+  // the requested mode iff it is observably held (Go's cross-goroutine
+  // handoff semantics); otherwise count-only (Go would panic).
+  void RecoverUnpairedUnlock(Target requested, void* passed);
   // Jittered bounded-exponential pause-spin between conflict-class retries.
   void BackoffBeforeRetry();
   void TakeSlowPath();
@@ -264,12 +341,23 @@ class OptiLock {
   std::jmp_buf env_;
   void* target_ = nullptr;
   Target kind_ = Target::kNone;
+  // Identity of the thread that opened the episode: the address of a
+  // constant-initialized thread_local byte (unique among live threads, no
+  // TLS-guard branch to read). Unlock paths compare it to detect
+  // cross-thread unlocks; best-effort, since an exited thread's slot can be
+  // reused by a new thread.
+  const void* owner_ = nullptr;
   // The paper's OptiLock fields: slowPath and lkMutex (target_ doubles as
   // lkMutex; the mismatch check compares against it).
   bool slow_path_ = false;
   bool force_slow_ = false;
   bool decision_made_ = false;
   bool predicted_htm_ = false;
+  // Thread abort epoch recorded when the episode was established; a
+  // mismatch at the next FastLock distinguishes episode state stranded by a
+  // flat-nesting abort (normal re-execution) from double-FastLock misuse
+  // (see PrepareCommon).
+  uint64_t abort_epoch_ = 0;
   // True once this episode's retry budget was exhausted by aborts — the
   // outcome the breaker and watchdog count (mismatch and perceptron-directed
   // fallbacks are not storms).
@@ -295,6 +383,12 @@ class OptiLock {
   OptiConfig cfg_;
 };
 
+// The unwind protection is a try/catch rather than an RAII guard on
+// purpose: a longjmp (SimTM abort) that skips a live non-trivially-
+// destructible local is undefined behaviour, while a try block introduces
+// no such local. The catch runs only during genuine C++ unwinding — SimTM
+// aborts transfer control via the checkpoint and never enter it.
+
 template <typename Fn>
 void OptiLock::WithLock(gosync::Mutex* m, Fn&& fn) {
   PrepareMutex(m);
@@ -302,7 +396,12 @@ void OptiLock::WithLock(gosync::Mutex* m, Fn&& fn) {
     int checkpoint = setjmp(env_);
     FastLockStep(checkpoint);
   }
-  fn();
+  try {
+    fn();
+  } catch (...) {
+    AbandonEpisode();
+    throw;
+  }
   FastUnlock(m);
 }
 
@@ -313,7 +412,12 @@ void OptiLock::WithRLock(gosync::RWMutex* m, Fn&& fn) {
     int checkpoint = setjmp(env_);
     FastLockStep(checkpoint);
   }
-  fn();
+  try {
+    fn();
+  } catch (...) {
+    AbandonEpisode();
+    throw;
+  }
   FastRUnlock(m);
 }
 
@@ -324,7 +428,12 @@ void OptiLock::WithWLock(gosync::RWMutex* m, Fn&& fn) {
     int checkpoint = setjmp(env_);
     FastLockStep(checkpoint);
   }
-  fn();
+  try {
+    fn();
+  } catch (...) {
+    AbandonEpisode();
+    throw;
+  }
   FastWUnlock(m);
 }
 
@@ -332,6 +441,9 @@ void OptiLock::WithWLock(gosync::RWMutex* m, Fn&& fn) {
 
 // Paper-textual lock elision: replaces `m->Lock()`. Pair with
 // `ol.FastUnlock(m)`. The enclosing frame must stay live until the unlock.
+// If the bracketed region can throw, follow the unwind contract documented
+// on OptiLock::AbandonEpisode — an exception that escapes the frame with
+// the episode still open strands a transaction or a held lock.
 #define OPTI_FAST_LOCK(ol, mutex_ptr)                 \
   do {                                                \
     (ol).PrepareMutex(mutex_ptr);                     \

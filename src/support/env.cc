@@ -1,0 +1,106 @@
+#include "src/support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace gocc::support {
+namespace {
+
+// Case-insensitive comparison against a lowercase literal.
+bool EqualsIgnoreCase(const char* value, const char* lower_literal) {
+  size_t i = 0;
+  for (; value[i] != '\0' && lower_literal[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) !=
+        lower_literal[i]) {
+      return false;
+    }
+  }
+  return value[i] == '\0' && lower_literal[i] == '\0';
+}
+
+}  // namespace
+
+const char* EnvRaw(const char* name) { return std::getenv(name); }
+
+void WarnBadEnv(const char* name, const char* value, const char* why,
+                const char* using_default) {
+  std::fprintf(stderr,
+               "[gocc-env] name=%s value=\"%s\" error=%s using=%s\n", name,
+               value == nullptr ? "" : value, why, using_default);
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  for (const char* token : {"1", "true", "yes", "on"}) {
+    if (EqualsIgnoreCase(value, token)) {
+      return true;
+    }
+  }
+  for (const char* token : {"0", "false", "no", "off"}) {
+    if (EqualsIgnoreCase(value, token)) {
+      return false;
+    }
+  }
+  WarnBadEnv(name, value, "not_a_boolean", fallback ? "true" : "false");
+  return fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback, int64_t min, int64_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 0);
+  const std::string fallback_str = std::to_string(fallback);
+  if (end == value || *end != '\0') {
+    WarnBadEnv(name, value, "not_an_integer", fallback_str.c_str());
+    return fallback;
+  }
+  if (errno == ERANGE || parsed < min || parsed > max) {
+    WarnBadEnv(name, value, "out_of_range", fallback_str.c_str());
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+uint64_t EnvUint64(const char* name, uint64_t fallback, uint64_t min,
+                   uint64_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const std::string fallback_str = std::to_string(fallback);
+  // strtoull silently negates "-1" to UINT64_MAX; reject any '-' up front.
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == '-') {
+      WarnBadEnv(name, value, "negative", fallback_str.c_str());
+      return fallback;
+    }
+    if (!std::isspace(static_cast<unsigned char>(*p))) {
+      break;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (end == value || *end != '\0') {
+    WarnBadEnv(name, value, "not_an_integer", fallback_str.c_str());
+    return fallback;
+  }
+  if (errno == ERANGE || parsed < min || parsed > max) {
+    WarnBadEnv(name, value, "out_of_range", fallback_str.c_str());
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace gocc::support

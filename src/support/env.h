@@ -1,0 +1,50 @@
+// Centralized, bounds-checked parsing of GOCC_* environment variables.
+//
+// Every runtime knob that reads the environment goes through these helpers
+// instead of raw getenv/atoi: a malformed or out-of-range value never
+// silently becomes zero (atoi), never truncates (strtoull wraparound), and
+// never selects an unintended mode — the helpers warn once per variable on
+// stderr and fall back to the documented default. Parsing happens at
+// process-setup time (static initializers, first-use latches), never on an
+// episode fast path.
+//
+// Accepted forms:
+//   * Bool:  1/0, true/false, yes/no, on/off (case-insensitive).
+//   * Int/Uint64: decimal, hex (0x...) or octal (0...) via strtoll/strtoull,
+//     rejected unless the whole string parses and the value is inside
+//     [min, max].
+// Empty values are treated as unset (the default is returned, no warning):
+// `GOCC_FOO= ./binary` is a common way to "unset" a variable in one run.
+
+#ifndef GOCC_SRC_SUPPORT_ENV_H_
+#define GOCC_SRC_SUPPORT_ENV_H_
+
+#include <cstdint>
+
+namespace gocc::support {
+
+// Parses `name` as a boolean. Unset/empty -> `fallback`; garbage -> warn on
+// stderr and `fallback`.
+bool EnvBool(const char* name, bool fallback);
+
+// Parses `name` as a signed integer clamped to nothing — values outside
+// [min, max] (or unparsable text) warn and return `fallback`.
+int64_t EnvInt(const char* name, int64_t fallback, int64_t min, int64_t max);
+
+// Unsigned variant (rejects leading '-' rather than wrapping around).
+uint64_t EnvUint64(const char* name, uint64_t fallback, uint64_t min,
+                   uint64_t max);
+
+// Raw accessor: the variable's value, or nullptr when unset. For enum-like
+// variables whose token set the caller owns (callers should still warn via
+// WarnBadEnv on unrecognized tokens).
+const char* EnvRaw(const char* name);
+
+// One-line structured warning for a malformed variable:
+//   [gocc-env] name=<name> value="<value>" error=<why> using=<default>
+void WarnBadEnv(const char* name, const char* value, const char* why,
+                const char* using_default);
+
+}  // namespace gocc::support
+
+#endif  // GOCC_SRC_SUPPORT_ENV_H_

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -229,6 +230,9 @@ TEST_F(ObsTest, TraceConservationMultiThread) {
       case Outcome::kSlowAcquire:
         ++slow;
         break;
+      case Outcome::kUnwind:
+        ADD_FAILURE() << "no episode unwound in this test";
+        break;
     }
   }
   OptiStats& s = GlobalOptiStats();
@@ -306,6 +310,96 @@ TEST_F(ObsTest, NoEventsAndNoNewRingsWhenOff) {
   EXPECT_EQ(EpisodeSum(), 500u);
   EXPECT_EQ(TraceEventsRecorded(), 0u);
   EXPECT_EQ(TraceRingCount(), rings_before);
+}
+
+TEST_F(ObsTest, ThreadChurnRecyclesRingsWithoutLosingEvents) {
+  // Sequential short-lived tracer threads: each exiting thread retires its
+  // ring (events and count intact) and the next thread adopts it, so the
+  // ring registry tracks peak concurrency while conservation still holds.
+  MutableOptiConfig().trace_episodes = true;
+  const size_t rings_before = TraceRingCount();
+  const uint64_t retired_before = TraceRingsRetired();
+  constexpr int kChurn = 12;
+  constexpr int kPerThread = 50;
+  for (int t = 0; t < kChurn; ++t) {
+    std::thread worker([] {
+      gosync::Mutex mu;
+      htm::Shared<uint64_t> value{0};
+      OptiLock ol;
+      for (int i = 0; i < kPerThread; ++i) {
+        ol.WithLock(&mu, [&] { value.Add(1); });
+      }
+    });
+    worker.join();
+  }
+  EXPECT_EQ(EpisodeSum(), static_cast<uint64_t>(kChurn) * kPerThread);
+  EXPECT_EQ(TraceEventsRecorded(), static_cast<uint64_t>(kChurn) * kPerThread);
+  EXPECT_EQ(TraceRingsRetired(), retired_before + kChurn);
+  // Strictly-sequential churn needs at most one new ring (plus any ring the
+  // main thread owns from earlier tests).
+  EXPECT_LE(TraceRingCount(), rings_before + 1);
+
+  DrainStats stats;
+  std::vector<Event> events = DrainTrace(&stats);
+  EXPECT_EQ(stats.recorded, static_cast<uint64_t>(kChurn) * kPerThread);
+  EXPECT_EQ(events.size(), static_cast<uint64_t>(kChurn) * kPerThread);
+  // The last worker's exit returned its ring to the free list.
+  EXPECT_GE(TraceRingFreeCount(), 1u);
+}
+
+TEST_F(ObsTest, AdoptionSkipsBackloggedRingsInsteadOfOverwriting) {
+  // A staggered pool can retire a nearly-full ring while a sibling thread
+  // is still starting up; if the sibling adopted it, its appends would wrap
+  // over events a pending drain still expects. Adoption must skip rings
+  // backlogged past half capacity (they stay drainable on the free list)
+  // and hand the late thread a fresh ring, so the drain stays lossless.
+  MutableOptiConfig().trace_episodes = true;
+  DiscardTrace();
+  const size_t rings_before = TraceRingCount();
+  constexpr uint64_t kBacklog = kDefaultRingCapacity / 2 + 64;
+  auto run_worker = [](uint64_t ops) {
+    std::thread worker([ops] {
+      gosync::Mutex mu;
+      htm::Shared<uint64_t> value{0};
+      OptiLock ol;
+      for (uint64_t i = 0; i < ops; ++i) {
+        ol.WithLock(&mu, [&] { value.Add(1); });
+      }
+    });
+    worker.join();
+  };
+  run_worker(kBacklog);   // retires a ring holding > capacity/2 events
+  run_worker(kBacklog);   // must NOT adopt (and wrap) the backlogged ring
+  EXPECT_LE(TraceRingCount(), rings_before + 2);
+
+  DrainStats stats;
+  std::vector<Event> events = DrainTrace(&stats);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(events.size(), 2 * kBacklog);
+  // Once drained, both rings are empty again and the next churned thread
+  // adopts one instead of growing the pool.
+  const size_t rings_after_drain = TraceRingCount();
+  run_worker(16);
+  EXPECT_EQ(TraceRingCount(), rings_after_drain);
+}
+
+TEST_F(ObsTest, UnwindOutcomeIsTraced) {
+  MutableOptiConfig().trace_episodes = true;
+  gosync::Mutex mu;
+  OptiLock ol;
+  bool caught = false;
+  try {
+    ol.WithLock(&mu, [] { throw std::runtime_error("boom"); });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  ASSERT_TRUE(caught);
+  ol.WithLock(&mu, [] {});
+  std::vector<Event> events = DrainTrace();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].outcome, Outcome::kUnwind);
+  EXPECT_EQ(events[1].outcome, Outcome::kFastCommit);
+  EXPECT_STREQ(OutcomeName(events[0].outcome), "Unwind");
 }
 
 // --- exporters -------------------------------------------------------------

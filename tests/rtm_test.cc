@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <csetjmp>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -191,6 +192,41 @@ TEST_F(RtmTest, RWMutexReadElisionOnHardware) {
     th.join();
   }
   EXPECT_FALSE(wrong.load());
+}
+
+TEST_F(RtmTest, ThrowInsideWithLockUnwindsOnHardware) {
+  // The unwind contract on hardware: a throw inside a hardware transaction
+  // is itself an abort (the unwinder's first side effect rolls back to the
+  // xbegin checkpoint), so the episode retries, exhausts its budget against
+  // the deterministic re-throw, and lands on the slow path — the only place
+  // the exception can actually escape. AbandonEpisode then releases the
+  // real lock.
+  gosync::Mutex mu;
+  Shared<int64_t> value(0);
+  optilib::OptiLock opti_lock;
+  bool caught = false;
+  try {
+    opti_lock.WithLock(&mu, [&] {
+      value.Add(1);
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_FALSE(mu.IsLocked());
+  const auto& stats = optilib::GlobalOptiStats();
+  // The escape point is the slow path, so the unwind is a slow unlock; the
+  // hardware attempts before it aborted at the throw and were retried, not
+  // cancelled.
+  EXPECT_EQ(stats.unwind_slow_unlocks.load(), 1u);
+  EXPECT_EQ(stats.unwind_cancels.load(), 0u);
+  // Slow path writes directly; the aborted fast attempts left no trace.
+  EXPECT_EQ(value.Load(), 1);
+
+  // Lock and OptiLock both reusable afterwards.
+  opti_lock.WithLock(&mu, [&] { value.Add(1); });
+  EXPECT_EQ(value.Load(), 2);
 }
 
 }  // namespace

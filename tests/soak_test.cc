@@ -1,0 +1,154 @@
+// Lifecycle soak battery (DESIGN.md §4.9): churn + exceptions + misuse +
+// fault injection + live config toggling, all at once, with the harness's
+// own conservation oracle. Registered as `ctest -L soak` across the chaos
+// seed set; GOCC_CHAOS_SEED selects the replayable randomness and is echoed
+// on entry so any failure names its seed.
+
+#include "bench/soak_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/htm/config.h"
+#include "src/obs/recorder.h"
+#include "src/optilib/optilock.h"
+#include "src/support/env.h"
+#include "src/support/misuse.h"
+#include "src/support/sharded.h"
+
+namespace gocc::soak {
+namespace {
+
+uint64_t ChaosSeed() {
+  return support::EnvUint64("GOCC_CHAOS_SEED", 1, 0, UINT64_MAX);
+}
+
+class SoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    htm::ForceSimBackend();
+    std::fprintf(stderr, "[soak] GOCC_CHAOS_SEED=%llu\n",
+                 (unsigned long long)ChaosSeed());
+  }
+};
+
+// Every finished run must satisfy the full invariant set regardless of how
+// the options shaped it.
+void ExpectLifecycleInvariants(const SoakReport& report,
+                               const SoakOptions& opts) {
+  SCOPED_TRACE(report.Summary());
+  // Conservation: increments observed == lambdas that returned normally.
+  // Any double-apply (broken rollback), lost update (broken mutual
+  // exclusion), or leak-through from an unwound episode breaks equality.
+  EXPECT_TRUE(report.conserved);
+  EXPECT_EQ(report.expected, report.observed);
+  // Totals never ran backwards across shard retirement.
+  EXPECT_TRUE(report.monotone);
+  // The mix actually exercised what it claims to exercise.
+  EXPECT_GT(report.expected, 0u);
+  EXPECT_GT(report.episodes, 0u);
+  if (opts.throw_rate > 0) {
+    EXPECT_GT(report.throws, 0u);
+    EXPECT_GT(report.unwind_cancels + report.unwind_slow_unlocks, 0u);
+  }
+  if (opts.misuse_rate > 0) {
+    EXPECT_GT(report.misuse_total, 0u);
+  }
+  if (opts.fault_rate > 0) {
+    EXPECT_GT(report.injected_faults, 0u);
+  }
+  if (opts.toggle_config) {
+    EXPECT_GT(report.config_publishes, 0u);
+  }
+  EXPECT_EQ(report.threads_run,
+            static_cast<uint64_t>(opts.waves) * opts.threads_per_wave);
+}
+
+TEST_F(SoakTest, FullTortureConservesUnderChurn) {
+  SoakOptions opts;
+  opts.seed = ChaosSeed();
+  opts.waves = 6;
+  opts.threads_per_wave = 8;
+  opts.iters_per_thread = 4000;
+  opts.throw_rate = 0.03;
+  opts.misuse_rate = 0.02;
+  opts.fault_rate = 0.02;
+  opts.toggle_config = true;
+
+  const size_t rings_before = obs::TraceRingCount();
+  const uint64_t retired_before = obs::TraceRingsRetired();
+
+  const SoakReport report = RunSoak(opts);
+  std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  ExpectLifecycleInvariants(report, opts);
+
+  // Thread churn recycled resources instead of accumulating them: the stat
+  // shard pool and the obs ring pool are bounded by peak concurrency (one
+  // wave + service threads), not by total threads run.
+  const uint64_t threads = report.threads_run;
+  EXPECT_LE(optilib::GlobalOptiStats().ShardCount(),
+            static_cast<size_t>(opts.threads_per_wave) + 4);
+  EXPECT_GT(optilib::GlobalOptiStats().RetiredShardTotal(), 0u);
+  EXPECT_LE(obs::TraceRingCount() - rings_before,
+            static_cast<size_t>(opts.threads_per_wave) + 4);
+  // The toggler flips tracing on mid-run, so at least one churned wave
+  // registered rings and retired them.
+  EXPECT_GT(obs::TraceRingsRetired(), retired_before);
+  EXPECT_LT(obs::TraceRingsRetired() - retired_before, threads + 1);
+}
+
+TEST_F(SoakTest, SteadyStateRssStaysBounded) {
+  // Two identical heavy phases: lifecycle recycling means the second phase
+  // must run within (approximately) the footprint the first one built. An
+  // unbounded leak — shards, rings, abandoned transactions, stranded trace
+  // buffers — shows up as phase-over-phase RSS growth.
+  SoakOptions opts;
+  opts.seed = ChaosSeed() ^ 0x5555555555555555ULL;
+  opts.waves = 4;
+  opts.threads_per_wave = 8;
+  opts.iters_per_thread = 2500;
+  opts.throw_rate = 0.05;
+  opts.misuse_rate = 0.02;
+  opts.fault_rate = 0.02;
+
+  const SoakReport warmup = RunSoak(opts);
+  ExpectLifecycleInvariants(warmup, opts);
+  const SoakReport steady = RunSoak(opts);
+  std::fprintf(stderr, "%s\n", steady.Summary().c_str());
+  ExpectLifecycleInvariants(steady, opts);
+  if (steady.rss_start_kb > 0) {
+    // 32 MiB of slack absorbs allocator noise while still catching a real
+    // per-thread or per-episode leak (which at this scale would be 100s of
+    // MiB).
+    EXPECT_LE(steady.rss_end_kb, steady.rss_start_kb + 32 * 1024)
+        << "steady-state RSS grew: " << steady.rss_start_kb << " -> "
+        << steady.rss_end_kb << " kB";
+  }
+}
+
+TEST_F(SoakTest, QuietRunWithoutHazardsStillConserves) {
+  // Control arm: hazards off. Catches a harness bug that would make the
+  // oracle pass only because of the noise (and proves the invariants hold
+  // on the pure elision path too).
+  SoakOptions opts;
+  opts.seed = ChaosSeed() + 17;
+  opts.waves = 3;
+  opts.threads_per_wave = 6;
+  opts.iters_per_thread = 4000;
+  opts.throw_rate = 0.0;
+  opts.misuse_rate = 0.0;
+  opts.fault_rate = 0.0;
+  opts.toggle_config = false;
+
+  const SoakReport report = RunSoak(opts);
+  std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  ExpectLifecycleInvariants(report, opts);
+  EXPECT_EQ(report.throws, 0u);
+  EXPECT_EQ(report.misuse_total, 0u);
+  EXPECT_EQ(report.unwind_cancels, 0u);
+  EXPECT_EQ(report.unwind_slow_unlocks, 0u);
+}
+
+}  // namespace
+}  // namespace gocc::soak

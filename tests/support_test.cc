@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "src/support/diff.h"
+#include "src/support/env.h"
 #include "src/support/rng.h"
+#include "src/support/sharded.h"
 #include "src/support/stats.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
@@ -166,6 +173,183 @@ TEST(DiffTest, HunkHeadersCountLines) {
   std::string after = "a\nb\nc\nd\nE\nf\ng\nh\ni\nj\nk\n";
   std::string diff = UnifiedDiff("x", "y", before, after, 2);
   EXPECT_NE(diff.find("@@ -3,5 +3,5 @@"), std::string::npos) << diff;
+}
+
+// --- env.h: centralized GOCC_* parsing --------------------------------------
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv(kVar); }
+  void Set(const char* value) { setenv(kVar, value, /*overwrite=*/1); }
+  static constexpr const char* kVar = "GOCC_TEST_ENV_VARIABLE";
+};
+
+TEST_F(EnvTest, BoolAcceptsTheDocumentedTokens) {
+  const char* truthy[] = {"1", "true", "TRUE", "Yes", "on", "ON"};
+  for (const char* v : truthy) {
+    Set(v);
+    EXPECT_TRUE(support::EnvBool(kVar, false)) << v;
+  }
+  const char* falsy[] = {"0", "false", "No", "OFF", "off"};
+  for (const char* v : falsy) {
+    Set(v);
+    EXPECT_FALSE(support::EnvBool(kVar, true)) << v;
+  }
+}
+
+TEST_F(EnvTest, BoolMalformedAndUnsetFallBack) {
+  unsetenv(kVar);
+  EXPECT_TRUE(support::EnvBool(kVar, true));
+  EXPECT_FALSE(support::EnvBool(kVar, false));
+  Set("");  // empty = unset (the `GOCC_FOO= ./binary` idiom)
+  EXPECT_TRUE(support::EnvBool(kVar, true));
+  Set("maybe");
+  EXPECT_TRUE(support::EnvBool(kVar, true));   // warns, keeps the default
+  EXPECT_FALSE(support::EnvBool(kVar, false));
+  Set("2");
+  EXPECT_FALSE(support::EnvBool(kVar, false));
+}
+
+TEST_F(EnvTest, IntParsesDecimalHexAndRange) {
+  Set("42");
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 42);
+  Set("0x10");
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 16);
+  Set("-5");
+  EXPECT_EQ(support::EnvInt(kVar, 7, -10, 100), -5);
+}
+
+TEST_F(EnvTest, IntRejectsMalformedAndOutOfRange) {
+  Set("12abc");  // trailing garbage: the whole string must parse
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 7);
+  Set("abc");
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 7);
+  Set("101");  // above max
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 7);
+  Set("-1");  // below min
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 7);
+  Set("99999999999999999999999999");  // overflows int64 (ERANGE)
+  EXPECT_EQ(support::EnvInt(kVar, 7, 0, 100), 7);
+}
+
+TEST_F(EnvTest, Uint64RejectsNegativesInsteadOfWrapping) {
+  // strtoull would happily wrap "-3" to a huge value; EnvUint64 must not.
+  Set("-3");
+  EXPECT_EQ(support::EnvUint64(kVar, 9, 0, UINT64_MAX), 9u);
+  Set("18446744073709551615");
+  EXPECT_EQ(support::EnvUint64(kVar, 9, 0, UINT64_MAX), UINT64_MAX);
+  Set("16");
+  EXPECT_EQ(support::EnvUint64(kVar, 9, 16, 1u << 24), 16u);
+  Set("15");  // below min
+  EXPECT_EQ(support::EnvUint64(kVar, 9, 16, 1u << 24), 9u);
+}
+
+TEST_F(EnvTest, RawReturnsNullWhenUnset) {
+  unsetenv(kVar);
+  EXPECT_EQ(support::EnvRaw(kVar), nullptr);
+  Set("token");
+  ASSERT_NE(support::EnvRaw(kVar), nullptr);
+  EXPECT_STREQ(support::EnvRaw(kVar), "token");
+}
+
+// --- sharded.h: thread-churn recycling and domain overflow ------------------
+
+TEST(ShardedTest, SingleThreadSumAndReset) {
+  support::ShardedCounters counters(4);
+  ASSERT_FALSE(counters.overflowed());
+  counters.Incr(0, 5);
+  counters.Incr(3, 2);
+  EXPECT_EQ(counters.Sum(0), 5u);
+  EXPECT_EQ(counters.Sum(3), 2u);
+  EXPECT_EQ(counters.Sum(1), 0u);
+  counters.ResetAll();
+  EXPECT_EQ(counters.Sum(0), 0u);
+  EXPECT_EQ(counters.Sum(3), 0u);
+}
+
+TEST(ShardedTest, ThreadChurnRecyclesShardsAndKeepsTotalsMonotone) {
+  support::ShardedCounters counters(2);
+  ASSERT_FALSE(counters.overflowed());
+  constexpr int kChurn = 16;
+  uint64_t last_sum = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    std::thread worker([&] { counters.Incr(0, 1); });
+    worker.join();
+    const uint64_t sum = counters.Sum(0);
+    // Retirement folds the exiting thread's counts into the accumulator:
+    // totals never go backwards across churn.
+    EXPECT_GE(sum, last_sum);
+    last_sum = sum;
+  }
+  EXPECT_EQ(counters.Sum(0), static_cast<uint64_t>(kChurn));
+  EXPECT_EQ(counters.RetiredShardTotal(), static_cast<uint64_t>(kChurn));
+  // Sequential churn reuses one shard over and over instead of allocating
+  // kChurn of them.
+  EXPECT_LE(counters.ShardCount(), 2u);
+  EXPECT_GE(counters.FreeShardCount(), 1u);
+}
+
+TEST(ShardedTest, ConcurrentChurnConservesCounts) {
+  support::ShardedCounters counters(1);
+  constexpr int kWaves = 4;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  for (int w = 0; w < kWaves; ++w) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          counters.Incr(0);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  EXPECT_EQ(counters.Sum(0),
+            static_cast<uint64_t>(kWaves) * kThreads * kPerThread);
+  // Shards allocated track peak concurrency, not total threads ever.
+  EXPECT_LE(counters.ShardCount(), static_cast<size_t>(kThreads) + 1);
+  EXPECT_EQ(counters.RetiredShardTotal(),
+            static_cast<uint64_t>(kWaves) * kThreads);
+}
+
+TEST(ShardedTest, OverflowDomainDegradesToExactSharedShard) {
+  // Exhaust the flat TLS table, then verify the 9th+ domain degrades to the
+  // shared fallback instead of indexing out of bounds (the release-build
+  // OOB this guard replaced), with counts still exact under concurrency.
+  std::vector<std::unique_ptr<support::ShardedCounters>> burn;
+  auto overflow = std::make_unique<support::ShardedCounters>(2);
+  while (!overflow->overflowed()) {
+    burn.push_back(std::move(overflow));
+    overflow = std::make_unique<support::ShardedCounters>(2);
+    ASSERT_LE(burn.size(),
+              static_cast<size_t>(support::ShardedCounters::kMaxDomains));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        overflow->Incr(0);  // fetch_add on the shared shard
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(overflow->Sum(0),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  overflow->ResetAll();
+  EXPECT_EQ(overflow->Sum(0), 0u);
+  // The non-overflow domains created above still work normally.
+  if (!burn.empty()) {
+    burn[0]->Incr(1, 3);
+    EXPECT_EQ(burn[0]->Sum(1), 3u);
+  }
 }
 
 }  // namespace
