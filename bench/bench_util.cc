@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
+
+extern char** environ;
 
 #include "src/htm/config.h"
 #include "src/htm/stats.h"
@@ -89,7 +92,9 @@ std::string JsonNumber(double v) {
 
 void ResetRuntimeState() {
   if (!UseRtm()) {
-    htm::ForceSimBackend();
+    // GOCC_BACKEND-respecting: "swocc" benches the software-OCC tier with
+    // the same binaries and baselines (sim remains the default).
+    htm::ForceSoftwareBackend();
   }
   htm::GlobalTxStats().Reset();
   optilib::GlobalOptiStats().Reset();
@@ -123,6 +128,21 @@ JsonReport::JsonReport(const std::string& bench_name) : name_(bench_name) {
   const char* dir = std::getenv("GOCC_BENCH_JSON_DIR");
   std::string base = (dir != nullptr && *dir != '\0') ? dir : GOCC_REPO_ROOT;
   path_ = base + "/BENCH_" + name_ + ".json";
+  // Snapshot every active GOCC_* knob into the config block: a committed
+  // BENCH_*.json is only comparable to another run if both carry the same
+  // backend/chaos/policy environment, and the knobs that shaped a run are
+  // otherwise invisible in the artifact.
+  for (char** env = environ; env != nullptr && *env != nullptr; ++env) {
+    const char* entry = *env;
+    if (std::strncmp(entry, "GOCC_", 5) != 0) {
+      continue;
+    }
+    const char* eq = std::strchr(entry, '=');
+    if (eq == nullptr) {
+      continue;
+    }
+    Config("env." + std::string(entry, eq - entry), std::string(eq + 1));
+  }
   g_active_report = this;
 }
 
@@ -226,8 +246,7 @@ void RunMeasured(const std::string& figure,
                  std::chrono::milliseconds window) {
   unsigned hw = std::thread::hardware_concurrency();
   ResetRuntimeState();
-  const char* backend =
-      htm::ActiveBackend() == htm::Backend::kRtm ? "Intel RTM" : "SimTM";
+  const char* backend = htm::BackendName(htm::ActiveBackend());
   if (JsonReport* report = JsonReport::Active()) {
     report->Config("backend", backend);
   }
@@ -238,9 +257,9 @@ void RunMeasured(const std::string& figure,
         "  NOTE: host has %u hardware thread(s); threads time-share, so "
         "wall-clock\n  scaling is not meaningful here — see the [simulated] "
         "section for scaling\n  shapes. This section validates the runtime "
-        "end to end. On SimTM the GOCC\n  column additionally pays "
-        "software instrumentation (~10ns/shared access)\n  that real RTM "
-        "does not.\n",
+        "end to end. On the software\n  backends (SimTM, sw-OCC) the GOCC "
+        "column additionally pays per-access\n  instrumentation (~10ns) "
+        "that real RTM does not.\n",
         hw);
   }
   std::printf("  %-24s %8s %12s %12s %10s\n", "benchmark", "threads",
@@ -273,9 +292,18 @@ void RunSimulated(const std::string& figure,
                   const std::vector<SimCase>& cases,
                   const std::vector<int>& core_counts,
                   bool with_perceptron) {
+  // Model the elision tier that is actually active: with GOCC_BACKEND=swocc
+  // the GOCC column carries the software-OCC cost profile (higher software
+  // begin/commit, RMW-free read path, occ-word CAS serializing writers,
+  // bounded validation retries) instead of the HTM one.
+  const bool swocc = htm::ActiveBackend() == htm::Backend::kSwOcc;
+  const sim::RunMode elided_mode =
+      swocc ? sim::RunMode::kSwOcc
+            : (with_perceptron ? sim::RunMode::kElided
+                               : sim::RunMode::kElidedNoPerceptron);
   std::printf("\n[simulated] %s — DES concurrency-cost model (8-core "
-              "machine model)\n",
-              figure.c_str());
+              "machine model%s)\n",
+              figure.c_str(), swocc ? ", sw-OCC elision tier" : "");
   std::printf("  %-24s %6s %12s %12s %10s %10s\n", "benchmark", "cores",
               "lock ns/op", "GOCC ns/op", "speedup", "aborts/op");
 
@@ -283,10 +311,8 @@ void RunSimulated(const std::string& figure,
     for (int cores : core_counts) {
       sim::SimResult lock = sim::Simulate(benchmark.scenario, cores,
                                           sim::RunMode::kLockBaseline);
-      sim::SimResult htm = sim::Simulate(
-          benchmark.scenario, cores,
-          with_perceptron ? sim::RunMode::kElided
-                          : sim::RunMode::kElidedNoPerceptron);
+      sim::SimResult htm =
+          sim::Simulate(benchmark.scenario, cores, elided_mode);
       double aborts_per_op =
           htm.total_ops > 0
               ? static_cast<double>(htm.htm_aborts) /
@@ -307,7 +333,9 @@ void RunSimulated(const std::string& figure,
           report->Add(std::move(rec));
         };
         record("sim-lock", lock);
-        record(with_perceptron ? "sim-gocc" : "sim-gocc-np", htm);
+        record(swocc ? "sim-swocc"
+                     : (with_perceptron ? "sim-gocc" : "sim-gocc-np"),
+               htm);
       }
       std::printf("  %-24s %6d %12.2f %12.2f %+9.1f%% %10.3f\n",
                   benchmark.name.c_str(), cores, lock.ns_per_op,

@@ -30,9 +30,11 @@
 
 int main() {
   // The runtime picks real Intel RTM if the hardware supports it and the
-  // probe sees transactions commit; otherwise the software TM backend.
-  bool rtm = gocc::htm::EnableRtmIfSupported();
-  std::printf("TM backend: %s\n", rtm ? "Intel RTM" : "SimTM (software)");
+  // probe sees transactions commit; otherwise the software TM backend
+  // GOCC_BACKEND selected (SimTM by default, sw-OCC via =swocc).
+  gocc::htm::EnableRtmIfSupported();
+  std::printf("TM backend: %s\n",
+              gocc::htm::BackendName(gocc::htm::ActiveBackend()));
 
   // Pretend we have 4 logical processors even on a small host, so the
   // single-P bypass doesn't disable elision for the demo.

@@ -6,6 +6,7 @@
 #include "src/gosync/parking_lot.h"
 #include "src/gosync/runtime.h"
 #include "src/htm/fault.h"
+#include "src/htm/swocc.h"
 #include "src/htm/tx.h"
 #include "src/support/misuse.h"
 
@@ -58,6 +59,10 @@ Mutex::~Mutex() {
     htm::StripeGuardedUpdate(&state_, [&] {
       state_.store(kLockedBit, std::memory_order_release);
     });
+    // Same for sw-OCC: the poison word is unreachable by live transitions,
+    // so any episode still subscribed fails validation — and the backend
+    // reports the read-after-destroy through the misuse taxonomy.
+    occ_word_.store(htm::kOccPoison, std::memory_order_release);
   }
 }
 
@@ -72,6 +77,13 @@ bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
     });
+    if (ok) {
+      // Having won the state word, take the occ word exclusive so sw-OCC
+      // episodes subscribed to it abort instead of validating against the
+      // critical section we are about to run. state_ serializes pessimistic
+      // acquirers, so at most one thread is ever in this wait per mutex.
+      htm::OccWordAcquireExclusive(&occ_word_);
+    }
     return ok;
   }
   return state_.compare_exchange_strong(expected, desired,
@@ -86,6 +98,8 @@ void Mutex::AcquiringAdd(int64_t delta) {
       state_.fetch_add(static_cast<uint64_t>(delta),
                        std::memory_order_acq_rel);
     });
+    // Starvation handoff acquires the mutex; mirror AcquiringCas.
+    htm::OccWordAcquireExclusive(&occ_word_);
     return;
   }
   state_.fetch_add(static_cast<uint64_t>(delta), std::memory_order_acq_rel);
@@ -190,6 +204,14 @@ void Mutex::LockSlow() {
 }
 
 void Mutex::Unlock() {
+  if (tracking_ == ElisionTracking::kEnabled) {
+    // Release the occ word (version already bumped at acquire) *before* the
+    // state word drops: the critical section's writes sit between the occ
+    // acquire (in Acquiring*) and this release in program order, so a sw-OCC
+    // episode either sees the pre-bump version on every read (serialized
+    // before us) or fails validation.
+    htm::OccWordReleaseExclusive(&occ_word_);
+  }
   uint64_t new_state =
       state_.fetch_sub(kLockedBit, std::memory_order_release) - kLockedBit;
   if (new_state != 0) {

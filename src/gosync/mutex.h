@@ -64,6 +64,13 @@ class Mutex {
   // The state word a fast-path transaction subscribes to.
   const std::atomic<uint64_t>* StateWord() const { return &state_; }
 
+  // The versioned OCC word the sw-OCC backend subscribes to and validates
+  // (swocc.h encoding). Maintained only when elision tracking is on:
+  // pessimistic acquisition takes it exclusive, Unlock releases it with a
+  // bumped version, the destructor poisons it.
+  std::atomic<uint64_t>* OccWord() { return &occ_word_; }
+  const std::atomic<uint64_t>* OccWord() const { return &occ_word_; }
+
   bool elision_tracked() const {
     return tracking_ == ElisionTracking::kEnabled;
   }
@@ -81,6 +88,9 @@ class Mutex {
   void AcquiringAdd(int64_t delta);
 
   std::atomic<uint64_t> state_{0};  // must stay the first member
+  // sw-OCC version word; shares the state word's cache line on purpose (one
+  // line of lock metadata, as in the paper's single-word subscription).
+  std::atomic<uint64_t> occ_word_{0};
   ElisionTracking tracking_ = ElisionTracking::kEnabled;
 };
 

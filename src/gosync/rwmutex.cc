@@ -4,6 +4,7 @@
 
 #include "src/gosync/parking_lot.h"
 #include "src/htm/fault.h"
+#include "src/htm/swocc.h"
 #include "src/htm/tx.h"
 #include "src/support/misuse.h"
 
@@ -25,6 +26,9 @@ RWMutex::~RWMutex() {
       reader_count_.store(static_cast<uint64_t>(-kMaxReaders),
                           std::memory_order_release);
     });
+    // And poison the occ word so subscribed sw-OCC read episodes classify
+    // the use-after-destroy instead of validating freed storage.
+    occ_word_.store(htm::kOccPoison, std::memory_order_release);
   }
   // w_ is destroyed after this body runs and reports separately if held.
 }
@@ -76,9 +80,23 @@ void RWMutex::Lock() {
       reader_wait_.fetch_add(r, std::memory_order_acq_rel) + r != 0) {
     ParkingLot::Acquire(&writer_sem_, /*lifo=*/false);
   }
+  if (tracking_ == ElisionTracking::kEnabled) {
+    // Readers have drained: take the occ word exclusive so sw-OCC read
+    // episodes subscribed to it abort rather than validate across the write
+    // section. Acquiring at the *end* keeps OCC readers live while the
+    // writer merely waits. w_ serializes writers, so at most one thread is
+    // in this wait per RWMutex.
+    htm::OccWordAcquireExclusive(&occ_word_);
+  }
 }
 
 void RWMutex::Unlock() {
+  if (tracking_ == ElisionTracking::kEnabled) {
+    // Release the occ word (version bumped at acquire) before readers are
+    // re-admitted: an OCC read episode then either validates entirely
+    // before the write section or entirely after it.
+    htm::OccWordReleaseExclusive(&occ_word_);
+  }
   // Re-admit readers.
   int64_t r = ReaderCountAdd(kMaxReaders);
   assert(r < kMaxReaders && "Unlock of unlocked RWMutex");

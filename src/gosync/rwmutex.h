@@ -52,6 +52,15 @@ class RWMutex {
     return &reader_count_;
   }
 
+  // The versioned OCC word sw-OCC read episodes subscribe to (swocc.h).
+  // Only *writer* transitions maintain it: Lock() takes it exclusive once
+  // the readers have drained, Unlock() releases it before re-admitting
+  // them. Slow-path readers never touch it (reader/reader pairs do not
+  // conflict, and churning the word on every RLock would re-create the
+  // contended RMW elision exists to remove).
+  std::atomic<uint64_t>* OccWord() { return &occ_word_; }
+  const std::atomic<uint64_t>* OccWord() const { return &occ_word_; }
+
   // Racy signed snapshot of the reader count.
   int64_t ReaderCountValue() const {
     return static_cast<int64_t>(reader_count_.load(std::memory_order_acquire));
@@ -67,6 +76,8 @@ class RWMutex {
   int64_t ReaderCountAdd(int64_t delta);
 
   std::atomic<uint64_t> reader_count_{0};  // must stay the first member
+  // sw-OCC version word (writer-maintained; see OccWord()).
+  std::atomic<uint64_t> occ_word_{0};
   std::atomic<int64_t> reader_wait_{0};
   ElisionTracking tracking_ = ElisionTracking::kEnabled;
   Mutex w_;  // held by writers

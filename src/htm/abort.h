@@ -27,10 +27,16 @@ enum class AbortCode : int {
   kMutexMismatch = 5,
   // Best-effort HTM can abort for no architectural reason (interrupts, etc.).
   kSpurious = 6,
+  // sw-OCC backend only: commit-time (or per-read) validation observed a
+  // version change on a subscribed lock word — an invisible read raced a
+  // pessimistic holder or another OCC committer. Retryable with backoff up
+  // to the episode's occ_max_retries budget.
+  kOccValidateFail = 7,
 };
 
 // Number of distinct AbortCode values (for histogram arrays indexed by code).
-inline constexpr int kNumAbortCodes = 7;
+// Must stay <= 16: obs packs the code into a 4-bit event field.
+inline constexpr int kNumAbortCodes = 8;
 
 // Human-readable abort-code name.
 inline const char* AbortCodeName(AbortCode code) {
@@ -49,6 +55,8 @@ inline const char* AbortCodeName(AbortCode code) {
       return "MutexMismatch";
     case AbortCode::kSpurious:
       return "Spurious";
+    case AbortCode::kOccValidateFail:
+      return "OccValidateFail";
   }
   return "Unknown";
 }

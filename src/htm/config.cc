@@ -1,5 +1,7 @@
 #include "src/htm/config.h"
 
+#include <cstring>
+
 #include "src/htm/rtm_backend.h"
 #include "src/support/env.h"
 
@@ -9,17 +11,76 @@ namespace internal {
 
 TxConfig g_config;
 std::atomic<Backend> g_backend{Backend::kSim};
+constinit thread_local int t_backend_pin = kUnpinned;
 
 }  // namespace internal
+
+namespace {
+
+// Resolves GOCC_BACKEND once. "swocc" selects the software-OCC backend;
+// "sim" (or unset) the SimTM backend; "rtm" leaves the software default at
+// kSim and lets EnableRtmIfSupported decide. Anything else warns and falls
+// back to kSim.
+Backend ResolveSoftwareBackendOnce() {
+  const char* raw = support::EnvRaw("GOCC_BACKEND");
+  if (raw == nullptr || *raw == '\0' || std::strcmp(raw, "sim") == 0 ||
+      std::strcmp(raw, "rtm") == 0) {
+    return Backend::kSim;
+  }
+  if (std::strcmp(raw, "swocc") == 0) {
+    return Backend::kSwOcc;
+  }
+  support::WarnBadEnv("GOCC_BACKEND", raw, "unknown_backend", "sim");
+  return Backend::kSim;
+}
+
+Backend SoftwareBackend() {
+  static const Backend kResolved = ResolveSoftwareBackendOnce();
+  return kResolved;
+}
+
+// True when GOCC_BACKEND explicitly pins a software backend, which refuses
+// the RTM switch even on capable hardware.
+bool BackendPinnedSoftware() {
+  const char* raw = support::EnvRaw("GOCC_BACKEND");
+  return raw != nullptr &&
+         (std::strcmp(raw, "sim") == 0 || std::strcmp(raw, "swocc") == 0);
+}
+
+// One-time install of the env-resolved software backend as the process
+// default (runs before main via the static initializer below; re-running is
+// harmless and keeps tests that reset the backend honest).
+struct BackendEnvInit {
+  BackendEnvInit() {
+    internal::g_backend.store(SoftwareBackend(), std::memory_order_relaxed);
+  }
+} g_backend_env_init;
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kRtm:
+      return "rtm";
+    case Backend::kSwOcc:
+      return "swocc";
+  }
+  return "unknown";
+}
 
 bool EnableRtmIfSupported() {
   if (!RtmCompiledIn()) {
     return false;
   }
-  // Operational kill switch: force the SimTM backend even on machines whose
-  // hardware probe passes (bisecting suspected TSX erratum behaviour, or
-  // pinning a fleet to one backend for comparable metrics).
+  // Operational kill switch: force the software backend even on machines
+  // whose hardware probe passes (bisecting suspected TSX erratum behaviour,
+  // or pinning a fleet to one backend for comparable metrics).
   if (support::EnvBool("GOCC_RTM_DISABLE", false)) {
+    return false;
+  }
+  if (BackendPinnedSoftware()) {
     return false;
   }
   if (!RtmProbe()) {
@@ -31,6 +92,33 @@ bool EnableRtmIfSupported() {
 
 void ForceSimBackend() {
   internal::g_backend.store(Backend::kSim, std::memory_order_relaxed);
+}
+
+void ForceSwOccBackend() {
+  internal::g_backend.store(Backend::kSwOcc, std::memory_order_relaxed);
+}
+
+void ForceSoftwareBackend() {
+  internal::g_backend.store(SoftwareBackend(), std::memory_order_relaxed);
+}
+
+Backend ResolvedSoftwareBackend() { return SoftwareBackend(); }
+
+bool ReprobeRtmHealth() {
+  if (ActiveBackend() != Backend::kRtm) {
+    return false;
+  }
+  if (RtmProbe()) {
+    return false;  // hardware still commits; the storm has another cause
+  }
+  // TSX stopped committing mid-run. Demote to sw-OCC — the optimism-
+  // preserving fallback — unless GOCC_BACKEND pinned SimTM ("sim" cannot be
+  // reached here, since a pinned-software process never ran RTM; the check
+  // keeps the function total).
+  internal::g_backend.store(BackendPinnedSoftware() ? SoftwareBackend()
+                                                    : Backend::kSwOcc,
+                            std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace gocc::htm

@@ -106,6 +106,10 @@ const char* SiteName(Site site) {
       return "commit";
     case Site::kLockTransition:
       return "lock_transition";
+    case Site::kOccValidate:
+      return "occ_validate";
+    case Site::kOccPublish:
+      return "occ_publish";
   }
   return "unknown";
 }
@@ -197,10 +201,9 @@ AbortCode CheckSlow(Site site) {
   return AbortCode::kNone;
 }
 
-void StallSlow() {
+void StallSlow(Site site) {
   ThreadState& ts = LocalState();
-  const SiteRule& rule =
-      g_state.plan.site_rules[static_cast<int>(Site::kLockTransition)];
+  const SiteRule& rule = g_state.plan.site_rules[static_cast<int>(site)];
   if (rule.stall_pauses <= 0) {
     return;
   }

@@ -20,6 +20,14 @@
 //     stripe-guarded slow-path lock transitions (gosync), widening the race
 //     window between a transaction's lock-word subscription and a slow-path
 //     acquisition.
+//   * kOccValidate — sw-OCC commit-time validation: the injected code is
+//     raised as if the read-set validation found a changed occ word. A 100%
+//     kOccValidate schedule models a validation-failure storm (the sw-OCC
+//     analogue of an HTM abort storm) and must trip the circuit breaker.
+//   * kOccPublish — sw-OCC commit publication: a stall rule holds the locked
+//     occ words exclusive mid-commit (delayed-unlock fault, starving
+//     concurrent subscribers); an abort-code rule injects version skew (an
+//     extra version bump on release, exercising wraparound/ABA handling).
 //
 // The injector supports per-site Bernoulli probabilities (deterministic
 // per-thread SplitMix64 streams derived from the armed seed), per-thread
@@ -55,8 +63,10 @@ enum class Site : int {
   kStore = 2,
   kCommit = 3,
   kLockTransition = 4,
+  kOccValidate = 5,
+  kOccPublish = 6,
 };
-inline constexpr int kNumSites = 5;
+inline constexpr int kNumSites = 7;
 
 // Human-readable site name.
 const char* SiteName(Site site);
@@ -65,7 +75,8 @@ const char* SiteName(Site site);
 struct SiteRule {
   double probability = 0.0;
   AbortCode code = AbortCode::kConflict;
-  // kLockTransition only: pause-spin count per injected stall.
+  // Stall sites (kLockTransition, kOccPublish) only: pause-spin count per
+  // injected stall.
   int stall_pauses = 0;
 };
 
@@ -100,7 +111,10 @@ struct FaultPlan {
     return *this;
   }
   FaultPlan& WithStall(double probability, int pauses) {
-    site_rules[static_cast<int>(Site::kLockTransition)] =
+    return WithStallAt(Site::kLockTransition, probability, pauses);
+  }
+  FaultPlan& WithStallAt(Site site, double probability, int pauses) {
+    site_rules[static_cast<int>(site)] =
         SiteRule{probability, AbortCode::kNone, pauses};
     return *this;
   }
@@ -154,7 +168,7 @@ void BindThisThread(int ordinal);
 namespace internal {
 extern std::atomic<bool> g_armed;
 AbortCode CheckSlow(Site site);
-void StallSlow();
+void StallSlow(Site site);
 }  // namespace internal
 
 // Returns the abort code to inject at `site`, or kNone. Single relaxed load
@@ -166,14 +180,18 @@ inline AbortCode MaybeInject(Site site) {
   return internal::CheckSlow(site);
 }
 
-// Possibly pause-spins inside a stripe-guarded lock transition. Single
-// relaxed load when disarmed.
-inline void MaybeStall() {
+// Possibly pause-spins at a stall site (kLockTransition lock transitions,
+// kOccPublish mid-commit occ-word publication). Single relaxed load when
+// disarmed.
+inline void MaybeStallAt(Site site) {
   if (!internal::g_armed.load(std::memory_order_relaxed)) {
     return;
   }
-  internal::StallSlow();
+  internal::StallSlow(site);
 }
+
+// Legacy spelling for the stripe-guarded lock-transition stall.
+inline void MaybeStall() { MaybeStallAt(Site::kLockTransition); }
 
 }  // namespace gocc::htm::fault
 

@@ -47,8 +47,10 @@ struct TxStats {
             &shards_,
             kAbortsBase + static_cast<int>(AbortCode::kMutexMismatch)),
         aborts_spurious(&shards_, kAbortsBase +
-                                      static_cast<int>(AbortCode::kSpurious)) {
-  }
+                                      static_cast<int>(AbortCode::kSpurious)),
+        aborts_occ_validate(
+            &shards_,
+            kAbortsBase + static_cast<int>(AbortCode::kOccValidateFail)) {}
 
   support::ShardedCounter begins;
   support::ShardedCounter commits;
@@ -59,6 +61,7 @@ struct TxStats {
   support::ShardedCounter aborts_lock_held;
   support::ShardedCounter aborts_mutex_mismatch;
   support::ShardedCounter aborts_spurious;
+  support::ShardedCounter aborts_occ_validate;
 
   // Substrate aborts recorded for one code (the named members above cover
   // the same slots; this form lets exporters iterate the histogram).

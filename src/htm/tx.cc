@@ -11,6 +11,7 @@
 #include "src/htm/rtm_backend.h"
 #include "src/htm/stats.h"
 #include "src/htm/stripe_table.h"
+#include "src/htm/swocc_backend.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
 
@@ -336,7 +337,8 @@ TxStats& GlobalTxStats() { return g_stats; }
 std::string TxStats::ToString() const {
   return StrFormat(
       "begins=%llu commits=%llu (ro=%llu) aborts{conflict=%llu capacity=%llu "
-      "explicit=%llu lock_held=%llu mismatch=%llu spurious=%llu}",
+      "explicit=%llu lock_held=%llu mismatch=%llu spurious=%llu "
+      "occ_validate=%llu}",
       static_cast<unsigned long long>(begins.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(commits.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
@@ -352,20 +354,35 @@ std::string TxStats::ToString() const {
       static_cast<unsigned long long>(
           aborts_mutex_mismatch.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
-          aborts_spurious.load(std::memory_order_relaxed)));
+          aborts_spurious.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          aborts_occ_validate.load(std::memory_order_relaxed)));
 }
 
 bool InTx() {
-  if (ActiveBackend() == Backend::kRtm) {
-    return RtmInTx();
+  switch (CurrentBackend()) {
+    case Backend::kRtm:
+      return RtmInTx();
+    case Backend::kSwOcc:
+      return SwOccInTx();
+    case Backend::kSim:
+      break;
   }
   return Tls().depth > 0;
 }
 
-int TxDepth() { return Tls().depth; }
+int TxDepth() {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    return SwOccDepth();
+  }
+  return Tls().depth;
+}
 
 BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    return SwOccBeginImpl(setjmp_result, env);
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     // Pre-RTM decision path: an injected code is reported exactly like an
     // xbegin that aborted before the transaction ran (models best-effort
     // refusal and TSX being disabled mid-run by microcode).
@@ -416,7 +433,11 @@ BeginStatus TxBeginImpl(int setjmp_result, std::jmp_buf* env) {
 }
 
 void TxCommit() {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    SwOccCommit();
+    return;
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     RtmCommit();
     g_stats.commits.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -439,7 +460,10 @@ void TxCommit() {
 }
 
 void TxAbort(AbortCode code) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    SwOccAbort(code);
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     RtmAbort(code);
   }
   TxContext& tx = Tls();
@@ -450,7 +474,11 @@ void TxAbort(AbortCode code) {
 }
 
 void TxCancel(AbortCode code) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    SwOccCancel(code);
+    return;
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     // An exception unwind cannot reach software with a hardware transaction
     // still open: the first unwind step aborts it back to xbegin
     // ("unwind-is-abort"). Nothing to cancel here.
@@ -464,7 +492,10 @@ void TxCancel(AbortCode code) {
 }
 
 uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    return SwOccLoad(addr);
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     // Inside an RTM transaction the hardware versions this load; outside,
     // it is a plain shared read.
     return addr->load(std::memory_order_acquire);
@@ -514,7 +545,11 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
 }
 
 void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    SwOccStore(addr, value);
+    return;
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     if (RtmInTx()) {
       addr->store(value, std::memory_order_relaxed);
     } else {
@@ -569,7 +604,10 @@ void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
 }
 
 uint64_t TxSubscribe(const std::atomic<uint64_t>* addr) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    return SwOccSubscribe(addr);
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     return addr->load(std::memory_order_acquire);
   }
   TxContext& tx = Tls();
@@ -597,7 +635,10 @@ uint64_t TxSubscribe(const std::atomic<uint64_t>* addr) {
 }
 
 uint64_t TxFetchAdd(std::atomic<uint64_t>* addr, uint64_t delta) {
-  if (ActiveBackend() == Backend::kRtm) {
+  if (CurrentBackend() == Backend::kSwOcc) {
+    return SwOccFetchAdd(addr, delta);
+  }
+  if (CurrentBackend() == Backend::kRtm) {
     if (RtmInTx()) {
       uint64_t next = addr->load(std::memory_order_relaxed) + delta;
       addr->store(next, std::memory_order_relaxed);
@@ -680,8 +721,12 @@ uint64_t TxFetchAdd(std::atomic<uint64_t>* addr, uint64_t delta) {
 }
 
 void StripeGuardedUpdate(const void* addr, void (*fn)(void*), void* arg) {
-  if (ActiveBackend() == Backend::kRtm) {
-    // Real RTM gets strong atomicity from cache coherence.
+  const Backend backend = CurrentBackend();
+  if (backend == Backend::kRtm || backend == Backend::kSwOcc) {
+    // Real RTM gets strong atomicity from cache coherence. Under sw-OCC
+    // nothing validates against the stripe table — conflicts are carried by
+    // the occ words the gosync transitions maintain — so the guarded update
+    // is just the update.
     fn(arg);
     return;
   }

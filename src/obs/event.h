@@ -31,12 +31,16 @@ namespace gocc::obs {
 // traced events and stats conserve against each other. kUnwind marks an
 // episode torn down by AbandonEpisode (exception unwound through the
 // critical section); it conserves against unwind_cancels +
-// unwind_slow_unlocks instead.
+// unwind_slow_unlocks instead. kOccFallback is the subset of slow acquires
+// taken after the sw-OCC validation-retry budget ran dry (it conserves
+// against occ_fallbacks, itself a subset of slow_acquires). Must fit the
+// 3-bit outcome field in PackMeta.
 enum class Outcome : uint8_t {
   kFastCommit = 0,
   kNestedFastCommit = 1,
   kSlowAcquire = 2,
   kUnwind = 3,
+  kOccFallback = 4,
 };
 
 inline const char* OutcomeName(Outcome outcome) {
@@ -49,6 +53,8 @@ inline const char* OutcomeName(Outcome outcome) {
       return "SlowAcquire";
     case Outcome::kUnwind:
       return "Unwind";
+    case Outcome::kOccFallback:
+      return "OccFallback";
   }
   return "Unknown";
 }

@@ -50,6 +50,8 @@ const char* OutcomeCategory(Outcome outcome) {
       return "slow";
     case Outcome::kUnwind:
       return "unwind";
+    case Outcome::kOccFallback:
+      return "occ_fallback";
   }
   return "unknown";
 }

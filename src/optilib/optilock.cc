@@ -6,6 +6,8 @@
 #include <type_traits>
 
 #include "src/gosync/runtime.h"
+#include "src/htm/config.h"
+#include "src/htm/swocc.h"
 #include "src/obs/recorder.h"
 #include "src/obs/ticks.h"
 #include "src/optilib/breaker.h"
@@ -152,6 +154,16 @@ bool OptiConfig::DefaultTraceEpisodes() {
   return kDefault;
 }
 
+int OptiConfig::DefaultOccMaxRetries() {
+  // Resolved once per process. Default 4: enough retries to ride out a
+  // burst of committers on the same word, small enough that a persistent
+  // validation storm reaches the lock (and the breaker) within a few
+  // microseconds of backoff.
+  static const int kDefault = static_cast<int>(
+      support::EnvInt("GOCC_OCC_MAX_RETRIES", 4, 0, 1 << 20));
+  return kDefault;
+}
+
 OptiConfig& MutableOptiConfig() {
   // Reclaim direct mode: the caller is about to write the direct store,
   // which requires episode quiescence anyway, so no snapshot can be
@@ -201,7 +213,9 @@ OptiStats::OptiStats()
       watchdog_trips(&shards_, kWatchdogTrips),
       watchdog_bypasses(&shards_, kWatchdogBypasses),
       unwind_cancels(&shards_, kUnwindCancels),
-      unwind_slow_unlocks(&shards_, kUnwindSlowUnlocks) {
+      unwind_slow_unlocks(&shards_, kUnwindSlowUnlocks),
+      occ_fallbacks(&shards_, kOccFallbacks),
+      rtm_demotions(&shards_, kRtmDemotions) {
   for (int i = 0; i < htm::kNumAbortCodes; ++i) {
     episode_aborts[i] =
         support::ShardedCounter(&shards_, kEpisodeAbortsBase + i);
@@ -256,6 +270,12 @@ std::string OptiStats::ToString() const {
           watchdog_trips.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           watchdog_bypasses.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      " occ{fallbacks=%llu rtm_demotions=%llu}",
+      static_cast<unsigned long long>(
+          occ_fallbacks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          rtm_demotions.load(std::memory_order_relaxed)));
   out += StrFormat(
       " unwind{cancels=%llu slow_unlocks=%llu} misuse{%s}",
       static_cast<unsigned long long>(
@@ -331,8 +351,10 @@ void OptiLock::PrepareCommon() {
   decision_made_ = false;
   predicted_htm_ = false;
   exhausted_budget_ = false;
+  occ_fallback_ = false;
   attempts_left_ = cfg_.max_attempts;
   conflict_retries_left_ = cfg_.conflict_retries;
+  occ_retries_left_ = cfg_.occ_max_retries;
   backoff_exponent_ = 0;
   episode_now_ = 0;
   obs_retries_ = 0;
@@ -396,6 +418,29 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       if (attempts_left_-- <= 0) {
         exhausted_budget_ = true;
         force_slow_ = true;
+      }
+      return;
+    case htm::AbortCode::kOccValidateFail:
+      // sw-OCC commit/read validation lost a race. Unlike an HTM abort,
+      // which the hardware cuts short, a failed validation has already paid
+      // for the whole critical section — so each failure trains the
+      // perceptron (at double weight, see PenalizeOccValidation), not just
+      // episodes that end on the lock. Otherwise a site whose episodes
+      // commit only after burning the retry budget keeps getting rewarded
+      // for net-negative speculation.
+      if (predicted_htm_ && cfg_.use_perceptron) {
+        g_perceptron.PenalizeOccValidation(indices_);
+      }
+      // Retry on a separate budget (occ_max_retries) with jittered backoff;
+      // when it runs dry the episode pins itself to the real lock — the
+      // livelock guard. An exhausted budget counts toward the breaker and
+      // watchdog exactly like an HTM abort storm.
+      if (occ_retries_left_-- <= 0) {
+        exhausted_budget_ = true;
+        force_slow_ = true;
+        occ_fallback_ = true;
+      } else {
+        BackoffBeforeRetry();
       }
       return;
     default:
@@ -507,10 +552,35 @@ void OptiLock::AttemptLoop() {
             return;
           case BreakerDecision::kReprobe:
             Bump(OptiStats::kBreakerReprobes);
+            // A cooldown just expired for this cell — the one moment the
+            // runtime revisits a latched verdict. If the global backend is
+            // RTM, re-run the hardware probe too: TSX vanishing mid-run
+            // (microcode update, VM migration) would otherwise feed every
+            // re-probe to dead hardware forever. On a failed probe the
+            // process demotes to sw-OCC and this episode speculates there.
+            if (htm::ReprobeRtmHealth()) {
+              Bump(OptiStats::kRtmDemotions);
+            }
             break;
           case BreakerDecision::kClosed:
             break;
         }
+      }
+      // Pin this thread's Tx dispatch to the backend chosen now, so every
+      // substrate call of the episode — begin, loads, the commit in
+      // FastUnlock, flat-nested sections — lands on one backend even if the
+      // global switches mid-episode (RTM demotion). One TLS store here, one
+      // in ResetEpisode; Tx ops pay a guard-free TLS load they already
+      // paid for the context pointer.
+      if (!htm::ThreadBackendPinned()) {
+        htm::PinThreadBackend(htm::ActiveBackend());
+        backend_pinned_ = true;
+      }
+      if (htm::CurrentBackend() == htm::Backend::kSwOcc && !SwOccEligible()) {
+        // sw-OCC cannot soundly elide this target (RWMutex write section or
+        // untracked mutex); the lock is the correct degradation.
+        TakeSlowPath();
+        return;
       }
       predicted_htm_ = true;
     }
@@ -554,7 +624,48 @@ void OptiLock::TakeSlowPath() {
   }
 }
 
+bool OptiLock::SwOccEligible() const {
+  switch (kind_) {
+    case Target::kMutex:
+      return AsMutex()->elision_tracked();
+    case Target::kRWRead:
+      return AsRW()->elision_tracked();
+    case Target::kRWWrite:
+      // Slow-path readers take no occ-word transition, so they are
+      // invisible to an OCC writer's validation — a write elision could
+      // publish mid-read-section. Forced pessimistic.
+      return false;
+    case Target::kNone:
+      return false;
+  }
+  return false;
+}
+
 void OptiLock::SubscribeOrAbort() {
+  if (htm::CurrentBackend() == htm::Backend::kSwOcc) {
+    // sw-OCC subscribes the mutex's versioned occ word instead of the Go
+    // lock word: the gosync transitions bump it on every exclusive
+    // acquisition, so validation catches any pessimistic critical section
+    // (and any other OCC publish) that overlapped this episode.
+    if (!SwOccEligible()) {
+      // Reachable only when a nested critical section subsumed into an
+      // enclosing sw-OCC transaction wants a target the backend cannot
+      // cover. Abort the whole nest; the enclosing episode's retry budget
+      // drains and it degrades to the lock, under which this section
+      // re-runs pessimistically.
+      htm::TxAbort(htm::AbortCode::kExplicit);
+    }
+    const std::atomic<uint64_t>* word = kind_ == Target::kMutex
+                                            ? AsMutex()->OccWord()
+                                            : AsRW()->OccWord();
+    const uint64_t occ = htm::TxSubscribe(word);
+    if (htm::OccUnavailable(occ)) {
+      // Exclusive holder mid-section, or a starving writer raised the
+      // pending flag (writers win: new OCC episodes queue behind).
+      htm::TxAbort(htm::AbortCode::kLockHeld);
+    }
+    return;
+  }
   switch (kind_) {
     case Target::kMutex: {
       uint64_t state = htm::TxSubscribe(AsMutex()->StateWord());
@@ -658,11 +769,21 @@ void OptiLock::FinishSlowEpisode() {
             episode_now_ + cfg_.watchdog_cooldown_episodes,
             std::memory_order_relaxed);
         Bump(OptiStats::kWatchdogTrips);
+        // A process-wide storm is also the signature of RTM dying mid-run;
+        // re-probe the latched hardware verdict and demote to sw-OCC if the
+        // transactions really stopped committing.
+        if (htm::ReprobeRtmHealth()) {
+          Bump(OptiStats::kRtmDemotions);
+        }
       }
     }
   }
+  if (occ_fallback_) {
+    Bump(OptiStats::kOccFallbacks);
+  }
   if (cfg_.trace_episodes) {
-    RecordEpisodeTrace(obs::Outcome::kSlowAcquire);
+    RecordEpisodeTrace(occ_fallback_ ? obs::Outcome::kOccFallback
+                                     : obs::Outcome::kSlowAcquire);
   }
   ResetEpisode();
 }
@@ -678,6 +799,14 @@ void OptiLock::RecordEpisodeTrace(obs::Outcome outcome) {
 }
 
 void OptiLock::ResetEpisode() {
+  if (backend_pinned_ && !htm::InTx()) {
+    // Outermost episode is done and its substrate is quiescent: let the
+    // thread's next Tx op follow the (possibly demoted) global backend
+    // again. Nested episodes never set backend_pinned_, so a pin always
+    // outlives the whole flattened nest.
+    htm::UnpinThreadBackend();
+    backend_pinned_ = false;
+  }
   target_ = nullptr;
   kind_ = Target::kNone;
   owner_ = nullptr;
@@ -686,6 +815,7 @@ void OptiLock::ResetEpisode() {
   decision_made_ = false;
   predicted_htm_ = false;
   exhausted_budget_ = false;
+  occ_fallback_ = false;
   backoff_exponent_ = 0;
   episode_now_ = 0;
 }

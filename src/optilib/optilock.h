@@ -64,6 +64,15 @@ struct OptiConfig {
   // transaction (Listing 19: "spin with pause till lock held").
   int spin_pauses_while_locked = 512;
 
+  // sw-OCC backend only: retries after a commit-time validation failure
+  // (kOccValidateFail) before the episode pins itself to the real lock —
+  // the per-site livelock guard. Each retry waits a jittered backoff (the
+  // same bounded-exponential schedule as conflict retries) so validation
+  // storms de-synchronize instead of re-colliding. The GOCC_OCC_MAX_RETRIES
+  // environment variable overrides the default.
+  int occ_max_retries = DefaultOccMaxRetries();
+  static int DefaultOccMaxRetries();
+
   // --- abort-storm hardening (all default to seed-equivalent behaviour) ---
 
   // Bounded exponential backoff with deterministic jitter before retrying a
@@ -165,6 +174,8 @@ struct OptiStats {
     kWatchdogBypasses,
     kUnwindCancels,      // fast-path episodes cancelled by exception unwind
     kUnwindSlowUnlocks,  // slow-path episodes unlocked by exception unwind
+    kOccFallbacks,       // sw-OCC validation-retry budgets exhausted
+    kRtmDemotions,       // RTM re-probes that demoted the global backend
     kEpisodeAbortsBase,  // + htm::AbortCode, kNumAbortCodes slots
     kNumSlots = kEpisodeAbortsBase + htm::kNumAbortCodes,
   };
@@ -201,6 +212,13 @@ struct OptiStats {
   // to ToString().
   support::ShardedCounter unwind_cancels;
   support::ShardedCounter unwind_slow_unlocks;
+
+  // sw-OCC hardening observability: episodes that exhausted the
+  // occ_max_retries validation budget and fell back to the lock (a subset
+  // of slow_acquires), and mid-run RTM health re-probes that demoted the
+  // global backend to software (satellite of DESIGN.md §4.10).
+  support::ShardedCounter occ_fallbacks;
+  support::ShardedCounter rtm_demotions;
 
   uint64_t EpisodeAborts(htm::AbortCode code) const {
     return episode_aborts[static_cast<int>(code)].load(
@@ -322,6 +340,11 @@ class OptiLock {
   // Transactionally reads the elided lock word (adding it to the read set)
   // and aborts with LockHeld if the lock is unavailable.
   void SubscribeOrAbort();
+  // Whether the sw-OCC backend may elide this episode's target: RWMutex
+  // WRITE sections never (slow-path readers do not consult the occ word, so
+  // an OCC writer could publish under their feet), and untracked mutexes
+  // never (nothing maintains their occ word).
+  bool SwOccEligible() const;
   bool TargetHeld() const;
   void FinishFastEpisode();
   void FinishSlowEpisode();
@@ -362,8 +385,16 @@ class OptiLock {
   // outcome the breaker and watchdog count (mismatch and perceptron-directed
   // fallbacks are not storms).
   bool exhausted_budget_ = false;
+  // True once a sw-OCC validation-retry budget ran dry this episode — the
+  // slow acquire is then reported as obs::Outcome::kOccFallback.
+  bool occ_fallback_ = false;
+  // True when this episode pinned the calling thread's Tx dispatch to the
+  // backend chosen at decision time (htm::PinThreadBackend); the outermost
+  // episode unpins in ResetEpisode once the substrate is quiescent.
+  bool backend_pinned_ = false;
   int attempts_left_ = 0;
   int conflict_retries_left_ = 0;
+  int occ_retries_left_ = 0;
   int backoff_exponent_ = 0;
   // This episode's tick of the process-wide episode clock (breaker/watchdog
   // cooldowns are measured in episodes). Under batching the tick is claimed

@@ -72,6 +72,19 @@ class Perceptron {
     BumpWeight(context_table_[idx.context_cell], -1);
   }
 
+  // Penalizes a sw-OCC validation failure: -2. A failed validation already
+  // paid for the whole critical section (the hardware cuts an HTM abort
+  // short; software validation only runs at commit), so the wasted work is
+  // roughly twice what a clean elided commit wins back. Weighting the
+  // penalty accordingly lets sites whose episodes commit only after
+  // burning retries drift negative — an outcome-only ±1 signal would keep
+  // rewarding them forever (one +1 commit outweighs an 0.6-retries/op
+  // average).
+  void PenalizeOccValidation(Indices idx) {
+    BumpWeight(mutex_table_[idx.mutex_cell], -2);
+    BumpWeight(context_table_[idx.context_cell], -2);
+  }
+
   // Records a perceptron-directed slow-path decision; when a cell's streak
   // reaches the threshold, the cell resets so HTM gets re-probed. Returns
   // true if any cell was reset by this call.

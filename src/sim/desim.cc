@@ -210,7 +210,8 @@ class Engine {
       return;
     }
 
-    const bool use_perceptron = mode_ == RunMode::kElided;
+    const bool swocc = mode_ == RunMode::kSwOcc;
+    const bool use_perceptron = mode_ == RunMode::kElided || swocc;
     if (use_perceptron && !perceptron_.PredictHtm()) {
       ++stats_.perceptron_slow;
       perceptron_.NoteSlow(&decay_resets_);
@@ -219,15 +220,25 @@ class Engine {
       return;
     }
 
-    // HTM attempts: LockHeld aborts spin-and-retry (bounded, Listing 19);
-    // conflict/capacity aborts fall back to the lock immediately.
+    // Elision attempts: LockHeld aborts spin-and-retry (bounded,
+    // Listing 19); HTM conflict/capacity aborts fall back to the lock
+    // immediately, sw-OCC validation failures retry (bounded by
+    // occ_max_retries) before falling back. sw-OCC never capacity-aborts:
+    // the write buffer is thread-local memory, not speculative cache lines.
     const bool capacity_doomed =
-        writes && s_.write_footprint_lines > p_.write_capacity_lines;
+        !swocc && writes && s_.write_footprint_lines > p_.write_capacity_lines;
     const int max_lock_held_retries = p_.lock_held_retries;
+    const double begin_commit_ns =
+        swocc ? p_.swocc_begin_commit_ns : p_.htm_begin_commit_ns;
     for (int attempt = 0; ; ++attempt) {
       double start = t;
-      double end = start + (p_.htm_begin_commit_ns + s_.cs_ns) *
+      double end = start + (begin_commit_ns + s_.cs_ns) *
                                static_cast<double>(s_.lock_round_trips);
+      if (swocc && writes) {
+        // Read-write commit: one CAS on the shared occ word serializes
+        // concurrent writers (read-only commits touch no shared line).
+        end = AccessLockLine(end);
+      }
       double release_at = 0.0;
       AbortCause cause = capacity_doomed
                              ? AbortCause::kDataConflict
@@ -248,15 +259,42 @@ class Engine {
       }
       ++stats_.htm_aborts;
       if (cause == AbortCause::kLockHeld && attempt < max_lock_held_retries) {
-        // Spin with pause until the holder releases, then retry.
-        t = std::max(t + p_.htm_abort_penalty_ns, release_at);
+        // Spin with pause until the holder releases, then retry. sw-OCC
+        // sees the held lock at subscribe time, before any section work.
+        t = std::max(
+            t + (swocc ? p_.swocc_abort_penalty_ns : p_.htm_abort_penalty_ns),
+            release_at);
         continue;
       }
-      // Fall back to the original lock. The failed speculation polluted
-      // the coherence state the lock holder depends on.
+      if (swocc && cause == AbortCause::kDataConflict &&
+          attempt < p_.occ_max_retries) {
+        // Validation failure: the whole section ran before commit-time
+        // validation caught it (`end` already includes that wasted work);
+        // jittered backoff, then re-subscribe and retry. Each failure
+        // trains the perceptron at double weight (mirroring
+        // Perceptron::PenalizeOccValidation): a site that commits only
+        // after burning retries is net-negative even though the episode
+        // ends in a commit.
+        if (use_perceptron) {
+          perceptron_.Penalize();
+          perceptron_.Penalize();
+        }
+        t = end + p_.swocc_abort_penalty_ns;
+        continue;
+      }
+      // Fall back to the original lock.
       self.op_type = CoreState::OpType::kNone;
-      t = start + p_.htm_abort_penalty_ns;
-      mutex_free_at_ += p_.abort_interference_ns;
+      if (swocc) {
+        // The exhausted-retry episode ran its last section to the failed
+        // validation; buffered writes were simply discarded, so the lock
+        // holder inherits no speculative coherence pollution.
+        t = end;
+      } else {
+        // The failed HTM speculation polluted the coherence state the
+        // lock holder depends on.
+        t = start + p_.htm_abort_penalty_ns;
+        mutex_free_at_ += p_.abort_interference_ns;
+      }
       ++stats_.fallbacks;
       if (use_perceptron) {
         perceptron_.Penalize();

@@ -50,6 +50,21 @@ struct MachineParams {
   // optiLib policy knobs (ablation sweeps).
   int lock_held_retries = 3;     // Listing 19's MAX_ATTEMPTS
   int perceptron_decay = 1000;   // weight-decay threshold (§5.4.1)
+
+  // Software-OCC backend (GOCC_BACKEND=swocc) cost profile. The begin/
+  // commit figure is software bookkeeping plus commit-time read-set
+  // validation, calibrated against the real backend's measured 1-thread
+  // overhead on the go-cache Get cells (~35 ns over the bare lock path,
+  // BENCH_gocache.json); it is higher than xbegin/xend but buys a read
+  // path with zero shared-line RMWs.
+  double swocc_begin_commit_ns = 35.0;
+  // Jittered backoff + re-subscribe after a validation failure. The wasted
+  // critical section itself is charged separately (the failed attempt runs
+  // to commit before validation catches it).
+  double swocc_abort_penalty_ns = 25.0;
+  // Bounded validation retries before the episode falls back to the real
+  // lock (GOCC_OCC_MAX_RETRIES default).
+  int occ_max_retries = 4;
 };
 
 enum class LockKind { kMutex, kRWRead, kRWWrite };
@@ -77,7 +92,14 @@ struct Scenario {
   bool transformed = true;
 };
 
-enum class RunMode { kLockBaseline, kElided, kElidedNoPerceptron };
+// kSwOcc models the software-OCC elision tier instead of HTM: episodes pay
+// the software begin/commit overhead, invisible reads keep the read path
+// free of shared-line RMWs, writers serialize one occ-word CAS at commit,
+// validation failures retry (bounded) before falling back, and fallbacks
+// leave no speculative coherence pollution behind (writes were buffered
+// thread-locally). Capacity aborts do not exist: the write buffer is
+// ordinary memory.
+enum class RunMode { kLockBaseline, kElided, kElidedNoPerceptron, kSwOcc };
 
 struct SimResult {
   double ns_per_op = 0.0;  // virtual wall time / total ops, all cores

@@ -34,6 +34,8 @@ const char* MisuseKindName(MisuseKind kind) {
       return "mutex-destroyed-in-use";
     case MisuseKind::kRWMutexDestroyedInUse:
       return "rwmutex-destroyed-in-use";
+    case MisuseKind::kElidedUseAfterDestroy:
+      return "elided-use-after-destroy";
   }
   return "unknown";
 }

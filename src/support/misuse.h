@@ -19,6 +19,13 @@
 //                            waiters parked.
 //   * kRWMutexDestroyedInUse — gosync::RWMutex destroyed with readers or a
 //                            writer active/pending.
+//   * kElidedUseAfterDestroy — a sw-OCC transactional read subscribed a
+//                            mutex whose occ word carries the destructor
+//                            poison: the elided critical section outlived
+//                            its lock's storage. Recovery: the episode
+//                            aborts (kOccValidateFail) and re-runs on the
+//                            slow path, where the pessimistic acquire hits
+//                            the ordinary destroyed-mutex detection.
 //
 // Policy: under kAbortProcess (the default in debug builds) any misuse
 // prints its report and calls std::abort() — a crash at the first
@@ -50,8 +57,9 @@ enum class MisuseKind : int {
   kWrongModeUnlock = 3,
   kMutexDestroyedInUse = 4,
   kRWMutexDestroyedInUse = 5,
+  kElidedUseAfterDestroy = 6,
 };
-inline constexpr int kNumMisuseKinds = 6;
+inline constexpr int kNumMisuseKinds = 7;
 
 // Stable kebab-case name used in reports and metrics.
 const char* MisuseKindName(MisuseKind kind);

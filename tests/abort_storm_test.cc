@@ -41,7 +41,7 @@ uint64_t ChaosSeed() {
 class AbortStormTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    htm::ForceSimBackend();
+    htm::ForceSoftwareBackend();
     htm::MutableConfig() = htm::TxConfig{};
     htm::GlobalTxStats().Reset();
     MutableOptiConfig() = OptiConfig{};

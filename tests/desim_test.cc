@@ -114,6 +114,55 @@ TEST(DesimTest, ConflictRateRisesWithCores) {
   EXPECT_GT(rate8, rate2) << "more in-flight writers => more overlaps";
 }
 
+TEST(DesimTest, SwOccReadPathBeatsLockAndScales) {
+  Scenario s = ReadOnlyScenario();
+  SimResult lock8 = Simulate(s, 8, RunMode::kLockBaseline);
+  SimResult occ2 = Simulate(s, 2, RunMode::kSwOcc);
+  SimResult occ8 = Simulate(s, 8, RunMode::kSwOcc);
+  // Read-only sw-OCC commits touch no shared line: ns/op drops with cores
+  // while the RWMutex baseline collapses — the TSX-free deployment story.
+  EXPECT_LT(occ8.ns_per_op, occ2.ns_per_op / 3.0);
+  EXPECT_LT(occ8.ns_per_op, lock8.ns_per_op);
+  EXPECT_EQ(occ8.htm_aborts, 0u);
+}
+
+TEST(DesimTest, SwOccPaysMoreFixedOverheadThanHtm) {
+  // The software begin/commit (subscribe + validate) costs more than
+  // xbegin/xend, so at equal core counts conflict-free sw-OCC sits between
+  // the lock baseline's collapse and HTM's ceiling.
+  Scenario s = ReadOnlyScenario();
+  SimResult htm8 = Simulate(s, 8, RunMode::kElided);
+  SimResult occ8 = Simulate(s, 8, RunMode::kSwOcc);
+  EXPECT_GT(occ8.ns_per_op, htm8.ns_per_op);
+}
+
+TEST(DesimTest, SwOccValidationFailuresRetryBeforeFallback) {
+  Scenario s = ConflictingScenario(0.3);
+  SimResult r = Simulate(s, 8, RunMode::kSwOcc);
+  EXPECT_GT(r.htm_aborts, 0u) << "writers must induce validation failures";
+  // Bounded retry absorbs most failures: fallbacks stay well below aborts
+  // (an HTM conflict would fall back on the first abort).
+  EXPECT_LT(r.fallbacks, r.htm_aborts);
+  EXPECT_GT(r.htm_commits, 0u);
+}
+
+TEST(DesimTest, SwOccNeverCapacityAborts) {
+  // The thread-local write buffer is ordinary memory: a footprint that dooms
+  // every HTM attempt commits fine under sw-OCC.
+  Scenario s = ConflictingScenario(1.0, /*footprint=*/4096);
+  SimResult htm = Simulate(s, 4, RunMode::kElidedNoPerceptron);
+  SimResult occ = Simulate(s, 4, RunMode::kSwOcc);
+  EXPECT_EQ(htm.htm_commits, 0u);
+  EXPECT_GT(occ.htm_commits, 0u);
+}
+
+TEST(DesimTest, SwOccSingleCoreMatchesBaseline) {
+  Scenario s = ReadOnlyScenario();
+  double lock = Simulate(s, 1, RunMode::kLockBaseline).ns_per_op;
+  double occ = Simulate(s, 1, RunMode::kSwOcc).ns_per_op;
+  EXPECT_DOUBLE_EQ(lock, occ) << "single-P bypass applies to every backend";
+}
+
 // Property sweep: elided throughput must never be pathologically worse than
 // the lock baseline when the perceptron is on (the paper's headline safety
 // property: "avoiding major performance regressions").
@@ -126,6 +175,9 @@ TEST_P(DesimSafety, PerceptronBoundsRegression) {
   SimResult htm = Simulate(s, cores, RunMode::kElided);
   EXPECT_LT(htm.ns_per_op, lock.ns_per_op * 1.30)
       << "cores=" << cores << " write%=" << write_pct;
+  SimResult occ = Simulate(s, cores, RunMode::kSwOcc);
+  EXPECT_LT(occ.ns_per_op, lock.ns_per_op * 1.30)
+      << "sw-OCC cores=" << cores << " write%=" << write_pct;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -56,7 +56,7 @@ uint64_t EpisodeSum() {
 class FastPathStatsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    htm::ForceSimBackend();
+    htm::ForceSoftwareBackend();
     htm::MutableConfig() = htm::TxConfig{};
     htm::GlobalTxStats().Reset();
     MutableOptiConfig() = OptiConfig{};

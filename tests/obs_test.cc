@@ -69,7 +69,7 @@ uint64_t EpisodeSum() {
 class ObsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    htm::ForceSimBackend();
+    htm::ForceSoftwareBackend();
     htm::MutableConfig() = htm::TxConfig{};
     htm::GlobalTxStats().Reset();
     MutableOptiConfig() = OptiConfig{};

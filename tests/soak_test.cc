@@ -27,7 +27,7 @@ uint64_t ChaosSeed() {
 class SoakTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    htm::ForceSimBackend();
+    htm::ForceSoftwareBackend();
     std::fprintf(stderr, "[soak] GOCC_CHAOS_SEED=%llu\n",
                  (unsigned long long)ChaosSeed());
   }
