@@ -19,6 +19,17 @@ extern char** environ;
 #define GOCC_REPO_ROOT "."
 #endif
 
+// Build-tier identity (set by CMake; defaults cover ad-hoc compiles).
+#ifndef GOCC_BUILD_TIER
+#define GOCC_BUILD_TIER "adhoc"
+#endif
+#ifndef GOCC_BUILD_LTO
+#define GOCC_BUILD_LTO 0
+#endif
+#ifndef GOCC_BUILD_PGO
+#define GOCC_BUILD_PGO 0
+#endif
+
 namespace gocc::bench {
 
 namespace {
@@ -128,6 +139,12 @@ JsonReport::JsonReport(const std::string& bench_name) : name_(bench_name) {
   const char* dir = std::getenv("GOCC_BENCH_JSON_DIR");
   std::string base = (dir != nullptr && *dir != '\0') ? dir : GOCC_REPO_ROOT;
   path_ = base + "/BENCH_" + name_ + ".json";
+  // Stamp the build tier: a number measured under release-pgo is not
+  // comparable to one from the plain release tier, and the artifact must
+  // say which produced it (CMake injects these; see the root CMakeLists).
+  Config("build.tier", GOCC_BUILD_TIER);
+  Config("build.lto", static_cast<double>(GOCC_BUILD_LTO));
+  Config("build.pgo", static_cast<double>(GOCC_BUILD_PGO));
   // Snapshot every active GOCC_* knob into the config block: a committed
   // BENCH_*.json is only comparable to another run if both carry the same
   // backend/chaos/policy environment, and the knobs that shaped a run are
@@ -169,6 +186,10 @@ JsonReport::~JsonReport() {
         << ", \"ns_per_op\": " << JsonNumber(r.ns_per_op)
         << ", \"ops_per_sec\": " << JsonNumber(r.ops_per_sec)
         << ", \"total_ops\": " << r.total_ops;
+    if (r.p99_ns > 0.0) {
+      out << ", \"p50_ns\": " << JsonNumber(r.p50_ns)
+          << ", \"p99_ns\": " << JsonNumber(r.p99_ns);
+    }
     if (!r.counters.empty()) {
       out << ", \"counters\": {";
       for (size_t c = 0; c < r.counters.size(); ++c) {

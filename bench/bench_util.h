@@ -77,6 +77,11 @@ struct JsonRecord {
   double ns_per_op = 0.0;
   double ops_per_sec = 0.0;
   uint64_t total_ops = 0;
+  // Latency distribution (support/histogram.h), when the benchmark ran a
+  // percentile pass; 0 means "not measured" and the keys are omitted from
+  // the JSON so old baselines diff cleanly.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
   std::vector<std::pair<std::string, double>> counters;
 };
 

@@ -56,7 +56,7 @@ Mutex::~Mutex() {
     // its commit-time validation never races the storage being reused.
     // Destruction is never on the episode fast path, so the stripe CAS is
     // an acceptable fixed cost.
-    htm::StripeGuardedUpdate(&state_, [&] {
+    htm::StripeGuardedUpdateAt(&stripe_, [&] {
       state_.store(kLockedBit, std::memory_order_release);
     });
     // Same for sw-OCC: the poison word is unreachable by live transitions,
@@ -72,7 +72,7 @@ bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
     // and this slow-path acquisition (no-op unless the injector is armed).
     htm::fault::MaybeStall();
     bool ok = false;
-    htm::StripeGuardedUpdate(&state_, [&] {
+    htm::StripeGuardedUpdateAt(&stripe_, [&] {
       ok = state_.compare_exchange_strong(expected, desired,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
@@ -94,7 +94,7 @@ bool Mutex::AcquiringCas(uint64_t& expected, uint64_t desired) {
 void Mutex::AcquiringAdd(int64_t delta) {
   if (tracking_ == ElisionTracking::kEnabled) {
     htm::fault::MaybeStall();
-    htm::StripeGuardedUpdate(&state_, [&] {
+    htm::StripeGuardedUpdateAt(&stripe_, [&] {
       state_.fetch_add(static_cast<uint64_t>(delta),
                        std::memory_order_acq_rel);
     });

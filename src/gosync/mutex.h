@@ -64,6 +64,13 @@ class Mutex {
   // The state word a fast-path transaction subscribes to.
   const std::atomic<uint64_t>* StateWord() const { return &state_; }
 
+  // The private SimTM version stripe covering the state word. Lives in the
+  // same cache line as the lock word, so the subscription that opens every
+  // elided critical section reads one line and skips the global stripe-table
+  // hash + probe entirely. Transitions bump it via StripeGuardedUpdateAt;
+  // fast-path transactions validate it via TxSubscribeAt.
+  std::atomic<uint64_t>* SubscriptionStripe() { return &stripe_; }
+
   // The versioned OCC word the sw-OCC backend subscribes to and validates
   // (swocc.h encoding). Maintained only when elision tracking is on:
   // pessimistic acquisition takes it exclusive, Unlock releases it with a
@@ -91,6 +98,11 @@ class Mutex {
   // sw-OCC version word; shares the state word's cache line on purpose (one
   // line of lock metadata, as in the paper's single-word subscription).
   std::atomic<uint64_t> occ_word_{0};
+  // Inline SimTM version stripe for the state word (stripe_table.h word
+  // encoding: version << 1, low bit = commit lock). Versions still come from
+  // the global clock — TL2 validation compares them against read versions
+  // drawn from it. Third word of the same metadata line as state_/occ_word_.
+  std::atomic<uint64_t> stripe_{0};
   ElisionTracking tracking_ = ElisionTracking::kEnabled;
 };
 

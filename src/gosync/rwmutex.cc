@@ -22,7 +22,7 @@ RWMutex::~RWMutex() {
     // Poison readerCount: park it at the writer-pending sentinel under the
     // stripe lock so any subscribed reader transaction aborts (and a
     // use-after-destroy RLock would take the slow path rather than eliding).
-    htm::StripeGuardedUpdate(&reader_count_, [&] {
+    htm::StripeGuardedUpdateAt(&stripe_, [&] {
       reader_count_.store(static_cast<uint64_t>(-kMaxReaders),
                           std::memory_order_release);
     });
@@ -39,7 +39,7 @@ int64_t RWMutex::ReaderCountAdd(int64_t delta) {
     // Chaos hook: stretch the stripe-guarded reader-count transition so
     // injected schedules can interleave with subscribed transactions.
     htm::fault::MaybeStall();
-    htm::StripeGuardedUpdate(&reader_count_, [&] {
+    htm::StripeGuardedUpdateAt(&stripe_, [&] {
       result = static_cast<int64_t>(reader_count_.fetch_add(
                    static_cast<uint64_t>(delta), std::memory_order_acq_rel)) +
                delta;

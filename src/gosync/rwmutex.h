@@ -52,6 +52,10 @@ class RWMutex {
     return &reader_count_;
   }
 
+  // The private SimTM version stripe covering the readerCount word (same
+  // inline-stripe scheme as Mutex::SubscriptionStripe).
+  std::atomic<uint64_t>* SubscriptionStripe() { return &stripe_; }
+
   // The versioned OCC word sw-OCC read episodes subscribe to (swocc.h).
   // Only *writer* transitions maintain it: Lock() takes it exclusive once
   // the readers have drained, Unlock() releases it before re-admitting
@@ -78,6 +82,10 @@ class RWMutex {
   std::atomic<uint64_t> reader_count_{0};  // must stay the first member
   // sw-OCC version word (writer-maintained; see OccWord()).
   std::atomic<uint64_t> occ_word_{0};
+  // Inline SimTM version stripe for the readerCount word (global-clock
+  // versions, stripe_table.h encoding); completes the one-line metadata
+  // layout readerCount/occ/stripe.
+  std::atomic<uint64_t> stripe_{0};
   std::atomic<int64_t> reader_wait_{0};
   ElisionTracking tracking_ = ElisionTracking::kEnabled;
   Mutex w_;  // held by writers

@@ -330,6 +330,77 @@ void CommitOutermost(TxContext& tx) {
   tx.ResetSets();
 }
 
+// In-transaction validated read against a caller-supplied stripe: the
+// shared body of TxLoad (global stripe table) and TxSubscribeAt (inline
+// per-mutex stripe). Write-set lookup first, then the w1/value/fence/w2
+// stripe protocol, then dedup + capacity accounting.
+uint64_t TxLoadAtStripe(TxContext& tx, const std::atomic<uint64_t>* addr,
+                        std::atomic<uint64_t>* stripe) {
+  if (const WriteEntry* w = FindWrite(tx, addr)) {
+    return w->value;
+  }
+
+  uint64_t w1 = stripe->load(std::memory_order_acquire);
+  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  uint64_t value = addr->load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t w2 = stripe->load(std::memory_order_relaxed);
+  if (w1 != w2) {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+
+  if (tx.read_stripes_seen.insert(stripe)) {
+    tx.reads.push_back({stripe, StripeVersion(w1)});
+  }
+  if (tx.read_lines.insert(CacheLineOf(addr)) &&
+      tx.read_lines.size() > Config().read_capacity_lines) {
+    AbortInternal(tx, AbortCode::kCapacity);
+  }
+  MaybeInjectedAbort(tx, fault::Site::kLoad);
+  MaybeSpuriousAbort(tx);
+  return value;
+}
+
+// SimTM body shared by TxSubscribe / TxSubscribeAt: first-access fast path
+// when this is the opening read of an outermost transaction, otherwise the
+// fully general load — both validating the caller's stripe, so nested
+// subscriptions of an inline-stripe mutex still watch the stripe its
+// transitions actually bump.
+uint64_t SimSubscribe(TxContext& tx, const std::atomic<uint64_t>* addr,
+                      std::atomic<uint64_t>* stripe) {
+  if (tx.depth == 0) [[unlikely]] {
+    // Non-transactional read with strong atomicity (see TxLoad).
+    while (StripeIsLocked(stripe->load(std::memory_order_acquire))) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    return addr->load(std::memory_order_acquire);
+  }
+  if (tx.depth != 1 || !tx.reads.empty() || !tx.writes.empty()) [[unlikely]] {
+    // Nested subscription or not the first access: full generality.
+    return TxLoadAtStripe(tx, addr, stripe);
+  }
+  uint64_t w1 = stripe->load(std::memory_order_acquire);
+  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) [[unlikely]] {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  uint64_t value = addr->load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t w2 = stripe->load(std::memory_order_relaxed);
+  if (w1 != w2) [[unlikely]] {
+    AbortInternal(tx, AbortCode::kConflict);
+  }
+  tx.read_stripes_seen.insert(stripe);
+  tx.reads.push_back({stripe, StripeVersion(w1)});
+  tx.read_lines.insert(CacheLineOf(addr));
+  MaybeInjectedAbort(tx, fault::Site::kLoad);
+  MaybeSpuriousAbort(tx);
+  return value;
+}
+
 }  // namespace
 
 TxStats& GlobalTxStats() { return g_stats; }
@@ -516,32 +587,7 @@ uint64_t TxLoad(const std::atomic<uint64_t>* addr) {
     return addr->load(std::memory_order_acquire);
   }
 
-  if (const WriteEntry* w = FindWrite(tx, addr)) {
-    return w->value;
-  }
-
-  std::atomic<uint64_t>* stripe = StripeFor(addr);
-  uint64_t w1 = stripe->load(std::memory_order_acquire);
-  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
-    AbortInternal(tx, AbortCode::kConflict);
-  }
-  uint64_t value = addr->load(std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_acquire);
-  uint64_t w2 = stripe->load(std::memory_order_relaxed);
-  if (w1 != w2) {
-    AbortInternal(tx, AbortCode::kConflict);
-  }
-
-  if (tx.read_stripes_seen.insert(stripe)) {
-    tx.reads.push_back({stripe, StripeVersion(w1)});
-  }
-  if (tx.read_lines.insert(CacheLineOf(addr)) &&
-      tx.read_lines.size() > Config().read_capacity_lines) {
-    AbortInternal(tx, AbortCode::kCapacity);
-  }
-  MaybeInjectedAbort(tx, fault::Site::kLoad);
-  MaybeSpuriousAbort(tx);
-  return value;
+  return TxLoadAtStripe(tx, addr, StripeFor(addr));
 }
 
 void TxStore(std::atomic<uint64_t>* addr, uint64_t value) {
@@ -610,28 +656,19 @@ uint64_t TxSubscribe(const std::atomic<uint64_t>* addr) {
   if (CurrentBackend() == Backend::kRtm) {
     return addr->load(std::memory_order_acquire);
   }
-  TxContext& tx = Tls();
-  if (tx.depth != 1 || !tx.reads.empty() || !tx.writes.empty()) {
-    // Nested subscription or not the first access: full generality.
-    return TxLoad(addr);
+  return SimSubscribe(Tls(), addr, StripeFor(addr));
+}
+
+uint64_t TxSubscribeAt(const std::atomic<uint64_t>* addr,
+                       std::atomic<uint64_t>* stripe) {
+  const Backend backend = CurrentBackend();
+  if (backend == Backend::kSwOcc) [[unlikely]] {
+    return SwOccSubscribe(addr);
   }
-  std::atomic<uint64_t>* stripe = StripeFor(addr);
-  uint64_t w1 = stripe->load(std::memory_order_acquire);
-  if (StripeIsLocked(w1) || StripeVersion(w1) > tx.rv) {
-    AbortInternal(tx, AbortCode::kConflict);
+  if (backend == Backend::kRtm) [[unlikely]] {
+    return addr->load(std::memory_order_acquire);
   }
-  uint64_t value = addr->load(std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_acquire);
-  uint64_t w2 = stripe->load(std::memory_order_relaxed);
-  if (w1 != w2) {
-    AbortInternal(tx, AbortCode::kConflict);
-  }
-  tx.read_stripes_seen.insert(stripe);
-  tx.reads.push_back({stripe, StripeVersion(w1)});
-  tx.read_lines.insert(CacheLineOf(addr));
-  MaybeInjectedAbort(tx, fault::Site::kLoad);
-  MaybeSpuriousAbort(tx);
-  return value;
+  return SimSubscribe(Tls(), addr, stripe);
 }
 
 uint64_t TxFetchAdd(std::atomic<uint64_t>* addr, uint64_t delta) {
@@ -731,6 +768,30 @@ void StripeGuardedUpdate(const void* addr, void (*fn)(void*), void* arg) {
     return;
   }
   std::atomic<uint64_t>* stripe = StripeFor(addr);
+  uint64_t word = stripe->load(std::memory_order_relaxed);
+  while (true) {
+    if (StripeIsLocked(word)) {
+      word = stripe->load(std::memory_order_relaxed);
+      continue;
+    }
+    if (stripe->compare_exchange_weak(word, word | kStripeLockedBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  fn(arg);
+  uint64_t version = GlobalClock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  stripe->store(version << 1, std::memory_order_release);
+}
+
+void StripeGuardedUpdateAt(std::atomic<uint64_t>* stripe, void (*fn)(void*),
+                           void* arg) {
+  const Backend backend = CurrentBackend();
+  if (backend == Backend::kRtm || backend == Backend::kSwOcc) {
+    fn(arg);
+    return;
+  }
   uint64_t word = stripe->load(std::memory_order_relaxed);
   while (true) {
     if (StripeIsLocked(word)) {

@@ -85,6 +85,17 @@ void TxStore(std::atomic<uint64_t>* addr, uint64_t value);
 // subscription, RW locks issuing a second read).
 uint64_t TxSubscribe(const std::atomic<uint64_t>* addr);
 
+// TxSubscribe against a caller-supplied version stripe instead of the hashed
+// global stripe table. Tracked mutexes embed a private stripe in the same
+// cache line as their lock word (gosync::Mutex::SubscriptionStripe), so the
+// subscription that opens every elided critical section touches exactly one
+// line and skips the address hash + 4 MiB table probe. The stripe must be
+// the same one the lock's transitions bump via StripeGuardedUpdateAt — its
+// versions still come from the global clock, which TL2 validation requires.
+// RTM and sw-OCC ignore `stripe` (hardware / occ words carry the conflicts).
+uint64_t TxSubscribeAt(const std::atomic<uint64_t>* addr,
+                       std::atomic<uint64_t>* stripe);
+
 // Fused transactional read-modify-write: semantically TxStore(addr,
 // TxLoad(addr) + delta) (2^64 wrapping add in the bit domain), but performs
 // the write-set lookup, stripe validation, and capacity accounting once.
@@ -105,6 +116,19 @@ template <typename Fn>
 void StripeGuardedUpdate(const void* addr, Fn&& fn) {
   StripeGuardedUpdate(
       addr, [](void* raw) { (*static_cast<Fn*>(raw))(); }, &fn);
+}
+
+// StripeGuardedUpdate against a caller-supplied stripe (the inline-stripe
+// dual of TxSubscribeAt). Subscribers of the guarded word must validate the
+// same stripe, so a lock that adopts an inline stripe must route *all* of
+// its transitions through this variant.
+void StripeGuardedUpdateAt(std::atomic<uint64_t>* stripe, void (*fn)(void*),
+                           void* arg);
+
+template <typename Fn>
+void StripeGuardedUpdateAt(std::atomic<uint64_t>* stripe, Fn&& fn) {
+  StripeGuardedUpdateAt(
+      stripe, [](void* raw) { (*static_cast<Fn*>(raw))(); }, &fn);
 }
 
 }  // namespace gocc::htm

@@ -111,6 +111,18 @@ std::vector<Metric> CollectRuntimeMetrics() {
                          "Episodes bypassed during a watchdog cooldown.",
                          Load(opti.watchdog_bypasses)));
 
+  // --- per-site decision cache (DESIGN.md §4.11) ---------------------------
+  out.push_back(Counter1("gocc_opti_site_cache_hits_total",
+                         "Episode decisions served from the per-site cache.",
+                         Load(opti.site_cache_hits)));
+  out.push_back(Counter1("gocc_opti_site_cache_installs_total",
+                         "Verdicts installed into the per-site cache.",
+                         Load(opti.site_cache_installs)));
+  out.push_back(Counter1(
+      "gocc_opti_site_cache_invalidations_total",
+      "Cached verdicts evicted after a refuting episode outcome.",
+      Load(opti.site_cache_invalidations)));
+
   // --- lifecycle: unwind & misuse (DESIGN.md §4.9) -------------------------
   out.push_back(Counter1(
       "gocc_opti_unwind_cancels_total",

@@ -11,6 +11,7 @@
 #include "src/obs/recorder.h"
 #include "src/obs/ticks.h"
 #include "src/optilib/breaker.h"
+#include "src/optilib/site_cache.h"
 #include "src/support/env.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
@@ -70,6 +71,7 @@ void LoadPublishedConfig(OptiConfig* out) {
 OptiStats g_stats;
 Perceptron g_perceptron;
 BreakerTable g_breaker;
+SiteCache g_site_cache;
 
 // Per-thread identity for cross-thread unlock detection: constant
 // initialization keeps reads guard-free, and the address is unique among
@@ -154,6 +156,13 @@ bool OptiConfig::DefaultTraceEpisodes() {
   return kDefault;
 }
 
+bool OptiConfig::DefaultSiteCache() {
+  // Resolved once per process; default on — the cached paths preserve every
+  // counter and training semantic of the uncached decision sequence.
+  static const bool kDefault = support::EnvBool("GOCC_SITE_CACHE", true);
+  return kDefault;
+}
+
 int OptiConfig::DefaultOccMaxRetries() {
   // Resolved once per process. Default 4: enough retries to ride out a
   // burst of committers on the same word, small enough that a persistent
@@ -167,8 +176,11 @@ int OptiConfig::DefaultOccMaxRetries() {
 OptiConfig& MutableOptiConfig() {
   // Reclaim direct mode: the caller is about to write the direct store,
   // which requires episode quiescence anyway, so no snapshot can be
-  // mid-read in either store when the flag flips.
+  // mid-read in either store when the flag flips. The epoch bump retires
+  // every cached per-site verdict and cached config snapshot minted under
+  // the outgoing configuration.
   g_config_published.store(false, std::memory_order_release);
+  g_site_cache.BumpEpoch();
   return g_direct_config;
 }
 const OptiConfig& GetOptiConfig() {
@@ -191,6 +203,11 @@ void PublishOptiConfig(const OptiConfig& next) {
   }
   g_config_seq.store(seq + 2, std::memory_order_release);
   g_config_published.store(true, std::memory_order_release);
+  // Ordered after the publish (release bump / acquire epoch read): an
+  // episode that starts under the new epoch re-snapshots and sees the new
+  // config; one that raced and kept the old epoch keeps the old verdicts
+  // with the old config — coherent either way.
+  g_site_cache.BumpEpoch();
 }
 
 OptiStats& GlobalOptiStats() { return g_stats; }
@@ -215,7 +232,10 @@ OptiStats::OptiStats()
       unwind_cancels(&shards_, kUnwindCancels),
       unwind_slow_unlocks(&shards_, kUnwindSlowUnlocks),
       occ_fallbacks(&shards_, kOccFallbacks),
-      rtm_demotions(&shards_, kRtmDemotions) {
+      rtm_demotions(&shards_, kRtmDemotions),
+      site_cache_hits(&shards_, kSiteCacheHits),
+      site_cache_installs(&shards_, kSiteCacheInstalls),
+      site_cache_invalidations(&shards_, kSiteCacheInvalidations) {
   for (int i = 0; i < htm::kNumAbortCodes; ++i) {
     episode_aborts[i] =
         support::ShardedCounter(&shards_, kEpisodeAbortsBase + i);
@@ -277,6 +297,14 @@ std::string OptiStats::ToString() const {
       static_cast<unsigned long long>(
           rtm_demotions.load(std::memory_order_relaxed)));
   out += StrFormat(
+      " site_cache{hits=%llu installs=%llu invalidations=%llu}",
+      static_cast<unsigned long long>(
+          site_cache_hits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          site_cache_installs.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          site_cache_invalidations.load(std::memory_order_relaxed)));
+  out += StrFormat(
       " unwind{cancels=%llu slow_unlocks=%llu} misuse{%s}",
       static_cast<unsigned long long>(
           unwind_cancels.load(std::memory_order_relaxed)),
@@ -296,11 +324,19 @@ void ResetHardeningState() {
   // cleared in the same call.
   g_episode_clock.store(0, std::memory_order_relaxed);
   g_clock_epoch.fetch_add(1, std::memory_order_relaxed);
+  // Cached verdicts were learned under the hardening state being cleared;
+  // retire them too (this also gives back-to-back bench/test runs a cold
+  // cache, since bench_util's ResetRuntimeState lands here).
+  g_site_cache.BumpEpoch();
 }
 
 uint64_t EpisodeClockFrontier() {
   return g_episode_clock.load(std::memory_order_relaxed);
 }
+
+void InvalidateSiteDecisionCaches() { g_site_cache.BumpEpoch(); }
+
+uint64_t SiteDecisionCacheEpoch() { return g_site_cache.Epoch(); }
 
 void OptiLock::PrepareCommon() {
   if (kind_ != Target::kNone) {
@@ -315,7 +351,7 @@ void OptiLock::PrepareCommon() {
       // re-acquires. Best-effort: a genuine double FastLock that races an
       // intervening abort on the same thread lands here and is recovered
       // identically, only without the misuse report.
-      if (slow_path_) {
+      if (HasFlag(kFlagSlowPath)) {
         AbandonEpisode();
       } else {
         ResetEpisode();
@@ -335,23 +371,30 @@ void OptiLock::PrepareCommon() {
       AbandonEpisode();
     }
   }
+  // Decision epoch for this episode: keys the site-cache consult and, in
+  // published mode, the config-snapshot cache below. The acquire read pairs
+  // with the release bump at the end of PublishOptiConfig, so observing a
+  // new epoch implies the new config words are visible.
+  cache_epoch_ = g_site_cache.Epoch();
   // One snapshot per episode; the episode never re-reads the global. In
-  // direct mode this is a plain copy under the quiescence contract; once a
-  // config has been published it is a seqlock-validated atomic copy, so a
-  // concurrent PublishOptiConfig yields a clean old-or-new snapshot, never
-  // a torn mix.
+  // direct mode this is a plain copy under the quiescence contract — and it
+  // is re-copied every episode, because the test/bench idiom holds the
+  // mutable reference and edits fields without another MutableOptiConfig()
+  // call. Once a config has been published it is a seqlock-validated atomic
+  // copy, elided while the decision epoch is unchanged (every publish bumps
+  // it), so a concurrent PublishOptiConfig yields a clean old-or-new
+  // snapshot, never a torn mix — and the steady state pays one compare.
   if (g_config_published.load(std::memory_order_acquire)) {
-    LoadPublishedConfig(&cfg_);
+    if (cfg_epoch_ != cache_epoch_) {
+      LoadPublishedConfig(&cfg_);
+      cfg_epoch_ = cache_epoch_;
+    }
   } else {
     cfg_ = g_direct_config;
+    cfg_epoch_ = 0;
   }
   owner_ = ThreadAnchor();
-  slow_path_ = false;
-  force_slow_ = false;
-  decision_made_ = false;
-  predicted_htm_ = false;
-  exhausted_budget_ = false;
-  occ_fallback_ = false;
+  flags_ &= kFlagBackendPinned;  // a pin outlives the whole flattened nest
   attempts_left_ = cfg_.max_attempts;
   conflict_retries_left_ = cfg_.conflict_retries;
   occ_retries_left_ = cfg_.occ_max_retries;
@@ -409,15 +452,14 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       // back every effect; recover by enforcing the slow path, which is
       // behaviourally identical to the untransformed program (Appendix C).
       Bump(OptiStats::kMismatchRecoveries);
-      force_slow_ = true;
+      SetFlag(kFlagForceSlow);
       return;
     case htm::AbortCode::kLockHeld:
       // Retryable: the slow-path holder will release (Listing 19 retries
       // LockHeld aborts while trials remain; the retry already pause-spins
       // on the lock word, so no extra backoff is layered here).
       if (attempts_left_-- <= 0) {
-        exhausted_budget_ = true;
-        force_slow_ = true;
+        SetFlag(kFlagExhausted | kFlagForceSlow);
       }
       return;
     case htm::AbortCode::kOccValidateFail:
@@ -428,7 +470,7 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       // episodes that end on the lock. Otherwise a site whose episodes
       // commit only after burning the retry budget keeps getting rewarded
       // for net-negative speculation.
-      if (predicted_htm_ && cfg_.use_perceptron) {
+      if (HasFlag(kFlagPredictedHtm) && cfg_.use_perceptron) {
         g_perceptron.PenalizeOccValidation(indices_);
       }
       // Retry on a separate budget (occ_max_retries) with jittered backoff;
@@ -436,9 +478,7 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       // livelock guard. An exhausted budget counts toward the breaker and
       // watchdog exactly like an HTM abort storm.
       if (occ_retries_left_-- <= 0) {
-        exhausted_budget_ = true;
-        force_slow_ = true;
-        occ_fallback_ = true;
+        SetFlag(kFlagExhausted | kFlagForceSlow | kFlagOccFallback);
       } else {
         BackoffBeforeRetry();
       }
@@ -450,8 +490,7 @@ void OptiLock::HandleAbort(htm::AbortCode code) {
       // re-speculating so contenders de-synchronize instead of re-colliding
       // (the lemming cascade).
       if (conflict_retries_left_-- <= 0) {
-        exhausted_budget_ = true;
-        force_slow_ = true;
+        SetFlag(kFlagExhausted | kFlagForceSlow);
       } else {
         BackoffBeforeRetry();
       }
@@ -487,102 +526,25 @@ void OptiLock::BackoffBeforeRetry() {
 
 void OptiLock::AttemptLoop() {
   while (true) {
-    if (htm::InTx()) {
+    if (htm::InTx()) [[unlikely]] {
       // Already executing transactionally (nested transformed critical
       // section). Subsume into the enclosing transaction — RTM flattening —
       // and subscribe to this lock too. Taking a real lock inside a
       // transaction is never attempted.
       htm::TxBeginImpl(0, &env_);
       SubscribeOrAbort();
-      slow_path_ = false;
+      ClearFlag(kFlagSlowPath);
       return;
     }
-    if (force_slow_) {
+    if (HasFlag(kFlagForceSlow)) [[unlikely]] {
       TakeSlowPath();
       return;
     }
-    if (!decision_made_) {
-      decision_made_ = true;
-      if (cfg_.single_proc_bypass && gosync::MaxProcs() <= 1) {
-        // §5.4.2: with a single P there is no concurrency to exploit and
-        // HTM's begin/commit overhead is pure loss.
-        Bump(OptiStats::kSingleProcBypasses);
-        TakeSlowPath();
-        return;
+    if (!HasFlag(kFlagDecisionMade)) {
+      SetFlag(kFlagDecisionMade);
+      if (!DecideElide()) {
+        return;  // the decision already took the slow path
       }
-      indices_ = Perceptron::IndicesFor(target_, this);
-      // The episode clock only exists to denominate breaker/watchdog
-      // cooldowns: with both disabled (the default) no tick is claimed and
-      // the decision path touches no shared clock state at all.
-      const bool hardening =
-          cfg_.breaker_threshold > 0 || cfg_.watchdog_threshold > 0;
-      if (hardening) {
-        episode_now_ = NextEpisodeTick(cfg_.episode_clock_batch);
-        // Episode watchdog: during a declared abort storm every decision
-        // goes straight to the lock. Episodes already past this point (in a
-        // transaction or on the slow path) are untouched, so hot-degrading
-        // can never deadlock in-flight work.
-        if (cfg_.watchdog_threshold > 0 &&
-            episode_now_ <
-                g_slow_only_until.load(std::memory_order_relaxed)) {
-          Bump(OptiStats::kWatchdogBypasses);
-          TakeSlowPath();
-          return;
-        }
-      }
-      if (cfg_.use_perceptron) {
-        if (!g_perceptron.Predict(indices_)) {
-          Bump(OptiStats::kPerceptronSlowDecisions);
-          if (g_perceptron.NoteSlowDecision(indices_)) {
-            Bump(OptiStats::kPerceptronResets);
-          }
-          TakeSlowPath();
-          return;
-        }
-      }
-      // Circuit breaker, layered after the perceptron: it only ever sees
-      // episodes the perceptron was still willing to speculate on, so the
-      // paper's predictor statistics keep their semantics.
-      if (cfg_.breaker_threshold > 0) {
-        switch (g_breaker.Admit(indices_.mutex_cell, episode_now_,
-                                cfg_.breaker_threshold)) {
-          case BreakerDecision::kOpen:
-            Bump(OptiStats::kBreakerShortCircuits);
-            TakeSlowPath();
-            return;
-          case BreakerDecision::kReprobe:
-            Bump(OptiStats::kBreakerReprobes);
-            // A cooldown just expired for this cell — the one moment the
-            // runtime revisits a latched verdict. If the global backend is
-            // RTM, re-run the hardware probe too: TSX vanishing mid-run
-            // (microcode update, VM migration) would otherwise feed every
-            // re-probe to dead hardware forever. On a failed probe the
-            // process demotes to sw-OCC and this episode speculates there.
-            if (htm::ReprobeRtmHealth()) {
-              Bump(OptiStats::kRtmDemotions);
-            }
-            break;
-          case BreakerDecision::kClosed:
-            break;
-        }
-      }
-      // Pin this thread's Tx dispatch to the backend chosen now, so every
-      // substrate call of the episode — begin, loads, the commit in
-      // FastUnlock, flat-nested sections — lands on one backend even if the
-      // global switches mid-episode (RTM demotion). One TLS store here, one
-      // in ResetEpisode; Tx ops pay a guard-free TLS load they already
-      // paid for the context pointer.
-      if (!htm::ThreadBackendPinned()) {
-        htm::PinThreadBackend(htm::ActiveBackend());
-        backend_pinned_ = true;
-      }
-      if (htm::CurrentBackend() == htm::Backend::kSwOcc && !SwOccEligible()) {
-        // sw-OCC cannot soundly elide this target (RWMutex write section or
-        // untracked mutex); the lock is the correct degradation.
-        TakeSlowPath();
-        return;
-      }
-      predicted_htm_ = true;
     }
 
     // Wait for the elided lock to become available before starting the
@@ -593,20 +555,159 @@ void OptiLock::AttemptLoop() {
 
     Bump(OptiStats::kHtmAttempts);
     htm::BeginStatus status = htm::TxBeginImpl(0, &env_);
-    if (!status.started) {
+    if (!status.started) [[unlikely]] {
       // The RTM backend reports aborts by re-returning here; SimTM reports
       // them through the setjmp checkpoint instead (FastLockStep).
       HandleAbort(status.abort_code);
       continue;
     }
     SubscribeOrAbort();
-    slow_path_ = false;
+    ClearFlag(kFlagSlowPath);
     return;
   }
 }
 
+bool OptiLock::DecideElide() {
+  if (cfg_.single_proc_bypass && gosync::MaxProcs() <= 1) [[unlikely]] {
+    // §5.4.2: with a single P there is no concurrency to exploit and
+    // HTM's begin/commit overhead is pure loss.
+    Bump(OptiStats::kSingleProcBypasses);
+    TakeSlowPath();
+    return false;
+  }
+  indices_ = Perceptron::IndicesFor(target_, this);
+  // The episode clock only exists to denominate breaker/watchdog
+  // cooldowns: with both disabled (the default) no tick is claimed and
+  // the decision path touches no shared clock state at all.
+  const bool hardening =
+      cfg_.breaker_threshold > 0 || cfg_.watchdog_threshold > 0;
+
+  // Per-site decision cache (site_cache.h): while hardening is off — its
+  // admission checks must run every episode — the steady-state decision is
+  // one epoch-tagged load. Both cached paths reproduce the uncached
+  // counter and training semantics exactly: a cached lock verdict keeps
+  // feeding the slow-streak decay, a cached elide verdict still attempts,
+  // subscribes, and validates a real transaction (and its commit still
+  // rewards the perceptron), so the cache can cost at most one wasted
+  // attempt, never soundness.
+  if (cfg_.site_cache && !hardening) [[likely]] {
+    const SiteCache::Decision d =
+        g_site_cache.Lookup(indices_.mutex_cell, cache_epoch_);
+    if (d.verdict == SiteCache::kElide &&
+        d.backend == static_cast<uint32_t>(htm::ActiveBackend()))
+        [[likely]] {
+      Bump(OptiStats::kSiteCacheHits);
+      if (!htm::ThreadBackendPinned()) {
+        htm::PinThreadBackend(htm::ActiveBackend());
+        SetFlag(kFlagBackendPinned);
+      }
+      if (htm::CurrentBackend() == htm::Backend::kSwOcc &&
+          !SwOccEligible()) [[unlikely]] {
+        // A hash collision can alias an ineligible site onto an elide
+        // cell; SubscribeOrAbort's explicit-abort backstop would keep this
+        // sound, but degrading here skips the abort detour.
+        TakeSlowPath();
+        return false;
+      }
+      SetFlag(kFlagPredictedHtm | kFlagSiteCacheHit);
+      return true;
+    }
+    if (d.verdict == SiteCache::kLock) {
+      // Cached pessimistic verdict: skip the dot-product but keep the
+      // slow-decision cadence — the streak decay is the path by which a
+      // site whose contention went away earns back its elision.
+      Bump(OptiStats::kSiteCacheHits);
+      Bump(OptiStats::kPerceptronSlowDecisions);
+      if (g_perceptron.NoteSlowDecision(indices_)) {
+        Bump(OptiStats::kPerceptronResets);
+        if (g_site_cache.Invalidate(indices_.mutex_cell)) {
+          Bump(OptiStats::kSiteCacheInvalidations);
+        }
+      }
+      TakeSlowPath();
+      return false;
+    }
+  }
+
+  if (hardening) [[unlikely]] {
+    episode_now_ = NextEpisodeTick(cfg_.episode_clock_batch);
+    // Episode watchdog: during a declared abort storm every decision
+    // goes straight to the lock. Episodes already past this point (in a
+    // transaction or on the slow path) are untouched, so hot-degrading
+    // can never deadlock in-flight work.
+    if (cfg_.watchdog_threshold > 0 &&
+        episode_now_ < g_slow_only_until.load(std::memory_order_relaxed)) {
+      Bump(OptiStats::kWatchdogBypasses);
+      TakeSlowPath();
+      return false;
+    }
+  }
+  if (cfg_.use_perceptron) {
+    if (!g_perceptron.Predict(indices_)) {
+      Bump(OptiStats::kPerceptronSlowDecisions);
+      if (g_perceptron.NoteSlowDecision(indices_)) {
+        Bump(OptiStats::kPerceptronResets);
+      } else if (cfg_.site_cache && !hardening) {
+        // Memoize the pessimistic verdict — but not when the decay just
+        // reset the cell's weights, so the next episode re-probes elision
+        // exactly like the uncached flow.
+        g_site_cache.Install(indices_.mutex_cell, cache_epoch_,
+                             SiteCache::kLock, 0);
+        Bump(OptiStats::kSiteCacheInstalls);
+      }
+      TakeSlowPath();
+      return false;
+    }
+  }
+  // Circuit breaker, layered after the perceptron: it only ever sees
+  // episodes the perceptron was still willing to speculate on, so the
+  // paper's predictor statistics keep their semantics.
+  if (cfg_.breaker_threshold > 0) [[unlikely]] {
+    switch (g_breaker.Admit(indices_.mutex_cell, episode_now_,
+                            cfg_.breaker_threshold)) {
+      case BreakerDecision::kOpen:
+        Bump(OptiStats::kBreakerShortCircuits);
+        TakeSlowPath();
+        return false;
+      case BreakerDecision::kReprobe:
+        Bump(OptiStats::kBreakerReprobes);
+        // A cooldown just expired for this cell — the one moment the
+        // runtime revisits a latched verdict. If the global backend is
+        // RTM, re-run the hardware probe too: TSX vanishing mid-run
+        // (microcode update, VM migration) would otherwise feed every
+        // re-probe to dead hardware forever. On a failed probe the
+        // process demotes to sw-OCC and this episode speculates there.
+        if (htm::ReprobeRtmHealth()) {
+          Bump(OptiStats::kRtmDemotions);
+          g_site_cache.BumpEpoch();
+        }
+        break;
+      case BreakerDecision::kClosed:
+        break;
+    }
+  }
+  // Pin this thread's Tx dispatch to the backend chosen now, so every
+  // substrate call of the episode — begin, loads, the commit in
+  // FastUnlock, flat-nested sections — lands on one backend even if the
+  // global switches mid-episode (RTM demotion). One TLS store here, one
+  // in ResetEpisode; Tx ops pay a guard-free TLS load they already
+  // paid for the context pointer.
+  if (!htm::ThreadBackendPinned()) {
+    htm::PinThreadBackend(htm::ActiveBackend());
+    SetFlag(kFlagBackendPinned);
+  }
+  if (htm::CurrentBackend() == htm::Backend::kSwOcc && !SwOccEligible()) {
+    // sw-OCC cannot soundly elide this target (RWMutex write section or
+    // untracked mutex); the lock is the correct degradation.
+    TakeSlowPath();
+    return false;
+  }
+  SetFlag(kFlagPredictedHtm);
+  return true;
+}
+
 void OptiLock::TakeSlowPath() {
-  slow_path_ = true;
+  SetFlag(kFlagSlowPath);
   Bump(OptiStats::kSlowAcquires);
   switch (kind_) {
     case Target::kMutex:
@@ -668,22 +769,28 @@ void OptiLock::SubscribeOrAbort() {
   }
   switch (kind_) {
     case Target::kMutex: {
-      uint64_t state = htm::TxSubscribe(AsMutex()->StateWord());
-      if ((state & gosync::Mutex::kLockedBit) != 0) {
+      // Inline-stripe subscription: the lock word and the version stripe
+      // its transitions bump share one cache line, so the opening read of
+      // every elided section skips the global stripe-table hash + probe.
+      uint64_t state = htm::TxSubscribeAt(AsMutex()->StateWord(),
+                                          AsMutex()->SubscriptionStripe());
+      if ((state & gosync::Mutex::kLockedBit) != 0) [[unlikely]] {
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
       return;
     }
     case Target::kRWRead: {
-      auto readers = static_cast<int64_t>(htm::TxSubscribe(AsRW()->ReaderCountWord()));
-      if (readers < 0) {  // writer pending or active
+      auto readers = static_cast<int64_t>(htm::TxSubscribeAt(
+          AsRW()->ReaderCountWord(), AsRW()->SubscriptionStripe()));
+      if (readers < 0) [[unlikely]] {  // writer pending or active
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
       return;
     }
     case Target::kRWWrite: {
-      auto readers = static_cast<int64_t>(htm::TxSubscribe(AsRW()->ReaderCountWord()));
-      if (readers != 0) {  // active readers or a writer
+      auto readers = static_cast<int64_t>(htm::TxSubscribeAt(
+          AsRW()->ReaderCountWord(), AsRW()->SubscriptionStripe()));
+      if (readers != 0) [[unlikely]] {  // active readers or a writer
         htm::TxAbort(htm::AbortCode::kLockHeld);
       }
       return;
@@ -709,11 +816,11 @@ bool OptiLock::TargetHeld() const {
 }
 
 void OptiLock::FinishFastEpisode() {
-  if (htm::InTx()) {
+  if (htm::InTx()) [[unlikely]] {
     // Inner commit of a nested elision: defer bookkeeping to the outermost
     // commit (and keep perceptron updates outside the transaction).
     Bump(OptiStats::kNestedFastCommits);
-    if (cfg_.trace_episodes) {
+    if (cfg_.trace_episodes) [[unlikely]] {
       // Recording inside the enclosing transaction is safe: ring writes are
       // this thread's own line, so they add no conflict footprint beyond the
       // stat bump above, and if the outer transaction aborts the event rolls
@@ -723,22 +830,35 @@ void OptiLock::FinishFastEpisode() {
     }
   } else {
     Bump(OptiStats::kFastCommits);
-    if (predicted_htm_) {
+    if (HasFlag(kFlagPredictedHtm)) [[likely]] {
       if (cfg_.use_perceptron) {
         g_perceptron.RewardHtm(indices_);
       }
-      if (cfg_.breaker_threshold > 0) {
-        g_breaker.RecordSuccess(indices_.mutex_cell);
-      }
-      // Any fast commit ends a storm streak: aborts are flowing again.
-      // Only the watchdog reads the streak, and a redundant store of 0
-      // would dirty a shared line on every commit, so check first.
-      if (cfg_.watchdog_threshold > 0 &&
-          g_storm_streak.load(std::memory_order_relaxed) != 0) {
-        g_storm_streak.store(0, std::memory_order_relaxed);
+      const bool hardening =
+          cfg_.breaker_threshold > 0 || cfg_.watchdog_threshold > 0;
+      if (hardening) [[unlikely]] {
+        if (cfg_.breaker_threshold > 0) {
+          g_breaker.RecordSuccess(indices_.mutex_cell);
+        }
+        // Any fast commit ends a storm streak: aborts are flowing again.
+        // Only the watchdog reads the streak, and a redundant store of 0
+        // would dirty a shared line on every commit, so check first.
+        if (cfg_.watchdog_threshold > 0 &&
+            g_storm_streak.load(std::memory_order_relaxed) != 0) {
+          g_storm_streak.store(0, std::memory_order_relaxed);
+        }
+      } else if (cfg_.site_cache && !HasFlag(kFlagSiteCacheHit)) {
+        // A committed speculation is the proof an elide verdict wants:
+        // memoize it for this site under the episode's epoch. Hits never
+        // re-install (the cell already says exactly this), so the steady
+        // state writes nothing.
+        g_site_cache.Install(indices_.mutex_cell, cache_epoch_,
+                             SiteCache::kElide,
+                             static_cast<uint32_t>(htm::CurrentBackend()));
+        Bump(OptiStats::kSiteCacheInstalls);
       }
     }
-    if (cfg_.trace_episodes) {
+    if (cfg_.trace_episodes) [[unlikely]] {
       RecordEpisodeTrace(obs::Outcome::kFastCommit);
     }
   }
@@ -746,12 +866,22 @@ void OptiLock::FinishFastEpisode() {
 }
 
 void OptiLock::FinishSlowEpisode() {
-  if (predicted_htm_ && cfg_.use_perceptron) {
-    // The perceptron said HTM but the episode ended on the lock: penalize
-    // (Listing 19: "if htm fails, decrease perceptron weights").
-    g_perceptron.PenalizeHtm(indices_);
+  if (HasFlag(kFlagPredictedHtm)) {
+    if (cfg_.use_perceptron) {
+      // The perceptron said HTM but the episode ended on the lock: penalize
+      // (Listing 19: "if htm fails, decrease perceptron weights").
+      g_perceptron.PenalizeHtm(indices_);
+    }
+    if (cfg_.site_cache) {
+      // The elide verdict (cached or fresh) failed: evict the cell so the
+      // next episode re-derives its decision against the newly-penalized
+      // weights instead of replaying a prediction the world just refuted.
+      if (g_site_cache.Invalidate(indices_.mutex_cell)) {
+        Bump(OptiStats::kSiteCacheInvalidations);
+      }
+    }
   }
-  if (predicted_htm_ && exhausted_budget_) {
+  if (HasFlag(kFlagPredictedHtm) && HasFlag(kFlagExhausted)) {
     // The episode burned its whole retry budget on aborts — the outcome the
     // breaker quarantines per pair and the watchdog aggregates per process.
     if (cfg_.breaker_threshold > 0 &&
@@ -769,6 +899,9 @@ void OptiLock::FinishSlowEpisode() {
             episode_now_ + cfg_.watchdog_cooldown_episodes,
             std::memory_order_relaxed);
         Bump(OptiStats::kWatchdogTrips);
+        // A tripped watchdog means every cached verdict was learned in a
+        // regime that just declared a storm; retire them all.
+        g_site_cache.BumpEpoch();
         // A process-wide storm is also the signature of RTM dying mid-run;
         // re-probe the latched hardware verdict and demote to sw-OCC if the
         // transactions really stopped committing.
@@ -778,12 +911,12 @@ void OptiLock::FinishSlowEpisode() {
       }
     }
   }
-  if (occ_fallback_) {
+  if (HasFlag(kFlagOccFallback)) {
     Bump(OptiStats::kOccFallbacks);
   }
   if (cfg_.trace_episodes) {
-    RecordEpisodeTrace(occ_fallback_ ? obs::Outcome::kOccFallback
-                                     : obs::Outcome::kSlowAcquire);
+    RecordEpisodeTrace(HasFlag(kFlagOccFallback) ? obs::Outcome::kOccFallback
+                                                 : obs::Outcome::kSlowAcquire);
   }
   ResetEpisode();
 }
@@ -799,23 +932,24 @@ void OptiLock::RecordEpisodeTrace(obs::Outcome outcome) {
 }
 
 void OptiLock::ResetEpisode() {
-  if (backend_pinned_ && !htm::InTx()) {
-    // Outermost episode is done and its substrate is quiescent: let the
-    // thread's next Tx op follow the (possibly demoted) global backend
-    // again. Nested episodes never set backend_pinned_, so a pin always
-    // outlives the whole flattened nest.
-    htm::UnpinThreadBackend();
-    backend_pinned_ = false;
+  uint32_t keep = 0;
+  if (HasFlag(kFlagBackendPinned)) {
+    if (!htm::InTx()) {
+      // Outermost episode is done and its substrate is quiescent: let the
+      // thread's next Tx op follow the (possibly demoted) global backend
+      // again. Nested episodes never pin, so a pin always outlives the
+      // whole flattened nest.
+      htm::UnpinThreadBackend();
+    } else {
+      // Still inside the (cancelled-later / enclosing) transaction: the pin
+      // must survive until the outermost episode resets.
+      keep = kFlagBackendPinned;
+    }
   }
   target_ = nullptr;
   kind_ = Target::kNone;
   owner_ = nullptr;
-  slow_path_ = false;
-  force_slow_ = false;
-  decision_made_ = false;
-  predicted_htm_ = false;
-  exhausted_budget_ = false;
-  occ_fallback_ = false;
+  flags_ = keep;
   backoff_exponent_ = 0;
   episode_now_ = 0;
 }
@@ -883,7 +1017,7 @@ void OptiLock::AbandonEpisode() noexcept {
   if (kind_ == Target::kNone) {
     return;  // no episode in flight — safe to call from shared cleanup
   }
-  if (slow_path_) {
+  if (HasFlag(kFlagSlowPath)) {
     // Release the lock in the mode the episode actually acquired.
     switch (kind_) {
       case Target::kMutex:
@@ -924,7 +1058,7 @@ void OptiLock::AbandonEpisode() noexcept {
 }
 
 void OptiLock::FastUnlock(gosync::Mutex* m) {
-  if (slow_path_) {
+  if (HasFlag(kFlagSlowPath)) [[unlikely]] {
     if (owner_ != ThreadAnchor()) {
       // Foreign-thread release of a slow-path episode: the unlock itself is
       // Go's legal handoff, but the episode bookkeeping was another
@@ -948,7 +1082,7 @@ void OptiLock::FastUnlock(gosync::Mutex* m) {
 }
 
 void OptiLock::FastRUnlock(gosync::RWMutex* m) {
-  if (slow_path_) {
+  if (HasFlag(kFlagSlowPath)) [[unlikely]] {
     if (owner_ != ThreadAnchor()) {
       support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
                             cfg_.misuse_policy, this,
@@ -976,7 +1110,7 @@ void OptiLock::FastRUnlock(gosync::RWMutex* m) {
 }
 
 void OptiLock::FastWUnlock(gosync::RWMutex* m) {
-  if (slow_path_) {
+  if (HasFlag(kFlagSlowPath)) [[unlikely]] {
     if (owner_ != ThreadAnchor()) {
       support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
                             cfg_.misuse_policy, this,

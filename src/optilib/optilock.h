@@ -55,6 +55,17 @@ struct OptiConfig {
   bool use_perceptron = true;
   // Skip HTM entirely when GOMAXPROCS==1 (§5.4.2).
   bool single_proc_bypass = true;
+  // Per-site inline decision cache (site_cache.h, DESIGN.md §4.11): while
+  // the breaker and watchdog are off, a committed elide decision is
+  // memoized per call-site cell and the next episode's decision is one
+  // epoch-tagged load instead of the perceptron dot-product. Any config
+  // publish/reclaim, watchdog trip, or RTM demotion bumps the decision
+  // epoch, invalidating every cell in O(1). Perceptron training and every
+  // existing counter keep their exact uncached semantics (cached-lock
+  // verdicts still feed the slow-streak decay; commits still reward).
+  // GOCC_SITE_CACHE overrides the default (on).
+  bool site_cache = DefaultSiteCache();
+  static bool DefaultSiteCache();
   // Retries after a LockHeld abort (Listing 19's MAX_ATTEMPTS).
   int max_attempts = 3;
   // Extra retries after conflict/capacity/spurious aborts (paper: 0 — any
@@ -176,6 +187,9 @@ struct OptiStats {
     kUnwindSlowUnlocks,  // slow-path episodes unlocked by exception unwind
     kOccFallbacks,       // sw-OCC validation-retry budgets exhausted
     kRtmDemotions,       // RTM re-probes that demoted the global backend
+    kSiteCacheHits,      // decisions served from a cached per-site verdict
+    kSiteCacheInstalls,  // verdicts (re-)memoized into a site cell
+    kSiteCacheInvalidations,  // cells evicted by a failed elide / decay
     kEpisodeAbortsBase,  // + htm::AbortCode, kNumAbortCodes slots
     kNumSlots = kEpisodeAbortsBase + htm::kNumAbortCodes,
   };
@@ -220,6 +234,13 @@ struct OptiStats {
   support::ShardedCounter occ_fallbacks;
   support::ShardedCounter rtm_demotions;
 
+  // Per-site decision-cache observability (§4.11): hits are decisions that
+  // skipped the perceptron consult entirely; installs and invalidations
+  // bound how often cells churn (steady state: hits >> installs).
+  support::ShardedCounter site_cache_hits;
+  support::ShardedCounter site_cache_installs;
+  support::ShardedCounter site_cache_invalidations;
+
   uint64_t EpisodeAborts(htm::AbortCode code) const {
     return episode_aborts[static_cast<int>(code)].load(
         std::memory_order_relaxed);
@@ -252,6 +273,15 @@ void ResetHardeningState();
 // (test/bench observability; threads may hold claimed-but-unused ticks
 // below it, bounded by threads * episode_clock_batch).
 uint64_t EpisodeClockFrontier();
+
+// O(1) invalidation of every per-site cached decision (epoch bump). Called
+// internally by PublishOptiConfig, MutableOptiConfig, watchdog trips, RTM
+// demotions, and ResetHardeningState; exposed for tests and for external
+// reconfiguration that bypasses those paths.
+void InvalidateSiteDecisionCaches();
+
+// The current decision epoch (monotone, starts at 1; test observability).
+uint64_t SiteDecisionCacheEpoch();
 
 class OptiLock {
  public:
@@ -306,7 +336,7 @@ class OptiLock {
   void AbandonEpisode() noexcept;
 
   // True when the current episode fell back to the original lock.
-  bool on_slow_path() const { return slow_path_; }
+  bool on_slow_path() const { return HasFlag(kFlagSlowPath); }
 
   // --- implementation hooks for the OPTI_FAST_* macros (not public API) ---
   std::jmp_buf& CheckpointEnv() { return env_; }
@@ -323,6 +353,10 @@ class OptiLock {
 
   void PrepareCommon();
   void AttemptLoop();
+  // The first-attempt decision sequence (single-proc bypass, site cache,
+  // watchdog, perceptron, breaker, backend pin). Returns true when the
+  // episode should speculate; false when it already took the slow path.
+  bool DecideElide();
   void HandleAbort(htm::AbortCode code);
   // Cold path behind the unlock-side misuse/mismatch test: classifies the
   // failure (unpaired, cross-thread, wrong target/mode) and applies the
@@ -370,28 +404,46 @@ class OptiLock {
   // cross-thread unlocks; best-effort, since an exited thread's slot can be
   // reused by a new thread.
   const void* owner_ = nullptr;
-  // The paper's OptiLock fields: slowPath and lkMutex (target_ doubles as
-  // lkMutex; the mismatch check compares against it).
-  bool slow_path_ = false;
-  bool force_slow_ = false;
-  bool decision_made_ = false;
-  bool predicted_htm_ = false;
+  // Episode state booleans, fused into one flags word so the committed-
+  // uncontended trajectory resets and tests them with single-word ops and
+  // the guards they feed compile to predicted-not-taken branches off one
+  // register (§4.11).
+  //
+  //  kFlagSlowPath       the paper's slowPath field: the episode fell back
+  //                      to the original lock (target_ doubles as lkMutex)
+  //  kFlagForceSlow      a mismatch/exhausted budget pinned this episode
+  //                      to the slow path
+  //  kFlagDecisionMade   the first-attempt decision sequence already ran
+  //  kFlagPredictedHtm   the decision was to speculate (trains on finish)
+  //  kFlagExhausted      the retry budget was exhausted by aborts — the
+  //                      outcome the breaker and watchdog count (mismatch
+  //                      and perceptron-directed fallbacks are not storms)
+  //  kFlagOccFallback    a sw-OCC validation-retry budget ran dry; the slow
+  //                      acquire is reported as obs::Outcome::kOccFallback
+  //  kFlagBackendPinned  this episode pinned the thread's Tx dispatch to
+  //                      the backend chosen at decision time; the outermost
+  //                      episode unpins in ResetEpisode once quiescent
+  //  kFlagSiteCacheHit   the decision was served from the per-site cache
+  //                      (a commit then skips the redundant re-install)
+  static constexpr uint32_t kFlagSlowPath = 1u << 0;
+  static constexpr uint32_t kFlagForceSlow = 1u << 1;
+  static constexpr uint32_t kFlagDecisionMade = 1u << 2;
+  static constexpr uint32_t kFlagPredictedHtm = 1u << 3;
+  static constexpr uint32_t kFlagExhausted = 1u << 4;
+  static constexpr uint32_t kFlagOccFallback = 1u << 5;
+  static constexpr uint32_t kFlagBackendPinned = 1u << 6;
+  static constexpr uint32_t kFlagSiteCacheHit = 1u << 7;
+
+  bool HasFlag(uint32_t f) const { return (flags_ & f) != 0; }
+  void SetFlag(uint32_t f) { flags_ |= f; }
+  void ClearFlag(uint32_t f) { flags_ &= ~f; }
+
+  uint32_t flags_ = 0;
   // Thread abort epoch recorded when the episode was established; a
   // mismatch at the next FastLock distinguishes episode state stranded by a
   // flat-nesting abort (normal re-execution) from double-FastLock misuse
   // (see PrepareCommon).
   uint64_t abort_epoch_ = 0;
-  // True once this episode's retry budget was exhausted by aborts — the
-  // outcome the breaker and watchdog count (mismatch and perceptron-directed
-  // fallbacks are not storms).
-  bool exhausted_budget_ = false;
-  // True once a sw-OCC validation-retry budget ran dry this episode — the
-  // slow acquire is then reported as obs::Outcome::kOccFallback.
-  bool occ_fallback_ = false;
-  // True when this episode pinned the calling thread's Tx dispatch to the
-  // backend chosen at decision time (htm::PinThreadBackend); the outermost
-  // episode unpins in ResetEpisode once the substrate is quiescent.
-  bool backend_pinned_ = false;
   int attempts_left_ = 0;
   int conflict_retries_left_ = 0;
   int occ_retries_left_ = 0;
@@ -408,9 +460,21 @@ class OptiLock {
   uint32_t obs_retries_ = 0;
   htm::AbortCode obs_last_abort_ = htm::AbortCode::kNone;
   Perceptron::Indices indices_{0, 0};
+  // Decision epoch observed at episode start: keys this episode's site-
+  // cache lookups and installs (a concurrent bump makes both dead, never
+  // wrong).
+  uint64_t cache_epoch_ = 0;
+  // Epoch the cfg_ snapshot below was copied under, published mode only
+  // (0 = direct-mode snapshot, never reusable: the caller may hold the
+  // mutable reference and edit fields between episodes).
+  uint64_t cfg_epoch_ = 0;
   // Config snapshot taken once in PrepareCommon: the episode's decisions
   // all read this copy, so a concurrent config edit can never be observed
   // half-applied within one episode (and the hot path re-reads no globals).
+  // In published mode the copy is skipped while the decision epoch is
+  // unchanged — the OptiLock objects real workloads use are long-lived
+  // (thread_local per site), so the ~9-word seqlock copy amortizes to one
+  // epoch compare per episode.
   OptiConfig cfg_;
 };
 
