@@ -137,42 +137,19 @@ std::function<void(gopool::PB&)> MakeBody(Mode mode, bool empty_cs,
   };
 }
 
-// Percentile-pass body: same per-op work as MakeBody, but batches of
-// kLatencyBatch ops are bracketed by steady_clock reads and the batch mean
-// lands in the claiming thread's histogram. The clock read amortizes to
-// ~1 ns/op and — crucially — is paid identically by every mode, so it
-// cancels out of every overhead *difference* derived from this pass.
-constexpr int kLatencyBatch = 32;
-
+// Percentile-pass body: same per-op work as MakeBody, batch-timed through
+// the shared BatchTimedLoop helper (bench_util.h) into the claiming
+// thread's histogram from the shared PercentileRecorder.
 std::function<void(gopool::PB&)> MakeLatencyBody(
     Mode mode, bool empty_cs, std::vector<Slot>* slots,
-    std::atomic<uint32_t>* next_slot,
-    std::vector<support::LatencyHistogram>* hists) {
-  return [mode, empty_cs, slots, next_slot, hists](gopool::PB& pb) {
+    std::atomic<uint32_t>* next_slot, PercentileRecorder* recorder) {
+  return [mode, empty_cs, slots, next_slot, recorder](gopool::PB& pb) {
     const uint32_t idx =
         next_slot->fetch_add(1, std::memory_order_relaxed);
     Slot& slot = (*slots)[idx % slots->size()];
-    support::LatencyHistogram& hist = (*hists)[idx % hists->size()];
+    support::LatencyHistogram& hist = recorder->Claim();
     optilib::OptiLock ol;
-    auto run = [&](auto&& one_op) {
-      for (;;) {
-        const auto t0 = std::chrono::steady_clock::now();
-        int done = 0;
-        for (; done < kLatencyBatch && pb.Next(); ++done) {
-          one_op();
-        }
-        const auto t1 = std::chrono::steady_clock::now();
-        if (done > 0) {
-          const uint64_t ns = static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                  .count());
-          hist.Record(ns / static_cast<uint64_t>(done));
-        }
-        if (done < kLatencyBatch) {
-          return;
-        }
-      }
-    };
+    auto run = [&](auto&& one_op) { BatchTimedLoop(pb, &hist, one_op); };
     if (mode == Mode::kLock) {
       if (empty_cs) {
         run([&] {
@@ -292,18 +269,14 @@ int main(int argc, char** argv) {
         // Percentile pass: same work, batch-timed into per-thread
         // histograms (merged below). Kept separate so the ns/op numbers
         // above never carry the clock reads.
-        auto hists = std::make_unique<
-            std::vector<gocc::support::LatencyHistogram>>(max_threads);
+        PercentileRecorder recorder(max_threads);
         next_slot.store(0);
         auto lat_body = MakeLatencyBody(mode, empty_cs, slots.get(),
-                                        &next_slot, hists.get());
+                                        &next_slot, &recorder);
         gocc::gopool::RunParallel(threads, window / 2, lat_body);
-        gocc::support::LatencyHistogram merged;
-        for (const auto& h : *hists) {
-          merged.Merge(h);
-        }
-        const double p50 = merged.P50();
-        const double p99 = merged.P99();
+        const LatencySummary lat = recorder.Summarize();
+        const double p50 = lat.p50_ns;
+        const double p99 = lat.p99_ns;
 
         const char* cs = empty_cs ? "empty" : "counter";
         std::printf("  %-10s %-9s %8d %12.2f %12.1f %12.1f %14.0f\n", cs,
@@ -320,8 +293,7 @@ int main(int argc, char** argv) {
         rec.ns_per_op = best.ns_per_op;
         rec.ops_per_sec = best.ns_per_op > 0 ? 1e9 / best.ns_per_op : 0.0;
         rec.total_ops = best.total_ops;
-        rec.p50_ns = p50;
-        rec.p99_ns = p99;
+        PercentileRecorder::Fill(lat, &rec);
         AppendRuntimeCounters(&rec.counters);
         report.Add(std::move(rec));
       }

@@ -133,6 +133,16 @@ void AppendRuntimeCounters(std::vector<std::pair<std::string, double>>* out) {
   add("tm_begins", ts.begins.load());
   add("tm_commits", ts.commits.load());
   add("tm_aborts", ts.TotalAborts());
+  // Multi-lock episode counters (only present once a bench ran WithLocks;
+  // omitted from the record when zero so single-lock baselines are
+  // byte-identical to their pre-multilock form).
+  if (uint64_t ep = os.multilock_episodes.load(); ep > 0) {
+    add("multilock_episodes", ep);
+    add("multilock_fast_commits", os.multilock_fast_commits.load());
+    add("multilock_slow_acquires", os.multilock_slow_acquires.load());
+    add("multilock_unattributed_aborts",
+        os.multilock_aborts_unattributed.load());
+  }
 }
 
 JsonReport::JsonReport(const std::string& bench_name) : name_(bench_name) {
@@ -189,6 +199,9 @@ JsonReport::~JsonReport() {
     if (r.p99_ns > 0.0) {
       out << ", \"p50_ns\": " << JsonNumber(r.p50_ns)
           << ", \"p99_ns\": " << JsonNumber(r.p99_ns);
+      if (r.p999_ns > 0.0) {
+        out << ", \"p999_ns\": " << JsonNumber(r.p999_ns);
+      }
     }
     if (!r.counters.empty()) {
       out << ", \"counters\": {";
@@ -228,6 +241,30 @@ void JsonReport::Add(JsonRecord record) {
 }
 
 JsonReport* JsonReport::Active() { return g_active_report; }
+
+LatencySummary PercentileRecorder::Summarize() const {
+  support::LatencyHistogram merged;
+  for (const auto& h : hists_) {
+    merged.Merge(h);
+  }
+  LatencySummary s;
+  s.samples = merged.TotalCount();
+  if (s.samples > 0) {
+    s.p50_ns = static_cast<double>(merged.P50());
+    s.p99_ns = static_cast<double>(merged.P99());
+    s.p999_ns = static_cast<double>(merged.P999());
+  }
+  return s;
+}
+
+void PercentileRecorder::Fill(const LatencySummary& s, JsonRecord* rec) {
+  if (s.samples == 0) {
+    return;
+  }
+  rec->p50_ns = s.p50_ns;
+  rec->p99_ns = s.p99_ns;
+  rec->p999_ns = s.p999_ns;
+}
 
 bool JsonLookupNumber(const std::string& text, const std::string& key,
                       double* out) {

@@ -17,6 +17,7 @@
 #ifndef GOCC_BENCH_BENCH_UTIL_H_
 #define GOCC_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -26,6 +27,7 @@
 
 #include "src/gopool/gopool.h"
 #include "src/sim/desim.h"
+#include "src/support/histogram.h"
 
 namespace gocc::bench {
 
@@ -65,6 +67,91 @@ void ResetRuntimeState();
 // Prints the accumulated optiLib and TM statistics for the section.
 void PrintRuntimeStats();
 
+// --- latency percentile helpers -------------------------------------------
+//
+// Shared by every benchmark that reports p50/p99/p999: batches of ops are
+// bracketed by steady_clock reads and the batch MEAN lands in a per-thread
+// histogram. Batch means smooth the extreme per-op tail (one cache miss is
+// absorbed across the batch) but keep the clock read off the measured path;
+// they answer "how stable is this path", not "what is the worst single op".
+// The clock cost amortizes to ~1 ns/op and is paid identically by every
+// mode, so it cancels out of any latency *difference* derived from a pass.
+
+// Default ops per timed batch. 32 keeps the clock amortization under
+// ~2 ns/op on a hot path while still giving a contended cell thousands of
+// samples per window.
+inline constexpr int kLatencyBatch = 32;
+
+struct JsonRecord;  // declared with the JSON machinery below
+
+// p50/p99/p999 snapshot of a merged histogram. samples == 0 means the pass
+// recorded nothing (percentile keys should then be omitted from reports).
+struct LatencySummary {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  uint64_t samples = 0;
+};
+
+// Owns one histogram per worker thread so Record() stays a plain
+// increment, then merges them into a LatencySummary after the threads
+// join. Claim() hands each calling thread a distinct histogram (wrapping
+// if more threads than slots claim one — matching the slot-claim idiom the
+// benches use). Reset() re-arms the recorder for the next cell.
+class PercentileRecorder {
+ public:
+  explicit PercentileRecorder(int max_threads)
+      : hists_(max_threads < 1 ? 1 : max_threads) {}
+
+  support::LatencyHistogram& Claim() {
+    return hists_[next_.fetch_add(1, std::memory_order_relaxed) %
+                  hists_.size()];
+  }
+
+  void Reset() {
+    for (auto& h : hists_) {
+      h.Reset();
+    }
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  LatencySummary Summarize() const;
+
+  // Stamps the percentile fields of a JsonRecord (leaves them 0 — i.e.
+  // omitted from the JSON — when the pass recorded no samples).
+  static void Fill(const LatencySummary& s, JsonRecord* rec);
+
+ private:
+  std::vector<support::LatencyHistogram> hists_;
+  std::atomic<uint32_t> next_{0};
+};
+
+// Runs `one_op` under the claiming thread's pace bound, timing batches of
+// `batch` ops and recording the batch mean into `hist`. Returns when the
+// pace bound is exhausted. This is the loop bench_overhead's percentile
+// pass pioneered, extracted so every bench batches identically.
+template <typename OneOp>
+void BatchTimedLoop(gopool::PB& pb, support::LatencyHistogram* hist,
+                    OneOp&& one_op, int batch = kLatencyBatch) {
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    int done = 0;
+    for (; done < batch && pb.Next(); ++done) {
+      one_op();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (done > 0) {
+      const uint64_t ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+      hist->Record(ns / static_cast<uint64_t>(done));
+    }
+    if (done < batch) {
+      return;
+    }
+  }
+}
+
 // --- machine-readable results (BENCH_<name>.json) -------------------------
 
 // One result cell. `counters` carries whatever observability numbers the
@@ -79,9 +166,11 @@ struct JsonRecord {
   uint64_t total_ops = 0;
   // Latency distribution (support/histogram.h), when the benchmark ran a
   // percentile pass; 0 means "not measured" and the keys are omitted from
-  // the JSON so old baselines diff cleanly.
+  // the JSON so old baselines diff cleanly. p999_ns rides along only when
+  // the pass recorded enough samples for the tail to mean anything.
   double p50_ns = 0.0;
   double p99_ns = 0.0;
+  double p999_ns = 0.0;
   std::vector<std::pair<std::string, double>> counters;
 };
 

@@ -128,7 +128,7 @@ void WorkerBody(SoakState& st, int wave, int index) {
         st.opts.throw_rate > 0 && rng.NextBool(st.opts.throw_rate);
     const uint64_t op = rng.NextBelow(100);
     try {
-      if (op < 55) {
+      if (op < 45) {
         // Plain mutex increment. The throw sits BEFORE the write so a
         // thrown episode contributes nothing on either path: the fast path
         // rolls back, the slow path never wrote.
@@ -140,7 +140,7 @@ void WorkerBody(SoakState& st, int wave, int index) {
           st.cells[j].value.Add(1);
         });
         ++successes;
-      } else if (op < 70) {
+      } else if (op < 60) {
         // RW read episode (no contribution to the oracle sum).
         const uint64_t j = rng.NextBelow(st.opts.rwlocks);
         ol.WithRLock(&st.rwlocks[j], [&] {
@@ -149,7 +149,7 @@ void WorkerBody(SoakState& st, int wave, int index) {
           }
           sink ^= st.rw_cells[j].value.Load();
         });
-      } else if (op < 85) {
+      } else if (op < 75) {
         // RW write increment.
         const uint64_t j = rng.NextBelow(st.opts.rwlocks);
         ol.WithWLock(&st.rwlocks[j], [&] {
@@ -159,7 +159,7 @@ void WorkerBody(SoakState& st, int wave, int index) {
           st.rw_cells[j].value.Add(1);
         });
         ++successes;
-      } else if (op < 95 && st.opts.locks >= 2) {
+      } else if (op < 85 && st.opts.locks >= 2) {
         // Nested episodes over an index-ordered mutex pair (the slow path
         // takes real locks, so ordering prevents lock-order deadlock). All
         // throw points precede every write: the inner lambda throws before
@@ -183,6 +183,30 @@ void WorkerBody(SoakState& st, int wave, int index) {
           st.cells[lo].value.Add(1);
         });
         st.expected.fetch_add(2, std::memory_order_relaxed);
+      } else if (op < 95 && st.opts.locks >= 3) {
+        // Multi-lock episode over three distinct accounts. WithLocks sorts
+        // and dedupes internally and the slow fallback acquires in address
+        // order, so any index order here is deadlock-safe even against the
+        // index-ordered nested pairs above. The throw precedes every write,
+        // so a normal return means exactly three increments landed.
+        uint64_t idx[3];
+        idx[0] = rng.NextBelow(st.opts.locks);
+        idx[1] =
+            (idx[0] + 1 + rng.NextBelow(st.opts.locks - 1)) % st.opts.locks;
+        do {
+          idx[2] = rng.NextBelow(st.opts.locks);
+        } while (idx[2] == idx[0] || idx[2] == idx[1]);
+        gosync::Mutex* set[3] = {&st.mutexes[idx[0]], &st.mutexes[idx[1]],
+                                 &st.mutexes[idx[2]]};
+        ol.WithLocks(set, 3, [&] {
+          if (do_throw) {
+            throw SoakThrow{};
+          }
+          for (uint64_t j : idx) {
+            st.cells[j].value.Add(1);
+          }
+        });
+        st.expected.fetch_add(3, std::memory_order_relaxed);
       } else {
         // Read-only mutex episode.
         const uint64_t j = rng.NextBelow(st.opts.locks);
@@ -308,6 +332,10 @@ SoakReport RunSoak(const SoakOptions& options) {
     plan.WithRule(htm::fault::Site::kBegin, options.fault_rate / 2,
                   htm::AbortCode::kCapacity);
     plan.WithRule(htm::fault::Site::kStore, options.fault_rate / 4,
+                  htm::AbortCode::kConflict);
+    plan.WithRule(htm::fault::Site::kMultiLockSubscribe,
+                  options.fault_rate / 2, htm::AbortCode::kConflict);
+    plan.WithRule(htm::fault::Site::kMultiLockCommit, options.fault_rate / 4,
                   htm::AbortCode::kConflict);
     plan.WithStall(options.fault_rate, 32);
     htm::fault::Arm(plan);

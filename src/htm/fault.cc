@@ -110,6 +110,10 @@ const char* SiteName(Site site) {
       return "occ_validate";
     case Site::kOccPublish:
       return "occ_publish";
+    case Site::kMultiLockSubscribe:
+      return "multilock_subscribe";
+    case Site::kMultiLockCommit:
+      return "multilock_commit";
   }
   return "unknown";
 }

@@ -28,6 +28,15 @@
 //     occ words exclusive mid-commit (delayed-unlock fault, starving
 //     concurrent subscribers); an abort-code rule injects version skew (an
 //     extra version bump on release, exercising wraparound/ABA handling).
+//   * kMultiLockSubscribe — multi-lock episodes: checked once per *member*
+//     as the episode subscribes its lock set, so a fixed schedule with
+//     skip=k-1 forces a conflict on exactly the k-th lock of a set. The
+//     injected code aborts the transaction with the blamed member recorded,
+//     exercising the abort-attribution path.
+//   * kMultiLockCommit — multi-lock commit: the injected code aborts just
+//     before TxCommit would have validated, modelling a conflict that lands
+//     after every subscription succeeded (blame is then inferred, not
+//     recorded).
 //
 // The injector supports per-site Bernoulli probabilities (deterministic
 // per-thread SplitMix64 streams derived from the armed seed), per-thread
@@ -65,8 +74,10 @@ enum class Site : int {
   kLockTransition = 4,
   kOccValidate = 5,
   kOccPublish = 6,
+  kMultiLockSubscribe = 7,
+  kMultiLockCommit = 8,
 };
-inline constexpr int kNumSites = 7;
+inline constexpr int kNumSites = 9;
 
 // Human-readable site name.
 const char* SiteName(Site site);

@@ -1,12 +1,14 @@
 #include "src/optilib/optilock.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <type_traits>
 
 #include "src/gosync/runtime.h"
 #include "src/htm/config.h"
+#include "src/htm/fault.h"
 #include "src/htm/swocc.h"
 #include "src/obs/recorder.h"
 #include "src/obs/ticks.h"
@@ -78,6 +80,18 @@ SiteCache g_site_cache;
 // live threads.
 constinit thread_local char t_thread_anchor = 0;
 inline const void* ThreadAnchor() { return &t_thread_anchor; }
+
+// Lock-order-inversion watermark (DESIGN.md §4.12): while a multi-lock
+// episode on this thread holds its set pessimistically, the watermark is
+// the highest member address it acquired (in sorted order). Any further
+// slow-path acquisition of a *tracked* mutex below the watermark — a nested
+// FastLock that would take locks against the global address order — is the
+// lock-order-inversion misuse: the sorted fallback's deadlock-freedom
+// argument rests on every thread acquiring in one global order. Depth
+// counts in-flight slow-held multi-lock episodes so the check costs one
+// thread-local compare only when a set is actually held; zero otherwise.
+constinit thread_local uintptr_t t_lock_order_watermark = 0;
+constinit thread_local int t_lock_order_depth = 0;
 
 // Count of aborts delivered to this thread's episodes (a SimTM longjmp and
 // an RTM status re-return both land in HandleAbort). An episode records the
@@ -173,6 +187,17 @@ int OptiConfig::DefaultOccMaxRetries() {
   return kDefault;
 }
 
+int OptiConfig::DefaultMultilockSpeculateMax() {
+  // Resolved once per process. Default: speculate on any set the episode
+  // can hold (kMaxLockSet); the knob exists so deployments whose OLTP
+  // transactions conflict heavily can cap speculation at 2–3 locks without
+  // rebuilding. 0 sends every multi-lock episode to sorted 2PL.
+  static const int kDefault = static_cast<int>(support::EnvInt(
+      "GOCC_MULTILOCK_SPECULATE_MAX", OptiLock::kMaxLockSet, 0,
+      OptiLock::kMaxLockSet));
+  return kDefault;
+}
+
 OptiConfig& MutableOptiConfig() {
   // Reclaim direct mode: the caller is about to write the direct store,
   // which requires episode quiescence anyway, so no snapshot can be
@@ -235,7 +260,18 @@ OptiStats::OptiStats()
       rtm_demotions(&shards_, kRtmDemotions),
       site_cache_hits(&shards_, kSiteCacheHits),
       site_cache_installs(&shards_, kSiteCacheInstalls),
-      site_cache_invalidations(&shards_, kSiteCacheInvalidations) {
+      site_cache_invalidations(&shards_, kSiteCacheInvalidations),
+      multilock_episodes(&shards_, kMultiLockEpisodes),
+      multilock_fast_commits(&shards_, kMultiLockFastCommits),
+      multilock_slow_acquires(&shards_, kMultiLockSlowAcquires),
+      multilock_aborts_unattributed(&shards_, kMultiLockAbortsUnattributed) {
+  static_assert(kEpisodeAbortsBase ==
+                    kMultiLockAbortMemberBase + OptiLock::kMaxLockSet,
+                "per-member abort histogram sized to the set limit");
+  for (int i = 0; i < OptiLock::kMaxLockSet; ++i) {
+    multilock_abort_member[i] =
+        support::ShardedCounter(&shards_, kMultiLockAbortMemberBase + i);
+  }
   for (int i = 0; i < htm::kNumAbortCodes; ++i) {
     episode_aborts[i] =
         support::ShardedCounter(&shards_, kEpisodeAbortsBase + i);
@@ -304,6 +340,17 @@ std::string OptiStats::ToString() const {
           site_cache_installs.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           site_cache_invalidations.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      " multilock{episodes=%llu fast_commits=%llu slow_acquires=%llu "
+      "unattributed_aborts=%llu}",
+      static_cast<unsigned long long>(
+          multilock_episodes.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          multilock_fast_commits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          multilock_slow_acquires.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          multilock_aborts_unattributed.load(std::memory_order_relaxed)));
   out += StrFormat(
       " unwind{cancels=%llu slow_unlocks=%llu} misuse{%s}",
       static_cast<unsigned long long>(
@@ -425,6 +472,58 @@ void OptiLock::PrepareWrite(gosync::RWMutex* m) {
   kind_ = Target::kRWWrite;
 }
 
+void OptiLock::PrepareMutexSet(gosync::Mutex* const* mutexes, int count) {
+  if (count < 1 || count > kMaxLockSet) [[unlikely]] {
+    // Hard API contract (see kMaxLockSet): an oversized set cannot be
+    // recovered because there is nowhere to record what to release, and an
+    // empty set has no lock to pair the unlock with.
+    std::fprintf(stderr,
+                 "[gocc] WithLocks set size %d outside [1, %d] — aborting\n",
+                 count, kMaxLockSet);
+    std::abort();
+  }
+  PrepareCommon();
+  // Insertion-sort into ascending address order (sets are tiny), dropping
+  // duplicates: locking the same mutex twice in one episode must behave as
+  // locking it once — the slow path would self-deadlock otherwise, and the
+  // fast path would double-subscribe for no benefit.
+  int n = 0;
+  for (int i = 0; i < count; ++i) {
+    gosync::Mutex* m = mutexes[i];
+    int j = n;
+    while (j > 0 && set_[j - 1] > m) {
+      --j;
+    }
+    if (j > 0 && set_[j - 1] == m) {
+      continue;
+    }
+    for (int k = n; k > j; --k) {
+      set_[k] = set_[k - 1];
+    }
+    set_[j] = m;
+    ++n;
+  }
+  set_size_ = n;
+  if (n == 1) {
+    // One distinct lock: this IS a single-lock episode; take the exact
+    // single-lock trajectory (decision features, stats, unlock pairing all
+    // degrade to WithLock — FastUnlockSet routes through FastUnlock).
+    target_ = set_[0];
+    kind_ = Target::kMutex;
+    return;
+  }
+  target_ = set_[0];
+  kind_ = Target::kMutexSet;
+  blamed_member_ = -1;
+  Bump(OptiStats::kMultiLockEpisodes);
+  if (n > cfg_.multilock_speculate_max) {
+    // Admission gate: the set is wider than the deployment wants to
+    // speculate on. Straight to sorted 2PL, without training the
+    // perceptron (no prediction was made).
+    SetFlag(kFlagForceSlow);
+  }
+}
+
 void OptiLock::FastLockStep(int setjmp_code) {
   if (setjmp_code != 0) {
     HandleAbort(static_cast<htm::AbortCode>(setjmp_code));
@@ -439,6 +538,12 @@ void OptiLock::FastLockStep(int setjmp_code) {
 void OptiLock::HandleAbort(htm::AbortCode code) {
   ++t_abort_epoch;
   Bump(OptiStats::kEpisodeAbortsBase + static_cast<int>(code));
+  if (kind_ == Target::kMutexSet) [[unlikely]] {
+    // Abort attribution: name the member whose word killed the transaction
+    // (recorded by the subscription path, or inferred from which member's
+    // version moved) before the retry decision reuses the episode state.
+    AttributeSetAbort();
+  }
   // Trace bookkeeping: plain member writes, off the uncontended path by
   // construction (HandleAbort only runs after an abort).
   obs_last_abort_ = code;
@@ -575,7 +680,16 @@ bool OptiLock::DecideElide() {
     TakeSlowPath();
     return false;
   }
-  indices_ = Perceptron::IndicesFor(target_, this);
+  if (kind_ == Target::kMutexSet) [[unlikely]] {
+    // Per-lock-set features: combined member footprint + set size + site
+    // (perceptron.h IndicesForSet) — the controller learns per lock set,
+    // not per single site, so a hot 2-lock pairing and a cold 4-lock one
+    // through the same call site converge independently.
+    indices_ = Perceptron::IndicesForSet(
+        reinterpret_cast<const void* const*>(set_), set_size_, this);
+  } else {
+    indices_ = Perceptron::IndicesFor(target_, this);
+  }
   // The episode clock only exists to denominate breaker/watchdog
   // cooldowns: with both disabled (the default) no tick is claimed and
   // the decision path touches no shared clock state at all.
@@ -706,11 +820,31 @@ bool OptiLock::DecideElide() {
   return true;
 }
 
+namespace {
+// Lock-order-inversion detection (§4.12): fires when a slow-path acquire of
+// a tracked mutex dips below the watermark of a multi-lock set this thread
+// already holds pessimistically. One thread-local compare; the tracked
+// check runs only once an inversion is otherwise established.
+inline void CheckSlowLockOrder(gosync::Mutex* m,
+                               support::MisusePolicy policy) {
+  if (t_lock_order_depth > 0 &&
+      reinterpret_cast<uintptr_t>(m) < t_lock_order_watermark &&
+      m->elision_tracked()) [[unlikely]] {
+    support::ReportMisuse(support::MisuseKind::kLockOrderInversion, policy, m,
+                          "slow-acquire-below-held-multilock-watermark");
+  }
+}
+}  // namespace
+
 void OptiLock::TakeSlowPath() {
   SetFlag(kFlagSlowPath);
   Bump(OptiStats::kSlowAcquires);
   switch (kind_) {
     case Target::kMutex:
+      // Recovery for a detected inversion is to proceed in the requested
+      // order — the untransformed program's behaviour (the report is the
+      // value; refusing the lock would turn a latent bug into a new one).
+      CheckSlowLockOrder(AsMutex(), cfg_.misuse_policy);
       AsMutex()->Lock();
       return;
     case Target::kRWRead:
@@ -719,10 +853,41 @@ void OptiLock::TakeSlowPath() {
     case Target::kRWWrite:
       AsRW()->Lock();
       return;
+    case Target::kMutexSet:
+      AcquireSetSlow();
+      return;
     case Target::kNone:
       assert(false && "FastLock without a prepared target");
       return;
   }
+}
+
+void OptiLock::AcquireSetSlow() {
+  // Sorted 2PL fallback: members were sorted by address at Prepare, so all
+  // concurrent fallbacks (and every other sorted acquirer) agree on one
+  // global acquisition order — the cyclic-wait condition for deadlock can
+  // never form among them (DESIGN.md §4.12 carries the argument).
+  saved_watermark_ = t_lock_order_watermark;
+  for (int i = 0; i < set_size_; ++i) {
+    // Against the *outer* watermark: a nested set whose lowest member sits
+    // below an enclosing set's ceiling is a real inversion; members above
+    // it extend the order monotonically.
+    CheckSlowLockOrder(set_[i], cfg_.misuse_policy);
+    set_[i]->Lock();
+  }
+  const auto ceiling = reinterpret_cast<uintptr_t>(set_[set_size_ - 1]);
+  if (ceiling > t_lock_order_watermark) {
+    t_lock_order_watermark = ceiling;
+  }
+  ++t_lock_order_depth;
+}
+
+void OptiLock::ReleaseSetSlow() {
+  for (int i = set_size_ - 1; i >= 0; --i) {
+    set_[i]->Unlock();
+  }
+  t_lock_order_watermark = saved_watermark_;
+  --t_lock_order_depth;
 }
 
 bool OptiLock::SwOccEligible() const {
@@ -736,6 +901,15 @@ bool OptiLock::SwOccEligible() const {
       // invisible to an OCC writer's validation — a write elision could
       // publish mid-read-section. Forced pessimistic.
       return false;
+    case Target::kMutexSet:
+      // Every member must maintain its occ word; one untracked member
+      // would leave a hole in the validation set.
+      for (int i = 0; i < set_size_; ++i) {
+        if (!set_[i]->elision_tracked()) {
+          return false;
+        }
+      }
+      return true;
     case Target::kNone:
       return false;
   }
@@ -743,6 +917,10 @@ bool OptiLock::SwOccEligible() const {
 }
 
 void OptiLock::SubscribeOrAbort() {
+  if (kind_ == Target::kMutexSet) [[unlikely]] {
+    SubscribeSetOrAbort();
+    return;
+  }
   if (htm::CurrentBackend() == htm::Backend::kSwOcc) {
     // sw-OCC subscribes the mutex's versioned occ word instead of the Go
     // lock word: the gosync transitions bump it on every exclusive
@@ -795,9 +973,89 @@ void OptiLock::SubscribeOrAbort() {
       }
       return;
     }
+    case Target::kMutexSet:  // routed to SubscribeSetOrAbort above
     case Target::kNone:
       assert(false && "subscription without a prepared target");
       return;
+  }
+}
+
+void OptiLock::SubscribeSetOrAbort() {
+  // One transaction, N subscriptions, in sorted order — the same per-word
+  // protocol as the single-lock paths, repeated: any member's slow-path
+  // transition (stripe bump / occ-word acquisition) lands in this
+  // transaction's read set and defeats validation, so mutual exclusion
+  // holds against every member's other critical sections independently.
+  const bool swocc = htm::CurrentBackend() == htm::Backend::kSwOcc;
+  if (swocc && !SwOccEligible()) {
+    // Nested section subsumed into an enclosing sw-OCC transaction wants a
+    // set the backend cannot cover (untracked member). Same recovery as
+    // the single-lock case: abort the nest, degrade under the lock.
+    htm::TxAbort(htm::AbortCode::kExplicit);
+  }
+  blamed_member_ = -1;
+  set_subscribed_ = 0;
+  for (int i = 0; i < set_size_; ++i) {
+    gosync::Mutex* m = set_[i];
+    const htm::AbortCode injected =
+        htm::fault::MaybeInject(htm::fault::Site::kMultiLockSubscribe);
+    if (injected != htm::AbortCode::kNone) [[unlikely]] {
+      // Forced conflict on the i-th lock of the set (a schedule's skip
+      // count picks which member fires). Attribution is exact: the member
+      // is recorded before the abort unwinds to the checkpoint.
+      blamed_member_ = i;
+      htm::TxAbort(injected);
+    }
+    if (swocc) {
+      const uint64_t occ = htm::TxSubscribe(m->OccWord());
+      if (htm::OccUnavailable(occ)) {
+        blamed_member_ = i;
+        htm::TxAbort(htm::AbortCode::kLockHeld);
+      }
+      set_seen_[i] = occ;
+    } else {
+      const uint64_t state =
+          htm::TxSubscribeAt(m->StateWord(), m->SubscriptionStripe());
+      if ((state & gosync::Mutex::kLockedBit) != 0) [[unlikely]] {
+        blamed_member_ = i;
+        htm::TxAbort(htm::AbortCode::kLockHeld);
+      }
+      // Subscription-time stripe value, for commit-time attribution (the
+      // stripe moves iff a slow-path transition touched this member).
+      set_seen_[i] = m->SubscriptionStripe()->load(std::memory_order_relaxed);
+    }
+    set_subscribed_ = i + 1;
+  }
+}
+
+int OptiLock::InferBlamedMember() const {
+  // Only members this attempt actually subscribed can be compared; an
+  // abort before/mid-subscription leaves the tail unseen. First changed
+  // member wins — with one conflicting writer (the common case) that is
+  // exact; with several it names the lowest-addressed one.
+  const bool swocc = htm::CurrentBackend() == htm::Backend::kSwOcc;
+  for (int i = 0; i < set_subscribed_; ++i) {
+    gosync::Mutex* m = set_[i];
+    const uint64_t now =
+        swocc ? m->OccWord()->load(std::memory_order_relaxed)
+              : m->SubscriptionStripe()->load(std::memory_order_relaxed);
+    if (now != set_seen_[i] || m->IsLocked()) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void OptiLock::AttributeSetAbort() {
+  int blamed = blamed_member_;
+  if (blamed < 0) {
+    blamed = InferBlamedMember();
+  }
+  if (blamed >= 0) {
+    Bump(OptiStats::kMultiLockAbortMemberBase + blamed);
+    blamed_member_ = blamed;  // the obs trace names this member's mutex
+  } else {
+    Bump(OptiStats::kMultiLockAbortsUnattributed);
   }
 }
 
@@ -809,6 +1067,13 @@ bool OptiLock::TargetHeld() const {
       return AsRW()->ReaderCountValue() < 0;
     case Target::kRWWrite:
       return AsRW()->ReaderCountValue() != 0;
+    case Target::kMutexSet:
+      for (int i = 0; i < set_size_; ++i) {
+        if (set_[i]->IsLocked()) {
+          return true;
+        }
+      }
+      return false;
     case Target::kNone:
       return false;
   }
@@ -830,6 +1095,11 @@ void OptiLock::FinishFastEpisode() {
     }
   } else {
     Bump(OptiStats::kFastCommits);
+    if (kind_ == Target::kMutexSet) [[unlikely]] {
+      // The whole set committed as one transaction — the numerator of the
+      // OLTP commit rate.
+      Bump(OptiStats::kMultiLockFastCommits);
+    }
     if (HasFlag(kFlagPredictedHtm)) [[likely]] {
       if (cfg_.use_perceptron) {
         g_perceptron.RewardHtm(indices_);
@@ -924,9 +1194,16 @@ void OptiLock::FinishSlowEpisode() {
 void OptiLock::RecordEpisodeTrace(obs::Outcome outcome) {
   // Duration spans lock acquisition through release — the paper's notion of
   // critical-section time (what a pprof mutex profile would attribute to
-  // the function owning the section).
+  // the function owning the section). Multi-lock episodes that aborted name
+  // the blamed member's mutex (the word that killed the transaction) so the
+  // trace's abort attribution survives into the export; otherwise the
+  // lowest-addressed member stands for the set.
+  const void* traced = target_;
+  if (kind_ == Target::kMutexSet && blamed_member_ >= 0) [[unlikely]] {
+    traced = set_[blamed_member_];
+  }
   const uint64_t now = obs::NowTicks();
-  obs::RecordEpisode(obs::CurrentSite(), obs::MutexId(target_), outcome,
+  obs::RecordEpisode(obs::CurrentSite(), obs::MutexId(traced), outcome,
                      obs_last_abort_, obs_retries_, obs_start_ticks_,
                      now - obs_start_ticks_);
 }
@@ -1008,6 +1285,10 @@ void OptiLock::RecoverUnpairedUnlock(Target requested, void* passed) {
       }
       return;
     }
+    case Target::kMutexSet:
+      // An unpaired set unlock names no caller set to release (the no-arg
+      // overload reports before reaching here); count-only.
+      return;
     case Target::kNone:
       return;
   }
@@ -1028,6 +1309,11 @@ void OptiLock::AbandonEpisode() noexcept {
         break;
       case Target::kRWWrite:
         AsRW()->Unlock();
+        break;
+      case Target::kMutexSet:
+        // Reverse-sorted release of the whole held set, watermark popped —
+        // an unwind mid-set leaks no member lock.
+        ReleaseSetSlow();
         break;
       case Target::kNone:
         break;
@@ -1134,6 +1420,103 @@ void OptiLock::FastWUnlock(gosync::RWMutex* m) {
   }
   htm::TxCommit();
   FinishFastEpisode();
+}
+
+void OptiLock::FastUnlockSet() {
+  if (kind_ == Target::kMutex) [[unlikely]] {
+    // Degenerate one-lock set (PrepareMutexSet degraded to the single-lock
+    // trajectory); pair it with the single-lock unlock.
+    FastUnlock(AsMutex());
+    return;
+  }
+  if (kind_ != Target::kMutexSet) [[unlikely]] {
+    // No set episode in flight on this OptiLock. Unlike the single-lock
+    // unpaired recovery there is no caller-passed lock to release (this
+    // overload names nothing), so recovery is count-only; a stranded
+    // non-set episode is recovered at its own unlock or the next FastLock.
+    support::ReportMisuse(support::MisuseKind::kUnpairedUnlock,
+                          cfg_.misuse_policy, this,
+                          "set-unlock-with-no-set-episode");
+    return;
+  }
+  if (HasFlag(kFlagSlowPath)) [[unlikely]] {
+    if (owner_ != ThreadAnchor()) {
+      // A multi-lock episode's sorted hold set is this thread's episode
+      // state; releasing it from a foreign thread would unlock mutexes the
+      // caller may not hold. Report and leave the owner's episode intact.
+      support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                            cfg_.misuse_policy, this,
+                            "set-unlock-from-foreign-thread");
+      return;
+    }
+    ReleaseSetSlow();
+    Bump(OptiStats::kMultiLockSlowAcquires);
+    FinishSlowEpisode();
+    return;
+  }
+  if (owner_ != ThreadAnchor()) {
+    support::ReportMisuse(support::MisuseKind::kCrossThreadUnlock,
+                          cfg_.misuse_policy, this,
+                          "set-unlock-from-foreign-thread");
+    return;
+  }
+  const htm::AbortCode injected =
+      htm::fault::MaybeInject(htm::fault::Site::kMultiLockCommit);
+  if (injected != htm::AbortCode::kNone) [[unlikely]] {
+    // Injected commit-time conflict: every subscription succeeded, so
+    // attribution exercises the inference path (which member's word moved).
+    htm::TxAbort(injected);
+  }
+  htm::TxCommit();  // validation failure re-enters FastLock via the checkpoint
+  FinishFastEpisode();
+}
+
+bool OptiLock::SetMatchesEpisode(gosync::Mutex* const* mutexes,
+                                 int count) const {
+  if (count < 1 || count > kMaxLockSet) {
+    return false;
+  }
+  // Mark-off against the episode's sorted members: every caller entry must
+  // be a member (duplicates allowed — Prepare deduplicated them) and every
+  // member must be named at least once.
+  bool named[kMaxLockSet] = {};
+  for (int i = 0; i < count; ++i) {
+    bool found = false;
+    for (int j = 0; j < set_size_; ++j) {
+      if (set_[j] == mutexes[i]) {
+        named[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  for (int j = 0; j < set_size_; ++j) {
+    if (!named[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OptiLock::FastUnlockSet(gosync::Mutex* const* mutexes, int count) {
+  if ((kind_ == Target::kMutexSet || kind_ == Target::kMutex) &&
+      owner_ == ThreadAnchor() && !SetMatchesEpisode(mutexes, count))
+      [[unlikely]] {
+    if (!HasFlag(kFlagSlowPath)) {
+      // Same recovery as a single-lock wrong-target unlock: the episode's
+      // transactional effects roll back and the section re-runs under the
+      // lock, behaviourally identical to the untransformed program.
+      htm::TxAbort(htm::AbortCode::kMutexMismatch);
+    }
+    // Slow path: the episode releases what it actually holds (its recorded
+    // sorted set) — releasing the caller's differing claim could unlock
+    // mutexes this thread never acquired. Counted like other mismatches.
+    Bump(OptiStats::kMismatchRecoveries);
+  }
+  FastUnlockSet();
 }
 
 }  // namespace gocc::optilib

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <csetjmp>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 
 #include "src/gosync/mutex.h"
@@ -83,6 +84,15 @@ struct OptiConfig {
   // environment variable overrides the default.
   int occ_max_retries = DefaultOccMaxRetries();
   static int DefaultOccMaxRetries();
+
+  // Multi-lock episodes (WithLocks, DESIGN.md §4.12): largest lock-set size
+  // the runtime will still speculate on. Bigger sets go straight to the
+  // address-sorted pessimistic acquire — every extra member widens the
+  // conflict footprint and the expected abort cost grows with it, so the
+  // ceiling is the coarse guard in front of the per-set perceptron. Capped
+  // at OptiLock::kMaxLockSet (8); GOCC_MULTILOCK_SPECULATE_MAX overrides.
+  int multilock_speculate_max = DefaultMultilockSpeculateMax();
+  static int DefaultMultilockSpeculateMax();
 
   // --- abort-storm hardening (all default to seed-equivalent behaviour) ---
 
@@ -190,7 +200,14 @@ struct OptiStats {
     kSiteCacheHits,      // decisions served from a cached per-site verdict
     kSiteCacheInstalls,  // verdicts (re-)memoized into a site cell
     kSiteCacheInvalidations,  // cells evicted by a failed elide / decay
-    kEpisodeAbortsBase,  // + htm::AbortCode, kNumAbortCodes slots
+    kMultiLockEpisodes,       // WithLocks episodes with >= 2 distinct locks
+    kMultiLockFastCommits,    // ... that committed the whole set elided
+    kMultiLockSlowAcquires,   // ... that ended on the sorted-2PL slow path
+    kMultiLockAbortsUnattributed,  // set aborts no member word explains
+    kMultiLockAbortMemberBase,     // + member index (abort blamed on the
+                                   //   i-th sorted lock), kMaxLockSetSlots
+    kEpisodeAbortsBase =           // + htm::AbortCode, kNumAbortCodes slots
+        kMultiLockAbortMemberBase + 8 /* == OptiLock::kMaxLockSet */,
     kNumSlots = kEpisodeAbortsBase + htm::kNumAbortCodes,
   };
 
@@ -241,6 +258,22 @@ struct OptiStats {
   support::ShardedCounter site_cache_installs;
   support::ShardedCounter site_cache_invalidations;
 
+  // Multi-lock episode observability (§4.12). The commit rate the OLTP
+  // bench reports is multilock_fast_commits / multilock_episodes; the
+  // per-member histogram is the abort attribution — which sorted position
+  // of the lock set killed the transaction (subscription-time conflicts
+  // name the member exactly; commit-time conflicts are inferred from which
+  // member's version word moved, or land in unattributed).
+  support::ShardedCounter multilock_episodes;
+  support::ShardedCounter multilock_fast_commits;
+  support::ShardedCounter multilock_slow_acquires;
+  support::ShardedCounter multilock_aborts_unattributed;
+  support::ShardedCounter multilock_abort_member[8];
+
+  uint64_t MultiLockAbortsOnMember(int member) const {
+    return multilock_abort_member[member].load(std::memory_order_relaxed);
+  }
+
   uint64_t EpisodeAborts(htm::AbortCode code) const {
     return episode_aborts[static_cast<int>(code)].load(
         std::memory_order_relaxed);
@@ -285,6 +318,15 @@ uint64_t SiteDecisionCacheEpoch();
 
 class OptiLock {
  public:
+  // Hard upper bound on a multi-lock episode's set size (after
+  // deduplication). 8 covers every OLTP shape the workloads model (a
+  // transfer touches 2 accounts; YCSB transactions run 2–8 keys) while
+  // keeping the per-episode set state to one cache line of pointers.
+  // Passing a larger set is a documented API-contract violation and
+  // aborts the process — it cannot be "recovered" because the episode has
+  // nowhere to record which locks it would need to release.
+  static constexpr int kMaxLockSet = 8;
+
   OptiLock() = default;
   OptiLock(const OptiLock&) = delete;
   OptiLock& operator=(const OptiLock&) = delete;
@@ -296,6 +338,13 @@ class OptiLock {
   // accesses").
   void FastRUnlock(gosync::RWMutex* m);
   void FastWUnlock(gosync::RWMutex* m);
+  // Releases a multi-lock episode (WithLocks / OPTI_FAST_LOCK_SET): commits
+  // the transaction covering the whole set, or unlocks the sorted slow-path
+  // acquisitions in reverse order. The validating overload checks the
+  // caller's set matches the episode's (same members, any order) and routes
+  // a mismatch through the usual recovery.
+  void FastUnlockSet();
+  void FastUnlockSet(gosync::Mutex* const* mutexes, int count);
 
   // --- lambda embeddings ---
   // Strongly exception-safe: if `fn` throws, the episode is abandoned
@@ -310,6 +359,27 @@ class OptiLock {
   void WithRLock(gosync::RWMutex* m, Fn&& fn);
   template <typename Fn>
   void WithWLock(gosync::RWMutex* m, Fn&& fn);
+
+  // Multi-lock transactional episode (DESIGN.md §4.12): runs `fn` with
+  // every mutex in the set held, as one atomic region. The fast path opens
+  // ONE transaction and subscribes every member's lock word, so the whole
+  // set is elided together — mutual exclusion against each member's
+  // single-lock critical sections (elided or pessimistic) is preserved
+  // exactly as in the single-lock protocol, per word. When speculation is
+  // declined or defeated, the slow path acquires the members pessimistically
+  // in global address order (duplicates removed), which makes concurrent
+  // multi-lock fallbacks deadlock-free regardless of the order the caller
+  // listed the locks. Exception safety matches WithLock: a throw abandons
+  // the episode (transaction cancelled, or the whole sorted set unlocked)
+  // before propagating. Sets of one degrade to exactly WithLock; sets
+  // larger than kMaxLockSet abort the process (documented hard limit).
+  template <typename Fn>
+  void WithLocks(gosync::Mutex* const* mutexes, int count, Fn&& fn);
+  template <typename Fn>
+  void WithLocks(std::initializer_list<gosync::Mutex*> mutexes, Fn&& fn) {
+    WithLocks(mutexes.begin(), static_cast<int>(mutexes.size()),
+              std::forward<Fn>(fn));
+  }
 
   // Unwind contract for the paper-textual OPTI_FAST_* / FastUnlock pairing:
   // code between FastLock and FastUnlock that can throw must abandon the
@@ -343,13 +413,17 @@ class OptiLock {
   void PrepareMutex(gosync::Mutex* m);
   void PrepareRead(gosync::RWMutex* m);
   void PrepareWrite(gosync::RWMutex* m);
+  // Sorts and dedupes the caller's set into the episode (degrading to
+  // PrepareMutex when one distinct lock remains) and applies the
+  // multilock_speculate_max admission gate.
+  void PrepareMutexSet(gosync::Mutex* const* mutexes, int count);
   // Runs after the checkpoint: `setjmp_code` is 0 on first entry or the
   // AbortCode delivered by a SimTM abort. Returns with either a transaction
   // open (fast path) or the original lock held (slow path).
   void FastLockStep(int setjmp_code);
 
  private:
-  enum class Target : uint8_t { kNone, kMutex, kRWRead, kRWWrite };
+  enum class Target : uint8_t { kNone, kMutex, kRWRead, kRWWrite, kMutexSet };
 
   void PrepareCommon();
   void AttemptLoop();
@@ -383,6 +457,26 @@ class OptiLock {
   void FinishFastEpisode();
   void FinishSlowEpisode();
   void ResetEpisode();
+  // --- multi-lock episode helpers (kind_ == kMutexSet only) ---
+  // Transactionally subscribes every member in sorted order, recording each
+  // member's subscription-time version word for commit-time attribution;
+  // aborts (with the offending member blamed) when any member is
+  // unavailable or the fault injector fires at kMultiLockSubscribe.
+  void SubscribeSetOrAbort();
+  // Sorted pessimistic acquisition of the whole set, with the
+  // lock-order-inversion watermark pushed for the episode's duration.
+  void AcquireSetSlow();
+  // Reverse-sorted release (slow path / unwind), popping the watermark.
+  void ReleaseSetSlow();
+  // Names the member whose version word moved since subscription (first
+  // changed wins), or -1 when no member word explains the abort. Feeds the
+  // per-member abort histogram and the obs trace's blamed mutex id.
+  int InferBlamedMember() const;
+  // Abort-side bookkeeping shared by recorded and inferred attribution.
+  void AttributeSetAbort();
+  // True when the caller's (unsorted, possibly duplicated) set names
+  // exactly the episode's deduplicated members.
+  bool SetMatchesEpisode(gosync::Mutex* const* mutexes, int count) const;
   // Appends this episode's trace event to the calling thread's obs ring.
   // Only called when cfg_.trace_episodes is set, and always outside the
   // transaction (after TxCommit / after the slow-path unlock decision).
@@ -460,6 +554,28 @@ class OptiLock {
   uint32_t obs_retries_ = 0;
   htm::AbortCode obs_last_abort_ = htm::AbortCode::kNone;
   Perceptron::Indices indices_{0, 0};
+  // Multi-lock episode state. Only touched on the kMutexSet paths — the
+  // single-lock fast path neither resets nor reads any of it (stale values
+  // from a finished set episode are harmless because every consumer is
+  // guarded by kind_ == kMutexSet), so the near-zero §4.11 episode cost is
+  // unchanged. set_ holds the deduplicated members in ascending address
+  // order: the subscription order (stable attribution), the slow-path
+  // acquisition order (deadlock freedom), and the reverse release order.
+  // set_seen_ holds each member's version word at subscription time (SimTM
+  // stripe value or sw-OCC occ word) for commit-time abort attribution.
+  gosync::Mutex* set_[kMaxLockSet] = {};
+  uint64_t set_seen_[kMaxLockSet] = {};
+  int set_size_ = 0;
+  // Members the current attempt has subscribed so far (attribution scans
+  // only these; an abort mid-subscription leaves the tail unseen).
+  int set_subscribed_ = 0;
+  // Member index an abort was pinned on (-1 = none yet / unattributed):
+  // written before TxAbort's longjmp by the subscription path, read by
+  // HandleAbort after the checkpoint re-entry.
+  int blamed_member_ = -1;
+  // Previous lock-order watermark, restored when the slow-path set
+  // releases (the watermark is a thread-local; nesting restores outward).
+  uintptr_t saved_watermark_ = 0;
   // Decision epoch observed at episode start: keys this episode's site-
   // cache lookups and installs (a concurrent bump makes both dead, never
   // wrong).
@@ -532,6 +648,22 @@ void OptiLock::WithWLock(gosync::RWMutex* m, Fn&& fn) {
   FastWUnlock(m);
 }
 
+template <typename Fn>
+void OptiLock::WithLocks(gosync::Mutex* const* mutexes, int count, Fn&& fn) {
+  PrepareMutexSet(mutexes, count);
+  {
+    int checkpoint = setjmp(env_);
+    FastLockStep(checkpoint);
+  }
+  try {
+    fn();
+  } catch (...) {
+    AbandonEpisode();
+    throw;
+  }
+  FastUnlockSet();
+}
+
 }  // namespace gocc::optilib
 
 // Paper-textual lock elision: replaces `m->Lock()`. Pair with
@@ -558,6 +690,17 @@ void OptiLock::WithWLock(gosync::RWMutex* m, Fn&& fn) {
 #define OPTI_FAST_WLOCK(ol, rw_ptr)                   \
   do {                                                \
     (ol).PrepareWrite(rw_ptr);                        \
+    int gocc_checkpoint_ = setjmp((ol).CheckpointEnv()); \
+    (ol).FastLockStep(gocc_checkpoint_);              \
+  } while (false)
+
+// Paper-textual multi-lock elision: replaces an ordered sequence of
+// `m->Lock()` calls with one transactional episode over the whole set.
+// Pair with `ol.FastUnlockSet()` (or the validating overload). The same
+// unwind contract as OPTI_FAST_LOCK applies to the bracketed region.
+#define OPTI_FAST_LOCK_SET(ol, mutexes_ptr, count)    \
+  do {                                                \
+    (ol).PrepareMutexSet(mutexes_ptr, count);         \
     int gocc_checkpoint_ = setjmp((ol).CheckpointEnv()); \
     (ol).FastLockStep(gocc_checkpoint_);              \
   } while (false)

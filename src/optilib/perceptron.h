@@ -46,6 +46,33 @@ class Perceptron {
     return idx;
   }
 
+  // Computes the table indices for a (lock set, call site) pair. The mutex
+  // feature becomes the combined footprint of the whole set — a commutative
+  // mix of every member address (the set arrives address-sorted, but the
+  // mix is order-independent anyway) — XOR'd with the site, and both cells
+  // fold in the set size so a 2-lock and a 4-lock episode through the same
+  // site train separate weights: their conflict footprints, and therefore
+  // their abort economics, differ. Single-element sets deliberately do NOT
+  // reduce to IndicesFor: a multi-lock call site is a different context
+  // than a single-lock one even over the same mutex.
+  static Indices IndicesForSet(const void* const* mutexes, int count,
+                               const void* opti_lock) {
+    auto c = reinterpret_cast<uintptr_t>(opti_lock);
+    uintptr_t footprint = 0;
+    for (int i = 0; i < count; ++i) {
+      // Golden-ratio spread before summing so member addresses that differ
+      // only in low bits still land the set in distinct cells.
+      footprint += reinterpret_cast<uintptr_t>(mutexes[i]) *
+                   uintptr_t{0x9e3779b97f4a7c15ULL};
+    }
+    // Salts sit inside Hash's live bit window [4, 16).
+    const auto size_salt = static_cast<uintptr_t>(count);
+    Indices idx;
+    idx.mutex_cell = Hash(footprint ^ c ^ (size_salt << 10));
+    idx.context_cell = Hash(c ^ (size_salt << 7));
+    return idx;
+  }
+
   // True when the summed weights recommend attempting HTM.
   bool Predict(Indices idx) const {
     int32_t sum =

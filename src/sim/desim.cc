@@ -1,10 +1,17 @@
 #include "src/sim/desim.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
+
+#include "src/support/zipf.h"
 
 namespace gocc::sim {
 namespace {
+
+// Mirrors optilib::OptiLock::kMaxLockSet without dragging optilib into the
+// simulator's dependencies.
+constexpr int kMaxSetKeys = 8;
 
 // Modelled perceptron site state (mirrors optilib::Perceptron for a single
 // (mutex, call site) pair).
@@ -40,7 +47,28 @@ struct CoreState {
   OpType op_type = OpType::kNone;
   bool op_writes = false;
   uint64_t ops = 0;
+  // Keyed (OLTP) model: the record keys this op holds, ascending. nkeys == 0
+  // in the legacy single-global-lock model.
+  uint32_t keys[kMaxSetKeys] = {};
+  int nkeys = 0;
 };
+
+// Both key arrays arrive sorted ascending, so intersection is a merge scan.
+bool KeysIntersect(const CoreState& a, const CoreState& b) {
+  int i = 0;
+  int j = 0;
+  while (i < a.nkeys && j < b.nkeys) {
+    if (a.keys[i] == b.keys[j]) {
+      return true;
+    }
+    if (a.keys[i] < b.keys[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
 
 class Engine {
  public:
@@ -53,6 +81,14 @@ class Engine {
         window_ns_(window_ns),
         rng_(seed) {
     perceptron_.decay_threshold = p_.perceptron_decay;
+    if (s_.key_space > 0) {
+      keyed_ = true;
+      key_free_at_.assign(static_cast<size_t>(s_.key_space), 0.0);
+      key_last_owner_.assign(static_cast<size_t>(s_.key_space), ~size_t{0});
+      zipf_ = std::make_unique<support::ZipfianGenerator>(
+          static_cast<uint64_t>(s_.key_space), s_.zipf_theta,
+          seed ^ 0x5eed0f2a11edULL);
+    }
   }
 
   SimResult Run() {
@@ -146,6 +182,70 @@ class Engine {
     return rng_.NextBool(s_.write_prob);
   }
 
+  // --- keyed (OLTP) model ---------------------------------------------
+
+  // Draws this op's distinct key set, ascending, into the core's state.
+  void PickKeys(CoreState& self) {
+    uint64_t drawn[kMaxSetKeys];
+    int n = s_.lock_set_size;
+    if (n < 1) {
+      n = 1;
+    } else if (n > kMaxSetKeys) {
+      n = kMaxSetKeys;
+    }
+    zipf_->NextDistinct(drawn, n);
+    for (int i = 0; i < n; ++i) {
+      self.keys[i] = static_cast<uint32_t>(drawn[i]);
+    }
+    std::sort(self.keys, self.keys + n);
+    self.nkeys = n;
+  }
+
+  // One RMW on a record's lock/occ word at local time t. The word is a
+  // serial resource per key; the coherence hop is charged only when the
+  // line last lived on another core (cold/owned-elsewhere), which is what
+  // makes a hot Zipfian key expensive and a cold one nearly free.
+  double AccessKeyLine(size_t c, uint32_t key, double t) {
+    double start = std::max(t, key_free_at_[key]);
+    double cost = p_.line_base_ns +
+                  (key_last_owner_[key] != c && key_last_owner_[key] != ~size_t{0}
+                       ? p_.line_hop_ns
+                       : 0.0);
+    double done = start + cost;
+    key_free_at_[key] = done;
+    key_last_owner_[key] = c;
+    return done;
+  }
+
+  // Sorted 2PL over the op's key set: acquire each record lock in ascending
+  // key order, hold all of them across the CS, release together. Every
+  // member word stays busy until the CS completes — that serialization of
+  // *whole lock sets* (not just single words) is the cost elision removes.
+  double LockPathOpKeyed(std::vector<CoreState>& core, size_t c, double t,
+                         bool writes) {
+    CoreState& self = core[c];
+    double end = t;
+    double first_held = t;
+    for (int i = 0; i < self.nkeys; ++i) {
+      end = AccessKeyLine(c, self.keys[i], end);
+      if (i == 0) {
+        first_held = end;
+      }
+    }
+    end += s_.cs_ns;
+    // Release stores to distinct lines overlap; charge one, and keep every
+    // member exclusively held until the section is over.
+    end += p_.line_base_ns;
+    for (int i = 0; i < self.nkeys; ++i) {
+      key_free_at_[self.keys[i]] = end;
+    }
+    self.op_start = first_held;
+    self.op_end = end;
+    self.op_type = CoreState::OpType::kLockCs;
+    self.op_writes = writes;
+    return end;
+  }
+
   enum class AbortCause { kNone, kLockHeld, kDataConflict };
 
   // Classifies why a transaction on core c spanning [start, end) would
@@ -172,6 +272,10 @@ class Engine {
       if (!overlap) {
         continue;
       }
+      // Keyed model: disjoint key sets never interact, whatever the timing.
+      if (keyed_ && !KeysIntersect(core[c], other)) {
+        continue;
+      }
       if (other.op_type == CoreState::OpType::kLockCs) {
         cause = AbortCause::kLockHeld;
         *release_at = std::max(*release_at, other.op_end);
@@ -195,17 +299,26 @@ class Engine {
     return cause;
   }
 
+  double LockPath(std::vector<CoreState>& core, size_t c, double t,
+                  bool writes) {
+    return keyed_ ? LockPathOpKeyed(core, c, t, writes)
+                  : LockPathOp(core, c, t, writes);
+  }
+
   void Step(std::vector<CoreState>& core, size_t c) {
     CoreState& self = core[c];
     double t = self.now + s_.outside_ns;
 
     bool writes = OpWrites();
+    if (keyed_) {
+      PickKeys(self);
+    }
 
     if (mode_ == RunMode::kLockBaseline || cores_ <= 1 || !s_.transformed) {
       // cores_ <= 1: optiLib's single-P bypass (§5.4.2) routes every elided
       // episode to the original lock, so elided == baseline at one core.
       // Untransformed sites never elide in any build.
-      self.now = LockPathOp(core, c, t, writes);
+      self.now = LockPath(core, c, t, writes);
       ++self.ops;
       return;
     }
@@ -215,7 +328,7 @@ class Engine {
     if (use_perceptron && !perceptron_.PredictHtm()) {
       ++stats_.perceptron_slow;
       perceptron_.NoteSlow(&decay_resets_);
-      self.now = LockPathOp(core, c, t, writes);
+      self.now = LockPath(core, c, t, writes);
       ++self.ops;
       return;
     }
@@ -234,10 +347,23 @@ class Engine {
       double start = t;
       double end = start + (begin_commit_ns + s_.cs_ns) *
                                static_cast<double>(s_.lock_round_trips);
+      if (keyed_ && self.nkeys > 1) {
+        // Each member beyond the first adds one tracked-word subscription.
+        end += p_.multilock_subscribe_ns * static_cast<double>(self.nkeys - 1);
+      }
       if (swocc && writes) {
-        // Read-write commit: one CAS on the shared occ word serializes
-        // concurrent writers (read-only commits touch no shared line).
-        end = AccessLockLine(end);
+        if (keyed_) {
+          // Publish serializes per written record word, not globally —
+          // disjoint writers commit in parallel, which is precisely the
+          // multi-lock win over 2PL.
+          for (int i = 0; i < self.nkeys; ++i) {
+            end = AccessKeyLine(c, self.keys[i], end);
+          }
+        } else {
+          // Read-write commit: one CAS on the shared occ word serializes
+          // concurrent writers (read-only commits touch no shared line).
+          end = AccessLockLine(end);
+        }
       }
       double release_at = 0.0;
       AbortCause cause = capacity_doomed
@@ -293,13 +419,15 @@ class Engine {
         // The failed HTM speculation polluted the coherence state the
         // lock holder depends on.
         t = start + p_.htm_abort_penalty_ns;
-        mutex_free_at_ += p_.abort_interference_ns;
+        if (!keyed_) {
+          mutex_free_at_ += p_.abort_interference_ns;
+        }
       }
       ++stats_.fallbacks;
       if (use_perceptron) {
         perceptron_.Penalize();
       }
-      self.now = LockPathOp(core, c, t, writes);
+      self.now = LockPath(core, c, t, writes);
       ++self.ops;
       return;
     }
@@ -317,6 +445,12 @@ class Engine {
   PerceptronState perceptron_;
   uint64_t decay_resets_ = 0;
   SimResult stats_;
+
+  // Keyed (OLTP) model state: per-record word availability + last owner.
+  bool keyed_ = false;
+  std::vector<double> key_free_at_;
+  std::vector<size_t> key_last_owner_;
+  std::unique_ptr<support::ZipfianGenerator> zipf_;
 };
 
 }  // namespace

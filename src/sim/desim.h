@@ -65,6 +65,10 @@ struct MachineParams {
   // Bounded validation retries before the episode falls back to the real
   // lock (GOCC_OCC_MAX_RETRIES default).
   int occ_max_retries = 4;
+
+  // Per-additional-member cost of a multi-lock episode's subscription (one
+  // extra tracked word load + bookkeeping per member beyond the first).
+  double multilock_subscribe_ns = 4.0;
 };
 
 enum class LockKind { kMutex, kRWRead, kRWWrite };
@@ -90,6 +94,21 @@ struct Scenario {
   // fastcache Set with its panic path, zap's IO write path) run the
   // original lock in every build.
   bool transformed = true;
+
+  // --- multi-lock OLTP extension (key_space == 0 preserves the legacy
+  // single-global-lock model above EXACTLY; keyed scenarios model a table
+  // of per-record locks instead) ----------------------------------------
+  //
+  // With key_space > 0 every operation draws `lock_set_size` distinct
+  // Zipfian keys and must hold all of their record locks at once: the lock
+  // baseline acquires them in ascending key order (sorted 2PL), the elided
+  // modes subscribe all members in one transaction, and two operations
+  // interact only when their key sets intersect. Contention is therefore a
+  // function of skew (zipf_theta) and set size, not of a single global
+  // line — the regime the OLTP benchmarks measure.
+  int lock_set_size = 1;    // record locks per operation (<= 8)
+  int key_space = 0;        // distinct lockable records; 0 = legacy model
+  double zipf_theta = 0.0;  // YCSB skew; 0 = uniform keys
 };
 
 // kSwOcc models the software-OCC elision tier instead of HTM: episodes pay

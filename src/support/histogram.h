@@ -71,6 +71,7 @@ class LatencyHistogram {
 
   uint64_t P50() const { return ValueAtQuantile(0.50); }
   uint64_t P99() const { return ValueAtQuantile(0.99); }
+  uint64_t P999() const { return ValueAtQuantile(0.999); }
 
  private:
   // Values 0..7 map linearly onto the first two major buckets so tiny

@@ -36,6 +36,8 @@ const char* MisuseKindName(MisuseKind kind) {
       return "rwmutex-destroyed-in-use";
     case MisuseKind::kElidedUseAfterDestroy:
       return "elided-use-after-destroy";
+    case MisuseKind::kLockOrderInversion:
+      return "lock-order-inversion";
   }
   return "unknown";
 }

@@ -26,6 +26,18 @@
 //                            aborts (kOccValidateFail) and re-runs on the
 //                            slow path, where the pessimistic acquire hits
 //                            the ordinary destroyed-mutex detection.
+//   * kLockOrderInversion  — a slow-path acquisition of a tracked mutex
+//                            whose address is *below* the high-water mark
+//                            of locks already slow-held by an in-flight
+//                            multi-lock episode on the same thread. The
+//                            multi-lock slow path acquires in global
+//                            address order precisely so such nests cannot
+//                            deadlock; a nested FastLock that breaks the
+//                            order re-introduces the cyclic-wait risk.
+//                            Recovery: report, then acquire in the
+//                            requested order anyway (the untransformed
+//                            program's behaviour — the inversion is a
+//                            latent application bug, not a runtime fault).
 //
 // Policy: under kAbortProcess (the default in debug builds) any misuse
 // prints its report and calls std::abort() — a crash at the first
@@ -58,8 +70,9 @@ enum class MisuseKind : int {
   kMutexDestroyedInUse = 4,
   kRWMutexDestroyedInUse = 5,
   kElidedUseAfterDestroy = 6,
+  kLockOrderInversion = 7,
 };
-inline constexpr int kNumMisuseKinds = 7;
+inline constexpr int kNumMisuseKinds = 8;
 
 // Stable kebab-case name used in reports and metrics.
 const char* MisuseKindName(MisuseKind kind);

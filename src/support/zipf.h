@@ -1,0 +1,110 @@
+// Deterministic Zipfian key generator (YCSB's workload skew model).
+//
+// Implements the Gray et al. "Quickly generating billion-record synthetic
+// databases" rejection-free algorithm that YCSB's ZipfianGenerator uses:
+// rank r is drawn with probability proportional to 1/(r+1)^theta. theta=0
+// degenerates to uniform; YCSB's default hot-spot skew is theta=0.99. The
+// OLTP benchmarks sweep theta because contention on per-record locks is a
+// direct function of key popularity: at theta=0 every record is equally
+// cold, while at 0.99 a handful of records absorb most of the traffic and
+// multi-lock transactions collide constantly.
+//
+// Determinism matters for the same reason it does everywhere else in this
+// repo (rng.h): runs must replay exactly from a logged seed, with no
+// dependence on libstdc++ distribution internals. The generator is not
+// thread-safe; give each worker its own instance seeded by ordinal.
+
+#ifndef GOCC_SRC_SUPPORT_ZIPF_H_
+#define GOCC_SRC_SUPPORT_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/support/rng.h"
+
+namespace gocc::support {
+
+class ZipfianGenerator {
+ public:
+  // items >= 1; theta in [0, 1) (0 = uniform). The O(items) zeta sum runs
+  // once at construction — acceptable for the ≤ ~1M-key OLTP tables; reuse
+  // one generator per (items, theta) rather than re-deriving per draw.
+  ZipfianGenerator(uint64_t items, double theta, uint64_t seed)
+      : items_(items == 0 ? 1 : items), theta_(theta), rng_(seed) {
+    if (theta_ > 0.0) {
+      zetan_ = Zeta(items_, theta_);
+      const double zeta2 = Zeta(2, theta_);
+      alpha_ = 1.0 / (1.0 - theta_);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_),
+                             1.0 - theta_)) /
+             (1.0 - zeta2 / zetan_);
+    }
+  }
+
+  uint64_t items() const { return items_; }
+  double theta() const { return theta_; }
+
+  // Next rank in [0, items): rank 0 is the hottest key. Callers that want
+  // hot keys scattered across the table (cache-line dispersion) should
+  // hash the rank; for lock-contention studies popularity is what matters
+  // and the identity mapping keeps oracles simple.
+  uint64_t Next() {
+    if (theta_ <= 0.0) {
+      return rng_.NextBelow(items_);
+    }
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(items_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+  // Draws `count` *distinct* ranks into out[0..count) by resampling
+  // duplicates — the OLTP transactions need k distinct record locks.
+  // count must be <= items (and in practice << items, so resampling
+  // terminates in a couple of draws even at heavy skew).
+  void NextDistinct(uint64_t* out, int count) {
+    for (int i = 0; i < count; ++i) {
+      uint64_t candidate;
+      bool duplicate;
+      do {
+        candidate = Next();
+        duplicate = false;
+        for (int j = 0; j < i; ++j) {
+          if (out[j] == candidate) {
+            duplicate = true;
+            break;
+          }
+        }
+      } while (duplicate);
+      out[i] = candidate;
+    }
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  SplitMix64 rng_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace gocc::support
+
+#endif  // GOCC_SRC_SUPPORT_ZIPF_H_

@@ -49,6 +49,42 @@ struct Pessimistic {
     fn();
     mu.Unlock();
   }
+  // Plain sorted two-phase locking: acquire every member in ascending
+  // address order, run the section, release in reverse. The single global
+  // acquisition order makes it deadlock-free, and it is exactly the
+  // baseline the OLTP benchmarks compare elision against ("sorted 2PL").
+  template <typename Fn>
+  static void LockSet(gosync::Mutex* const* mutexes, int count, Fn&& fn) {
+    gosync::Mutex* sorted[optilib::OptiLock::kMaxLockSet];
+    int n = 0;
+    for (int i = 0; i < count; ++i) {
+      gosync::Mutex* m = mutexes[i];
+      int pos = n;
+      bool dup = false;
+      while (pos > 0 && sorted[pos - 1] >= m) {
+        if (sorted[pos - 1] == m) {
+          dup = true;
+          break;
+        }
+        --pos;
+      }
+      if (dup) {
+        continue;
+      }
+      for (int j = n; j > pos; --j) {
+        sorted[j] = sorted[j - 1];
+      }
+      sorted[pos] = m;
+      ++n;
+    }
+    for (int i = 0; i < n; ++i) {
+      sorted[i]->Lock();
+    }
+    fn();
+    for (int i = n - 1; i >= 0; --i) {
+      sorted[i]->Unlock();
+    }
+  }
 };
 
 struct Elided {
@@ -75,6 +111,14 @@ struct Elided {
   static void WLock(gosync::RWMutex& mu, Fn&& fn) {
     thread_local optilib::OptiLock opti_lock;
     opti_lock.WithWLock(&mu, std::forward<Fn>(fn));
+  }
+  // Multi-lock episode: one transaction subscribes the whole set; on
+  // exhausted retries OptiLock falls back to the same address-sorted 2PL
+  // order the pessimistic policy uses.
+  template <typename Fn>
+  static void LockSet(gosync::Mutex* const* mutexes, int count, Fn&& fn) {
+    thread_local optilib::OptiLock opti_lock;
+    opti_lock.WithLocks(mutexes, count, std::forward<Fn>(fn));
   }
 };
 
