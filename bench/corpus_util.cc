@@ -30,6 +30,15 @@ std::vector<CorpusRepo> CorpusRepos(const std::string& corpus_dir) {
   };
 }
 
+std::vector<CorpusRepo> FixtureRepos(const std::string& corpus_dir) {
+  auto path = [&](const std::string& rel) { return corpus_dir + "/" + rel; };
+  return {
+      {"multilock",
+       {path("multilock/ledger.go")},
+       path("multilock/multilock.profile")},
+  };
+}
+
 StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {

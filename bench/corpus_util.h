@@ -21,6 +21,11 @@ struct CorpusRepo {
 // The five evaluated packages, in Table 1 order.
 std::vector<CorpusRepo> CorpusRepos(const std::string& corpus_dir);
 
+// Fixture packages that exercise analyzer features beyond the evaluated
+// corpus (currently the multilock ledger suite). Kept separate so the
+// Table 1 repo list stays exactly the paper's five packages.
+std::vector<CorpusRepo> FixtureRepos(const std::string& corpus_dir);
+
 // Reads a whole file; aborts with a message on failure.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 

@@ -1,0 +1,18 @@
+package misuse
+
+import "sync"
+
+type Registry struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Each iteration defers another release, but deferred calls only run
+// at function exit: the second iteration self-deadlocks.
+func GrowAll(r *Registry, rounds int64) {
+	for i := 0; i < rounds; i++ {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.n++
+	}
+}

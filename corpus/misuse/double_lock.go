@@ -1,0 +1,18 @@
+package misuse
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Classic re-entrant mistake: the second Lock self-deadlocks because
+// Go mutexes are not recursive.
+func DoubleLock(b *Box) {
+	b.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,19 @@
+package misuse
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// The early return exits the function with the mutex still held.
+func LeakyGet(c *Counter, key int64) int64 {
+	c.mu.Lock()
+	if key < 0 {
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,30 @@
+package misuse
+
+import "sync"
+
+type Pools struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Two call paths acquire the same pair of mutexes in opposite orders:
+// a classic ABBA deadlock. UsePools binds both paths to one object so
+// the whole-program lock-order graph closes the cycle.
+func LockAB(p *Pools) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func LockBA(p *Pools) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+func UsePools(p *Pools) {
+	LockAB(p)
+	LockBA(p)
+}

@@ -1,0 +1,18 @@
+package misuse
+
+import "sync"
+
+type Gate struct {
+	mu   sync.Mutex
+	open int64
+}
+
+// The unlock runs unconditionally but the lock is conditional: the
+// ready == 0 path unlocks a mutex it never acquired.
+func BadRelease(g *Gate, ready int64) {
+	if ready > 0 {
+		g.mu.Lock()
+	}
+	g.open++
+	g.mu.Unlock()
+}

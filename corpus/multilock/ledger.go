@@ -1,0 +1,86 @@
+package multilock
+
+import "sync"
+
+type Account struct {
+	mu      sync.Mutex
+	balance int64
+}
+
+type Ledger struct {
+	rw    sync.RWMutex
+	total int64
+}
+
+var meta sync.Mutex
+var stats sync.Mutex
+var reindexed int64
+
+// Two-lock nest over distinct accounts: fused into one
+// FastLockSet/FastUnlockSet episode.
+func Transfer(from *Account, to *Account, amount int64) {
+	from.mu.Lock()
+	to.mu.Lock()
+	from.balance -= amount
+	to.balance += amount
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+// Defer form: the root releases via defer, the inner pair textually.
+func AuditPair(a *Account, b *Account) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	sum := a.balance + b.balance
+	b.mu.Unlock()
+	return sum
+}
+
+// Three-level nest: one 3-lock episode.
+func SweepTriple(a *Account, b *Account, c *Account) int64 {
+	a.mu.Lock()
+	b.mu.Lock()
+	c.mu.Lock()
+	sum := a.balance + b.balance + c.balance
+	c.mu.Unlock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+	return sum
+}
+
+// Package-level mutex values: the fused set arguments need '&'.
+func Reindex() {
+	meta.Lock()
+	stats.Lock()
+	reindexed++
+	stats.Unlock()
+	meta.Unlock()
+}
+
+// May alias through Compact below: the per-pair analysis rejects the
+// outer pair as nested-aliased, but fusion rescues the region because
+// the runtime set admission dedupes sorted addresses.
+func Merge(dst *Account, src *Account) {
+	dst.mu.Lock()
+	src.mu.Lock()
+	dst.balance += src.balance
+	src.balance = 0
+	src.mu.Unlock()
+	dst.mu.Unlock()
+}
+
+func Compact(a *Account) {
+	Merge(a, a)
+}
+
+// Control: a read-mode inner region must not fuse (a write set would
+// serialize the readers); both pairs stay independent episodes.
+func ReadSum(l *Ledger, a *Account) int64 {
+	a.mu.Lock()
+	l.rw.RLock()
+	sum := l.total + a.balance
+	l.rw.RUnlock()
+	a.mu.Unlock()
+	return sum
+}

@@ -1,0 +1,10 @@
+# CPU profile for the multilock ledger suite (fraction of samples).
+# Reindex sits below the 1% hot threshold: its fused region is kept in
+# the funnel but demoted to cold for the transformation.
+Transfer 0.41
+AuditPair 0.22
+SweepTriple 0.17
+Merge 0.08
+ReadSum 0.06
+Compact 0.05
+Reindex 0.004

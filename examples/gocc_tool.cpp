@@ -2,13 +2,20 @@
 //
 // Consumes mini-Go source files (and an optional pprof-style profile),
 // runs the full GOCC pipeline — type resolution, points-to analysis, call
-// graph, LU-pair matching and filtering, profile-based hot filtering — and
-// prints the analysis funnel plus the unified diff a developer would
-// review.
+// graph, LU-pair matching, multi-lock region fusion, profile-based hot
+// filtering, gocc-lint — and prints the analysis funnel plus the unified
+// diff a developer would review.
 //
 // Usage:
-//   gocc_tool [--profile prof.txt] file1.go [file2.go ...]
+//   gocc_tool [--profile prof.txt] [--lint] [--json] file1.go [file2.go ...]
 //   gocc_tool --demo          # runs on a built-in example
+//
+// Flags:
+//   --lint   print gocc-lint findings; exit 2 when any finding is reported
+//   --json   machine-readable output (funnel + fused regions + findings);
+//            implies the same exit-2-on-findings contract as --lint
+//
+// Exit codes: 0 clean, 1 usage/pipeline error, 2 lint findings reported.
 
 #include <cstdio>
 #include <cstring>
@@ -55,15 +62,111 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += gocc::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Stable machine-readable dump: fixed key order, findings pre-sorted by
+// the lint pass.
+void PrintJson(const gocc::analysis::PipelineOutput& output,
+               bool has_profile) {
+  const auto& c = output.analysis.counts;
+  std::printf("{\n  \"funnel\": {\n");
+  std::printf("    \"lock_points\": %d,\n", c.lock_points);
+  std::printf("    \"unlock_points\": %d,\n", c.unlock_points);
+  std::printf("    \"defer_unlock_points\": %d,\n", c.defer_unlock_points);
+  std::printf("    \"dominance_violations\": %d,\n", c.dominance_violations);
+  std::printf("    \"candidate_pairs\": %d,\n", c.candidate_pairs);
+  std::printf("    \"unfit_intra\": %d,\n", c.unfit_intra);
+  std::printf("    \"unfit_inter\": %d,\n", c.unfit_inter);
+  std::printf("    \"nested_alias_intra\": %d,\n", c.nested_alias_intra);
+  std::printf("    \"nested_alias_inter\": %d,\n", c.nested_alias_inter);
+  std::printf("    \"transformed\": %d,\n", c.transformed);
+  std::printf("    \"transformed_defer\": %d,\n", c.transformed_defer);
+  std::printf("    \"transformed_with_profile\": %d,\n",
+              c.transformed_with_profile);
+  std::printf("    \"transformed_defer_with_profile\": %d,\n",
+              c.transformed_defer_with_profile);
+  std::printf("    \"fused_pairs\": %d,\n", c.fused_pairs);
+  std::printf("    \"fused_regions\": %d,\n", c.fused_regions);
+  std::printf("    \"fused_pairs_with_profile\": %d,\n",
+              c.fused_pairs_with_profile);
+  std::printf("    \"fused_regions_with_profile\": %d,\n",
+              c.fused_regions_with_profile);
+  std::printf("    \"lint_findings\": %d\n", c.lint_findings);
+  std::printf("  },\n");
+  std::printf("  \"has_profile\": %s,\n", has_profile ? "true" : "false");
+
+  std::printf("  \"fused_regions\": [");
+  bool first = true;
+  for (const auto& group : output.analysis.fused_groups) {
+    std::printf("%s\n    {\"function\": \"%s\", \"width\": %d, "
+                "\"defer_unlock\": %s, \"cold\": %s}",
+                first ? "" : ",", JsonEscape(group.scope.Name()).c_str(),
+                static_cast<int>(group.member_indices.size()),
+                group.defer_unlock ? "true" : "false",
+                group.cold ? "true" : "false");
+    first = false;
+  }
+  std::printf("%s],\n", first ? "" : "\n  ");
+
+  std::printf("  \"lint\": {\n    \"lock_order_edges\": %d,\n",
+              output.lint.lock_order_edges);
+  std::printf("    \"findings\": [");
+  first = true;
+  for (const auto& finding : output.lint.findings) {
+    std::printf(
+        "%s\n      {\"kind\": \"%s\", \"function\": \"%s\", \"line\": %d, "
+        "\"column\": %d, \"mutex\": \"%s\", \"message\": \"%s\"}",
+        first ? "" : ",",
+        gocc::analysis::LintKindName(finding.kind),
+        JsonEscape(finding.function).c_str(), finding.pos.line,
+        finding.pos.column, JsonEscape(finding.mutex).c_str(),
+        JsonEscape(finding.message).c_str());
+    first = false;
+  }
+  std::printf("%s]\n  }\n}\n", first ? "" : "\n    ");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gocc::analysis::PipelineInput input;
   bool demo = false;
+  bool lint = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       if (!ReadFile(argv[++i], &input.profile_text)) {
         std::fprintf(stderr, "cannot read profile %s\n", argv[i]);
@@ -92,6 +195,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gocc: %s\n", output.status().ToString().c_str());
     return 1;
   }
+  const bool has_findings = !output->lint.findings.empty();
+
+  if (json) {
+    PrintJson(*output, input.has_profile);
+    return has_findings ? 2 : 0;
+  }
 
   const auto& counts = output->analysis.counts;
   std::printf("== GOCC analysis ==\n");
@@ -106,10 +215,31 @@ int main(int argc, char** argv) {
               counts.nested_alias_intra, counts.nested_alias_inter);
   std::printf("transformed pairs:    %d (%d defer)\n", counts.transformed,
               counts.transformed_defer);
+  std::printf("fused multi-lock:     %d pairs in %d regions\n",
+              counts.fused_pairs, counts.fused_regions);
   if (input.has_profile) {
-    std::printf("  after >=1%% profile filter: %d (%d defer)\n",
+    std::printf("  after >=1%% profile filter: %d (%d defer), %d pairs in "
+                "%d regions\n",
                 counts.transformed_with_profile,
-                counts.transformed_defer_with_profile);
+                counts.transformed_defer_with_profile,
+                counts.fused_pairs_with_profile,
+                counts.fused_regions_with_profile);
+  }
+
+  if (lint) {
+    std::printf("\n== gocc-lint ==\n");
+    if (output->lint.findings.empty()) {
+      std::printf("(no findings; %d lock-order edges)\n",
+                  output->lint.lock_order_edges);
+    }
+    for (const auto& finding : output->lint.findings) {
+      std::printf("%d:%d: [%s] %s: %s (mutex: %s)\n", finding.pos.line,
+                  finding.pos.column,
+                  gocc::analysis::LintKindName(finding.kind),
+                  finding.function.empty() ? "<program>"
+                                           : finding.function.c_str(),
+                  finding.message.c_str(), finding.mutex.c_str());
+    }
   }
 
   std::printf("\n== Proposed patch ==\n");
@@ -123,5 +253,5 @@ int main(int argc, char** argv) {
   if (!any) {
     std::printf("(no changes — nothing profitable to transform)\n");
   }
-  return 0;
+  return lint && has_findings ? 2 : 0;
 }

@@ -1,0 +1,390 @@
+#include "src/analysis/fusion.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "src/gosrc/ast.h"
+#include "src/gosrc/printer.h"
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+
+namespace {
+
+using gosrc::AssignStmt;
+using gosrc::Block;
+using gosrc::DeferStmt;
+using gosrc::Expr;
+using gosrc::ExprStmt;
+using gosrc::ForStmt;
+using gosrc::Ident;
+using gosrc::IfStmt;
+using gosrc::IndexExpr;
+using gosrc::LockOp;
+using gosrc::LockOpKind;
+using gosrc::ParenExpr;
+using gosrc::RangeStmt;
+using gosrc::SelectorExpr;
+using gosrc::Stmt;
+using gosrc::Tok;
+using gosrc::UnaryExpr;
+using gosrc::VarDeclStmt;
+
+// The identifier at the root of a receiver access path ("c" in
+// "c.shards[i].mu"), or null for shapes we do not understand.
+const Ident* RootIdent(const Expr* expr) {
+  while (expr != nullptr) {
+    if (const auto* ident = dynamic_cast<const Ident*>(expr)) {
+      return ident;
+    }
+    if (const auto* sel = dynamic_cast<const SelectorExpr*>(expr)) {
+      expr = sel->x;
+    } else if (const auto* index = dynamic_cast<const IndexExpr*>(expr)) {
+      expr = index->x;
+    } else if (const auto* paren = dynamic_cast<const ParenExpr*>(expr)) {
+      expr = paren->x;
+    } else if (const auto* unary = dynamic_cast<const UnaryExpr*>(expr)) {
+      expr = unary->x;
+    } else {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+// Collects every name the scope body defines (`:=`, `var`, range-define,
+// for/if init). Receiver paths rooted at such a name cannot be hoisted to
+// the root lock point, which may precede the definition; function-literal
+// bodies are separate scopes and are not descended into.
+void CollectDefinedNames(const Stmt* stmt, std::set<std::string>* names) {
+  if (stmt == nullptr) {
+    return;
+  }
+  if (const auto* block = dynamic_cast<const Block*>(stmt)) {
+    for (const Stmt* s : block->stmts) {
+      CollectDefinedNames(s, names);
+    }
+    return;
+  }
+  if (const auto* assign = dynamic_cast<const AssignStmt*>(stmt)) {
+    if (assign->op == Tok::kDefine) {
+      for (const Expr* lhs : assign->lhs) {
+        if (const auto* ident = dynamic_cast<const Ident*>(lhs)) {
+          names->insert(ident->name);
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* var = dynamic_cast<const VarDeclStmt*>(stmt)) {
+    names->insert(var->name);
+    return;
+  }
+  if (const auto* ifs = dynamic_cast<const IfStmt*>(stmt)) {
+    CollectDefinedNames(ifs->init, names);
+    CollectDefinedNames(ifs->then_block, names);
+    CollectDefinedNames(ifs->else_stmt, names);
+    return;
+  }
+  if (const auto* fors = dynamic_cast<const ForStmt*>(stmt)) {
+    CollectDefinedNames(fors->init, names);
+    CollectDefinedNames(fors->post, names);
+    CollectDefinedNames(fors->body, names);
+    return;
+  }
+  if (const auto* range = dynamic_cast<const RangeStmt*>(stmt)) {
+    if (range->define) {
+      if (const auto* ident = dynamic_cast<const Ident*>(range->key)) {
+        names->insert(ident->name);
+      }
+      if (const auto* ident = dynamic_cast<const Ident*>(range->value)) {
+        names->insert(ident->name);
+      }
+    }
+    CollectDefinedNames(range->body, names);
+    return;
+  }
+}
+
+// Textual identity of a member's lock word: the printed receiver path plus
+// the promoted-field suffix for anonymous mutexes. Two members printing
+// identically are a statically-certain self-nest (double-lock), not a
+// fusion opportunity.
+std::string LockWordKey(const LockOp& op) {
+  std::string key = gosrc::PrintExpr(*op.receiver_path);
+  if (op.via_anonymous_field) {
+    key += op.rwmutex ? ".RWMutex" : ".Mutex";
+  }
+  return key;
+}
+
+class Fuser {
+ public:
+  Fuser(const Cfg& cfg, const DominatorTree& dom, const DominatorTree& pdom,
+        const PointsTo& points_to, const CallGraph& call_graph,
+        const std::vector<PairGeometry>& geometry, int func_index,
+        FunctionReport* report, std::vector<FusedGroup>* groups)
+      : cfg_(cfg),
+        dom_(dom),
+        pdom_(pdom),
+        points_to_(points_to),
+        call_graph_(call_graph),
+        geometry_(geometry),
+        func_index_(func_index),
+        report_(report),
+        groups_(groups) {}
+
+  void Run() {
+    // Fusable raw material: pairs the per-pair analysis accepted, plus the
+    // may-aliased nests it rejected (rescued here via runtime dedup).
+    std::vector<int> eligible;
+    for (size_t i = 0; i < report_->pairs.size(); ++i) {
+      PairFate fate = report_->pairs[i].fate;
+      if (fate == PairFate::kTransformed ||
+          fate == PairFate::kNestedAliasIntra) {
+        eligible.push_back(static_cast<int>(i));
+      }
+    }
+    if (eligible.size() < 2) {
+      return;
+    }
+
+    CollectDefinedNames(report_->scope.body(), &defined_names_);
+
+    // Containment forest: parent(j) is the innermost eligible pair whose
+    // region properly contains j's.
+    std::vector<int> parent(report_->pairs.size(), -1);
+    std::vector<std::vector<int>> children(report_->pairs.size());
+    for (int j : eligible) {
+      int best = -1;
+      for (int i : eligible) {
+        if (i == j || !Contains(i, j)) {
+          continue;
+        }
+        if (best == -1 ||
+            dom_.Depth(geometry_[i].lock_block) >
+                dom_.Depth(geometry_[best].lock_block)) {
+          best = i;
+        }
+      }
+      parent[j] = best;
+      if (best != -1) {
+        children[best].push_back(j);
+      }
+    }
+
+    // Process forest roots in control-flow order (dominator depth of the
+    // root lock) so sibling regions number their OptiLocks in source
+    // order and the rewrite is deterministic.
+    std::vector<int> roots;
+    for (int root : eligible) {
+      if (parent[root] == -1 && !children[root].empty()) {
+        roots.push_back(root);
+      }
+    }
+    std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+      return dom_.Depth(geometry_[a].lock_block) <
+             dom_.Depth(geometry_[b].lock_block);
+    });
+    for (int root : roots) {
+      TryFuseSubtree(root, children);
+    }
+  }
+
+ private:
+  // Pair i's region properly contains pair j's: i's lock dominates j's lock
+  // and i's unlock post-dominates j's unlock. Blocks are unique per LU
+  // point (the CFG splitter guarantees one lock / one unlock per block), so
+  // i != j implies distinct geometry. This also soundly captures
+  // hand-over-hand overlap, whose fused coarsening is a superset of both
+  // regions.
+  bool Contains(int i, int j) const {
+    return dom_.Dominates(geometry_[i].lock_block, geometry_[j].lock_block) &&
+           pdom_.Dominates(geometry_[i].unlock_block,
+                           geometry_[j].unlock_block);
+  }
+
+  void CollectSubtree(int node, const std::vector<std::vector<int>>& children,
+                      std::vector<int>* members) const {
+    members->push_back(node);
+    for (int child : children[node]) {
+      CollectSubtree(child, children, members);
+    }
+  }
+
+  // Attempts to fuse root + all descendants as one region; on failure,
+  // recurses into each child subtree so inner nests still get their chance.
+  void TryFuseSubtree(int root, const std::vector<std::vector<int>>& children) {
+    std::vector<int> members;
+    CollectSubtree(root, children, &members);
+    if (members.size() >= 2 && FuseMembers(root, members)) {
+      return;
+    }
+    for (int child : children[root]) {
+      if (!children[child].empty()) {
+        TryFuseSubtree(child, children);
+      }
+    }
+  }
+
+  bool FuseMembers(int root, std::vector<int>& members) {
+    if (static_cast<int>(members.size()) > kMaxFusedLockSet) {
+      return false;
+    }
+
+    const LUPair& root_pair = report_->pairs[root];
+    std::set<std::string> word_keys;
+    PtsSet member_set;
+    for (int idx : members) {
+      const LUPair& pair = report_->pairs[idx];
+      // Write-mode only: FastLockSet acquires every member exclusively, so
+      // fusing an RLock member would silently serialize the readers the
+      // original program allowed to run in parallel.
+      if (pair.lock_op->op != LockOpKind::kLock ||
+          pair.unlock_op->op != LockOpKind::kUnlock) {
+        return false;
+      }
+      // Only the root may release via defer (the synthetic exit unlock
+      // cannot be post-dominated by anything else, so a non-root defer
+      // member is geometrically impossible; keep the guard defensive).
+      if (idx != root && pair.defer_unlock) {
+        return false;
+      }
+      // Hoisting a member's receiver to the root lock point requires the
+      // path to be evaluable there: its root identifier must not be a
+      // body-local definition.
+      const Ident* base = RootIdent(pair.lock_op->receiver_path);
+      if (base == nullptr || defined_names_.count(base->name) != 0) {
+        return false;
+      }
+      // Statically-certain self-nest: a double-lock bug, not a candidate.
+      if (!word_keys.insert(LockWordKey(*pair.lock_op)).second) {
+        return false;
+      }
+      // Inner members' textual lock/unlock statements must be plain
+      // expression statements so the transformer can delete them.
+      if (idx != root && !MemberStatementsRemovable(idx)) {
+        return false;
+      }
+      const PtsSet& locks = points_to_.MutexesOf(*pair.lock_op);
+      const PtsSet& unlocks = points_to_.MutexesOf(*pair.unlock_op);
+      member_set.insert(locks.begin(), locks.end());
+      member_set.insert(unlocks.begin(), unlocks.end());
+    }
+
+    // Re-run Definition 5.4 over the fused extent: the root's critical
+    // section. Every LU instruction inside it must belong to a member
+    // (strays — unmatched points or ineligible pairs — block fusion), and
+    // the call checks (condition 4 intra, conditions 3/4 inter) must hold
+    // against the union of member points-to sets.
+    std::unordered_set<const LockOp*> member_ops;
+    for (int idx : members) {
+      member_ops.insert(report_->pairs[idx].lock_op);
+      member_ops.insert(report_->pairs[idx].unlock_op);
+    }
+    for (const auto& block : cfg_.blocks()) {
+      if (!dom_.Dominates(geometry_[root].lock_block, block.get()) ||
+          !pdom_.Dominates(geometry_[root].unlock_block, block.get())) {
+        continue;
+      }
+      for (const Instr& instr : block->instrs) {
+        if (instr.kind == Instr::Kind::kLock ||
+            instr.kind == Instr::Kind::kUnlock) {
+          if (member_ops.count(instr.lock_op) == 0) {
+            return false;
+          }
+          continue;
+        }
+        if (instr.kind != Instr::Kind::kCall) {
+          continue;
+        }
+        if (!instr.callee_internal) {
+          if (IsUnfriendlyCallee(instr.callee)) {
+            return false;
+          }
+          continue;
+        }
+        if (call_graph_.TransitivelyUnfriendly(instr.callee)) {
+          return false;
+        }
+        if (PointsTo::Intersects(
+                call_graph_.TransitiveLockPointsTo(instr.callee),
+                member_set)) {
+          return false;
+        }
+      }
+    }
+
+    // Acquisition order: outermost first (the root), by lock-block depth.
+    std::sort(members.begin(), members.end(), [&](int a, int b) {
+      int da = dom_.Depth(geometry_[a].lock_block);
+      int db = dom_.Depth(geometry_[b].lock_block);
+      if (da != db) {
+        return da < db;
+      }
+      return geometry_[a].lock_block->id < geometry_[b].lock_block->id;
+    });
+
+    FusedGroup group;
+    group.func_index = func_index_;
+    group.member_indices = members;
+    group.scope = report_->scope;
+    group.defer_unlock = root_pair.defer_unlock;
+    for (int idx : members) {
+      LUPair& pair = report_->pairs[idx];
+      pair.fate = PairFate::kFusedMultiLock;
+      pair.reason = StrFormat(
+          "fused into a %d-lock region rooted at %d:%d",
+          static_cast<int>(members.size()), root_pair.lock_op->call->pos.line,
+          root_pair.lock_op->call->pos.column);
+    }
+    groups_->push_back(std::move(group));
+    return true;
+  }
+
+  // True when the pair's lock and unlock both sit in plain `m.Lock()`-style
+  // expression statements (deletable without disturbing control flow).
+  bool MemberStatementsRemovable(int idx) const {
+    for (const Instr* instr :
+         {geometry_[idx].lock_block->LockInstr(),
+          geometry_[idx].unlock_block->UnlockInstr()}) {
+      if (instr == nullptr || instr->synthetic_defer) {
+        return false;
+      }
+      const auto* stmt = dynamic_cast<const ExprStmt*>(instr->stmt);
+      if (stmt == nullptr || stmt->x != instr->lock_op->call) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Cfg& cfg_;
+  const DominatorTree& dom_;
+  const DominatorTree& pdom_;
+  const PointsTo& points_to_;
+  const CallGraph& call_graph_;
+  const std::vector<PairGeometry>& geometry_;
+  int func_index_;
+  FunctionReport* report_;
+  std::vector<FusedGroup>* groups_;
+  std::set<std::string> defined_names_;
+};
+
+}  // namespace
+
+void FuseMultiLockRegions(const Cfg& cfg, const DominatorTree& dom,
+                          const DominatorTree& pdom,
+                          const PointsTo& points_to,
+                          const CallGraph& call_graph,
+                          const std::vector<PairGeometry>& geometry,
+                          int func_index, FunctionReport* report,
+                          std::vector<FusedGroup>* groups) {
+  Fuser(cfg, dom, pdom, points_to, call_graph, geometry, func_index, report,
+        groups)
+      .Run();
+}
+
+}  // namespace gocc::analysis

@@ -1,0 +1,64 @@
+// Multi-lock region fusion (PR 9; DESIGN.md §4.13).
+//
+// When the LU-pair matcher finds properly nested lock regions — pair j's
+// lock dominated by pair i's lock AND pair j's unlock post-dominated by
+// pair i's unlock — the per-pair analysis either transforms them as
+// independent episodes (distinct mutexes) or rejects the outer one as
+// kNestedAliasIntra (may-aliasing mutexes). Since PR 8 the runtime can
+// subscribe up to kMaxLockSet lock words in ONE transaction
+// (OptiLock::WithLocks / FastLockSet), so neither outcome is the best one:
+// this pass builds the containment forest over each function's matched
+// pairs and fuses whole nests of <= kMaxFusedLockSet write-mode pairs into
+// one candidate set, re-running Definition 5.4's HTM-fitness checks over
+// the fused extent (the ROOT pair's critical section). Fused members get
+// PairFate::kFusedMultiLock and the transformer rewrites the root's two
+// calls to paired FastLockSet/FastUnlockSet calls, deleting the inner
+// textual lock/unlock statements.
+//
+// May-aliased nests are rescued soundly because the runtime address-sorts
+// and DEDUPES the admission set: two receiver expressions that dynamically
+// name the same mutex collapse to one lock word. Statically-certain
+// self-nests (two members with the identical receiver expression) are NOT
+// fused — that is a double-lock bug, reported by the lint pass instead.
+
+#ifndef GOCC_SRC_ANALYSIS_FUSION_H_
+#define GOCC_SRC_ANALYSIS_FUSION_H_
+
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/cfg.h"
+#include "src/analysis/dominators.h"
+#include "src/analysis/lupair.h"
+#include "src/analysis/pointsto.h"
+#include "src/gosrc/types.h"
+
+namespace gocc::analysis {
+
+// Mirror of optilib's kMaxLockSet (src/optilib/optilock.h); the analysis
+// layer does not include runtime headers, so the cross-layer equality is
+// static_assert'ed in tests/lint_runtime_crosscheck_test.cc.
+inline constexpr int kMaxFusedLockSet = 8;
+
+// The (lock block, unlock block) geometry of a matched pair, in the same
+// order as FunctionReport::pairs.
+struct PairGeometry {
+  const BasicBlock* lock_block = nullptr;
+  const BasicBlock* unlock_block = nullptr;
+};
+
+// Runs region fusion for one analyzed function scope. Mutates member pair
+// fates in `report` (kTransformed / kNestedAliasIntra -> kFusedMultiLock)
+// and appends one FusedGroup per fused region to `groups`, with
+// `func_index` recorded so the groups stay valid across vector moves.
+void FuseMultiLockRegions(const Cfg& cfg, const DominatorTree& dom,
+                          const DominatorTree& pdom,
+                          const PointsTo& points_to,
+                          const CallGraph& call_graph,
+                          const std::vector<PairGeometry>& geometry,
+                          int func_index, FunctionReport* report,
+                          std::vector<FusedGroup>* groups);
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_FUSION_H_

@@ -1,0 +1,396 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/lockorder.h"
+#include "src/gosrc/printer.h"
+#include "src/support/strings.h"
+
+namespace gocc::analysis {
+
+using gosrc::Block;
+using gosrc::DeferStmt;
+using gosrc::ForStmt;
+using gosrc::FuncLit;
+using gosrc::IfStmt;
+using gosrc::LockOp;
+using gosrc::LockOpKind;
+using gosrc::RangeStmt;
+using gosrc::Stmt;
+
+namespace {
+
+// Indexed by static_cast<int>(LintKind). kLockOrderInversion must stay
+// byte-identical to MisuseKindName(MisuseKind::kLockOrderInversion) in
+// src/support/misuse.cc — asserted by tests/lint_runtime_crosscheck_test.cc.
+constexpr const char* kLintKindNames[] = {
+    "double-lock",          "unlock-without-lock", "lock-leak",
+    "defer-unlock-in-loop", "lock-order-inversion",
+};
+static_assert(sizeof(kLintKindNames) / sizeof(kLintKindNames[0]) ==
+                  kNumLintKinds,
+              "kLintKindNames must cover every LintKind value");
+static_assert(static_cast<int>(LintKind::kLockOrderInversion) ==
+                  kNumLintKinds - 1,
+              "kNumLintKinds must track the last LintKind value");
+
+// Paths explored per scope before the DFS gives up (loops multiply states;
+// real functions converge through the held-set memo long before this).
+constexpr int kMaxLintStates = 4096;
+
+std::string ObjectDescription(const PointsTo& points_to, int id) {
+  for (const MutexObject& object : points_to.objects()) {
+    if (object.id == id) {
+      return object.description;
+    }
+  }
+  return StrFormat("mutex#%d", id);
+}
+
+std::string DescribeSet(const PointsTo& points_to, const PtsSet& set) {
+  std::vector<std::string> parts;
+  for (int id : set) {
+    parts.push_back(ObjectDescription(points_to, id));
+  }
+  return StrJoin(parts, "|");
+}
+
+bool UnlockMatchesLock(LockOpKind lock, LockOpKind unlock) {
+  return (lock == LockOpKind::kLock && unlock == LockOpKind::kUnlock) ||
+         (lock == LockOpKind::kRLock && unlock == LockOpKind::kRUnlock);
+}
+
+// Lints one function scope: the syntactic defer-in-loop walk plus the
+// path-sensitive held-lockset DFS. Lock-order edges go to the shared graph.
+class ScopeLinter {
+ public:
+  ScopeLinter(const FuncScope& scope, const gosrc::TypeInfo& types,
+              const PointsTo& points_to, const CallGraph& call_graph,
+              LockOrderGraph* graph, LintResult* result)
+      : scope_(scope),
+        types_(types),
+        points_to_(points_to),
+        call_graph_(call_graph),
+        graph_(graph),
+        result_(result) {}
+
+  void Run() {
+    CollectDeferUnlocks();
+    WalkForDeferInLoop(scope_.body(), /*loop_depth=*/0);
+
+    auto cfg = Cfg::Build(scope_, types_);
+    if (!cfg.ok() || !(*cfg)->exit_reachable()) {
+      return;  // multi-defer / infinite-loop shapes: syntactic checks only
+    }
+    RunPathDfs(**cfg);
+  }
+
+ private:
+  // ----- defer-unlock-in-loop (syntactic) -----
+
+  void CollectDeferUnlocks() {
+    for (const LockOp& op : types_.lock_ops()) {
+      if (op.func == scope_.func && op.inner_func == scope_.lit &&
+          op.in_defer && !gosrc::IsAcquire(op.op)) {
+        defer_unlocks_[op.defer_stmt] = &op;
+      }
+    }
+  }
+
+  void WalkForDeferInLoop(const Stmt* stmt, int loop_depth) {
+    if (stmt == nullptr) {
+      return;
+    }
+    if (const auto* block = dynamic_cast<const Block*>(stmt)) {
+      for (const Stmt* s : block->stmts) {
+        WalkForDeferInLoop(s, loop_depth);
+      }
+      return;
+    }
+    if (const auto* defer = dynamic_cast<const DeferStmt*>(stmt)) {
+      auto it = defer_unlocks_.find(defer);
+      if (it != defer_unlocks_.end() && loop_depth > 0) {
+        const LockOp& op = *it->second;
+        Report(LintKind::kDeferUnlockInLoop, op.call->pos,
+               DescribeSet(points_to_, points_to_.MutexesOf(op)),
+               StrFormat("defer %s at %d:%d sits inside a loop; the "
+                         "release piles up until function exit",
+                         gosrc::PrintExpr(*op.call).c_str(),
+                         op.call->pos.line, op.call->pos.column));
+      }
+      return;
+    }
+    if (const auto* ifs = dynamic_cast<const IfStmt*>(stmt)) {
+      WalkForDeferInLoop(ifs->then_block, loop_depth);
+      WalkForDeferInLoop(ifs->else_stmt, loop_depth);
+      return;
+    }
+    if (const auto* fors = dynamic_cast<const ForStmt*>(stmt)) {
+      WalkForDeferInLoop(fors->body, loop_depth + 1);
+      return;
+    }
+    if (const auto* range = dynamic_cast<const RangeStmt*>(stmt)) {
+      WalkForDeferInLoop(range->body, loop_depth + 1);
+      return;
+    }
+    // Function literals are separate scopes with their own ScopeLinter.
+  }
+
+  // ----- path-sensitive held-lockset DFS -----
+
+  void RunPathDfs(const Cfg& cfg) {
+    struct State {
+      const BasicBlock* block;
+      std::vector<const LockOp*> held;  // acquisition order
+    };
+    std::vector<State> stack;
+    std::set<std::string> visited;
+    stack.push_back({cfg.entry(), {}});
+    visited.insert(StateKey(cfg.entry(), {}));
+
+    while (!stack.empty()) {
+      if (static_cast<int>(visited.size()) > kMaxLintStates) {
+        ++result_->functions_capped;
+        return;
+      }
+      State state = std::move(stack.back());
+      stack.pop_back();
+
+      for (const Instr& instr : state.block->instrs) {
+        switch (instr.kind) {
+          case Instr::Kind::kLock:
+            OnLock(*instr.lock_op, &state.held);
+            break;
+          case Instr::Kind::kUnlock:
+            OnUnlock(*instr.lock_op, &state.held);
+            break;
+          case Instr::Kind::kCall:
+            OnCall(instr, state.held);
+            break;
+          default:
+            break;
+        }
+      }
+
+      if (state.block->succs.empty()) {
+        for (const LockOp* held : state.held) {
+          Report(LintKind::kLockLeak, held->call->pos,
+                 DescribeSet(points_to_, points_to_.MutexesOf(*held)),
+                 StrFormat("lock acquired at %d:%d may still be held when "
+                           "the function exits on some path",
+                           held->call->pos.line, held->call->pos.column),
+                 /*dedupe_key=*/StrFormat("leak@%p", (const void*)held));
+        }
+        continue;
+      }
+      for (const BasicBlock* succ : state.block->succs) {
+        if (visited.insert(StateKey(succ, state.held)).second) {
+          stack.push_back({succ, state.held});
+        }
+      }
+    }
+  }
+
+  void OnLock(const LockOp& op, std::vector<const LockOp*>* held) {
+    const PtsSet& set = points_to_.MutexesOf(op);
+    if (set.empty()) {
+      return;  // unresolved receiver: don't guess
+    }
+    for (const LockOp* prior : *held) {
+      const PtsSet& prior_set = points_to_.MutexesOf(*prior);
+      if (!PointsTo::Intersects(set, prior_set)) {
+        // Distinct mutexes: a nested acquisition, i.e. an order edge.
+        for (int from : prior_set) {
+          for (int to : set) {
+            if (graph_->AddEdge(
+                    from, to,
+                    StrFormat("%s: %s held since %d:%d, then %s at %d:%d",
+                              scope_.Name().c_str(),
+                              gosrc::PrintExpr(*prior->receiver_path).c_str(),
+                              prior->call->pos.line, prior->call->pos.column,
+                              gosrc::PrintExpr(*op.receiver_path).c_str(),
+                              op.call->pos.line, op.call->pos.column),
+                    op.call->pos)) {
+              ++result_->lock_order_edges;
+            }
+          }
+        }
+        continue;
+      }
+      // Aliasing re-acquisition. Read-read nesting is legal in Go; flag
+      // only when either side takes the write lock.
+      if (op.op == LockOpKind::kLock || prior->op == LockOpKind::kLock) {
+        Report(LintKind::kDoubleLock, op.call->pos,
+               DescribeSet(points_to_, set),
+               StrFormat("mutex may already be held (acquired at %d:%d) "
+                         "when re-acquired at %d:%d — this path deadlocks",
+                         prior->call->pos.line, prior->call->pos.column,
+                         op.call->pos.line, op.call->pos.column),
+               StrFormat("double@%p/%p", (const void*)prior,
+                         (const void*)&op));
+      }
+    }
+    held->push_back(&op);
+  }
+
+  void OnUnlock(const LockOp& op, std::vector<const LockOp*>* held) {
+    const PtsSet& set = points_to_.MutexesOf(op);
+    if (set.empty()) {
+      return;
+    }
+    // Pop the most recent aliasing entry, preferring mode-compatible ones.
+    for (auto it = held->rbegin(); it != held->rend(); ++it) {
+      if (UnlockMatchesLock((*it)->op, op.op) &&
+          PointsTo::Intersects(points_to_.MutexesOf(**it), set)) {
+        held->erase(std::next(it).base());
+        return;
+      }
+    }
+    for (auto it = held->rbegin(); it != held->rend(); ++it) {
+      if (PointsTo::Intersects(points_to_.MutexesOf(**it), set)) {
+        held->erase(std::next(it).base());  // wrong mode: pop silently
+        return;
+      }
+    }
+    Report(LintKind::kUnlockWithoutLock, op.call->pos,
+           DescribeSet(points_to_, set),
+           StrFormat("unlock at %d:%d executes on a path where the mutex "
+                     "is not held",
+                     op.call->pos.line, op.call->pos.column),
+           StrFormat("unpaired@%p", (const void*)&op));
+  }
+
+  void OnCall(const Instr& instr, const std::vector<const LockOp*>& held) {
+    if (!instr.callee_internal || held.empty()) {
+      return;
+    }
+    const PtsSet& callee_locks =
+        call_graph_.TransitiveLockPointsTo(instr.callee);
+    if (callee_locks.empty()) {
+      return;
+    }
+    for (const LockOp* prior : held) {
+      for (int from : points_to_.MutexesOf(*prior)) {
+        for (int to : callee_locks) {
+          if (graph_->AddEdge(
+                  from, to,
+                  StrFormat("%s: %s held since %d:%d, then call %s at %d:%d "
+                            "which locks %s",
+                            scope_.Name().c_str(),
+                            gosrc::PrintExpr(*prior->receiver_path).c_str(),
+                            prior->call->pos.line, prior->call->pos.column,
+                            instr.callee.c_str(), instr.call->pos.line,
+                            instr.call->pos.column,
+                            ObjectDescription(points_to_, to).c_str()),
+                  instr.call->pos)) {
+            ++result_->lock_order_edges;
+          }
+        }
+      }
+    }
+  }
+
+  // ----- shared plumbing -----
+
+  std::string StateKey(const BasicBlock* block,
+                       const std::vector<const LockOp*>& held) {
+    std::string key = StrFormat("%d:", block->id);
+    for (const LockOp* op : held) {
+      key += StrFormat("%p,", (const void*)op);
+    }
+    return key;
+  }
+
+  void Report(LintKind kind, gosrc::Position pos, const std::string& mutex,
+              const std::string& message, const std::string& dedupe_key = "") {
+    std::string key = dedupe_key.empty()
+                          ? StrFormat("%d@%d:%d", static_cast<int>(kind),
+                                      pos.line, pos.column)
+                          : dedupe_key;
+    if (!reported_.insert(key).second) {
+      return;
+    }
+    LintFinding finding;
+    finding.kind = kind;
+    finding.function = scope_.Name();
+    finding.pos = pos;
+    finding.mutex = mutex;
+    finding.message = message;
+    result_->findings.push_back(std::move(finding));
+  }
+
+  const FuncScope& scope_;
+  const gosrc::TypeInfo& types_;
+  const PointsTo& points_to_;
+  const CallGraph& call_graph_;
+  LockOrderGraph* graph_;
+  LintResult* result_;
+  std::map<const DeferStmt*, const LockOp*> defer_unlocks_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace
+
+const char* LintKindName(LintKind kind) {
+  int index = static_cast<int>(kind);
+  if (index < 0 || index >= kNumLintKinds) {
+    return "?";
+  }
+  return kLintKindNames[index];
+}
+
+LintResult LintProgram(const gosrc::TypeInfo& types, const PointsTo& points_to,
+                       const CallGraph& call_graph) {
+  LintResult result;
+  LockOrderGraph graph;
+  for (const gosrc::FuncDecl* fd : types.functions()) {
+    for (const FuncScope& scope : Cfg::ScopesOf(fd)) {
+      ScopeLinter(scope, types, points_to, call_graph, &graph, &result).Run();
+    }
+  }
+
+  for (const LockOrderGraph::Cycle& cycle : graph.FindCycles()) {
+    std::vector<std::string> names;
+    for (int id : cycle.nodes) {
+      names.push_back(ObjectDescription(points_to, id));
+    }
+    std::vector<std::string> witnesses;
+    for (const LockOrderEdge* edge : cycle.witnesses) {
+      witnesses.push_back(edge->witness);
+    }
+    LintFinding finding;
+    finding.kind = LintKind::kLockOrderInversion;
+    finding.function = "";  // whole-program
+    finding.pos = cycle.witnesses.empty() ? gosrc::Position{}
+                                          : cycle.witnesses.front()->pos;
+    finding.mutex = StrJoin(names, ", ");
+    finding.message = StrFormat(
+        "potential deadlock: lock-order cycle among {%s}; witnesses: %s",
+        StrJoin(names, ", ").c_str(), StrJoin(witnesses, " ; ").c_str());
+    result.findings.push_back(std::move(finding));
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.function != b.function) {
+                       return a.function < b.function;
+                     }
+                     if (a.pos.line != b.pos.line) {
+                       return a.pos.line < b.pos.line;
+                     }
+                     if (a.pos.column != b.pos.column) {
+                       return a.pos.column < b.pos.column;
+                     }
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  return result;
+}
+
+}  // namespace gocc::analysis

@@ -1,0 +1,75 @@
+// gocc-lint: static lock-misuse diagnosis (PR 9; DESIGN.md §4.13).
+//
+// Walks the same CFG / points-to / callgraph state as the LU-pair analyzer
+// and reports, at analysis time, the misuse classes the runtime's 8-kind
+// taxonomy (src/support/misuse.h) otherwise detects at first crash:
+//
+//   * double-lock          — a path acquires a mutex already held
+//     (path-sensitive DFS over the CFG with per-path held-locksets keyed
+//     by points-to object ids),
+//   * unlock-without-lock  — a path releases a mutex no held entry may
+//     alias,
+//   * lock-leak            — an exit path skips the release,
+//   * defer-unlock-in-loop — `defer m.Unlock()` syntactically inside a
+//     loop piles up releases until function exit (a classic Go bug),
+//   * lock-order-inversion — cycles in the whole-program lock-order graph
+//     (src/analysis/lockorder.h), reported with every witness path. The
+//     kind name is byte-identical to the runtime MisuseKindName so the
+//     static and dynamic taxonomies name the same site.
+//
+// Findings are advisory: the pipeline still transforms cleanly-analyzed
+// pairs. Cycles in particular are reported rather than rejected because
+// the sorted-2PL fallback executes inverted sets deadlock-free.
+
+#ifndef GOCC_SRC_ANALYSIS_LINT_H_
+#define GOCC_SRC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/pointsto.h"
+#include "src/gosrc/token.h"
+#include "src/gosrc/types.h"
+
+namespace gocc::analysis {
+
+enum class LintKind {
+  kDoubleLock,
+  kUnlockWithoutLock,
+  kLockLeak,
+  kDeferUnlockInLoop,
+  kLockOrderInversion,
+};
+
+// Keep in sync with the name table in lint.cc (static_assert'ed there).
+inline constexpr int kNumLintKinds = 5;
+
+// Kebab-case kind name; kLockOrderInversion matches the runtime's
+// MisuseKindName(MisuseKind::kLockOrderInversion) byte-for-byte.
+const char* LintKindName(LintKind kind);
+
+struct LintFinding {
+  LintKind kind = LintKind::kDoubleLock;
+  std::string function;  // scope name; empty for whole-program findings
+  gosrc::Position pos;
+  std::string mutex;    // points-to object description(s)
+  std::string message;  // human-readable diagnosis with witnesses
+};
+
+struct LintResult {
+  // Sorted by (function, line, column, kind) for stable tool output.
+  std::vector<LintFinding> findings;
+  int lock_order_edges = 0;  // edges in the whole-program order graph
+  int functions_capped = 0;  // scopes whose path DFS hit the state cap
+};
+
+// Runs the linter over the whole program. Never fails: unanalyzable
+// shapes (multi-defer functions, unreachable exits) simply skip the
+// path-sensitive checks; the syntactic defer-in-loop walk still runs.
+LintResult LintProgram(const gosrc::TypeInfo& types, const PointsTo& points_to,
+                       const CallGraph& call_graph);
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_LINT_H_

@@ -1,0 +1,138 @@
+#include "src/analysis/lockorder.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gocc::analysis {
+
+bool LockOrderGraph::AddEdge(int from, int to, const std::string& witness,
+                             gosrc::Position pos) {
+  if (from == to) {
+    return false;
+  }
+  if (!seen_.insert({from, to}).second) {
+    return false;
+  }
+  LockOrderEdge edge;
+  edge.from = from;
+  edge.to = to;
+  edge.witness = witness;
+  edge.pos = pos;
+  edges_.push_back(std::move(edge));
+  return true;
+}
+
+namespace {
+
+// Iterative Tarjan SCC over the (tiny) edge-induced node set.
+class Tarjan {
+ public:
+  explicit Tarjan(const std::map<int, std::vector<int>>& adj) : adj_(adj) {}
+
+  std::vector<std::vector<int>> Run() {
+    for (const auto& [node, unused] : adj_) {
+      if (index_.count(node) == 0) {
+        Strongconnect(node);
+      }
+    }
+    return sccs_;
+  }
+
+ private:
+  struct Frame {
+    int node;
+    size_t next_succ = 0;
+  };
+
+  void Strongconnect(int start) {
+    std::vector<Frame> call_stack;
+    call_stack.push_back({start});
+    Begin(start);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::vector<int>& succs = adj_.at(frame.node);
+      if (frame.next_succ < succs.size()) {
+        int succ = succs[frame.next_succ++];
+        if (index_.count(succ) == 0) {
+          if (adj_.count(succ) != 0) {
+            Begin(succ);
+            call_stack.push_back({succ});
+          } else {
+            // Sink with no outgoing edges: a singleton SCC; assign an
+            // index so it is never revisited.
+            index_[succ] = next_index_;
+            lowlink_[succ] = next_index_;
+            ++next_index_;
+          }
+        } else if (on_stack_.count(succ) != 0) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], index_[succ]);
+        }
+        continue;
+      }
+      int node = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink_[call_stack.back().node] =
+            std::min(lowlink_[call_stack.back().node], lowlink_[node]);
+      }
+      if (lowlink_[node] == index_[node]) {
+        std::vector<int> scc;
+        while (true) {
+          int top = stack_.back();
+          stack_.pop_back();
+          on_stack_.erase(top);
+          scc.push_back(top);
+          if (top == node) {
+            break;
+          }
+        }
+        if (scc.size() >= 2) {
+          std::sort(scc.begin(), scc.end());
+          sccs_.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+
+  void Begin(int node) {
+    index_[node] = next_index_;
+    lowlink_[node] = next_index_;
+    ++next_index_;
+    stack_.push_back(node);
+    on_stack_.insert(node);
+  }
+
+  const std::map<int, std::vector<int>>& adj_;
+  std::map<int, int> index_;
+  std::map<int, int> lowlink_;
+  std::vector<int> stack_;
+  std::set<int> on_stack_;
+  int next_index_ = 0;
+  std::vector<std::vector<int>> sccs_;
+};
+
+}  // namespace
+
+std::vector<LockOrderGraph::Cycle> LockOrderGraph::FindCycles() const {
+  std::map<int, std::vector<int>> adj;
+  for (const LockOrderEdge& edge : edges_) {
+    adj[edge.from].push_back(edge.to);
+    adj.try_emplace(edge.to);  // ensure every node has an adjacency row
+  }
+  std::vector<Cycle> cycles;
+  for (std::vector<int>& scc : Tarjan(adj).Run()) {
+    Cycle cycle;
+    cycle.nodes = std::move(scc);
+    std::set<int> members(cycle.nodes.begin(), cycle.nodes.end());
+    for (const LockOrderEdge& edge : edges_) {
+      if (members.count(edge.from) != 0 && members.count(edge.to) != 0) {
+        cycle.witnesses.push_back(&edge);
+      }
+    }
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+}  // namespace gocc::analysis

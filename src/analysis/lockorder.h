@@ -1,0 +1,59 @@
+// Whole-program lock-order graph (PR 9; DESIGN.md §4.13).
+//
+// Nodes are abstract mutex objects (PointsTo::MutexObject ids); a directed
+// edge a -> b records that some path acquires b while holding a — either
+// directly (nested acquisition inside one function) or through a call
+// (holding a while calling a function whose transitive lock points-to set
+// contains b). Cycles in this graph are *potential* lock-order inversions:
+// two threads driving the cycle's witness paths concurrently can deadlock
+// under plain locks. The lint pass reports them (with both witness paths)
+// rather than rejecting the sites, because the runtime's sorted-2PL
+// fallback already executes such sets deadlock-free and counts the event
+// under the identical `lock-order-inversion` misuse name.
+
+#ifndef GOCC_SRC_ANALYSIS_LOCKORDER_H_
+#define GOCC_SRC_ANALYSIS_LOCKORDER_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/gosrc/token.h"
+
+namespace gocc::analysis {
+
+struct LockOrderEdge {
+  int from = 0;  // mutex object id held
+  int to = 0;    // mutex object id acquired while `from` is held
+  std::string witness;   // human-readable acquisition path
+  gosrc::Position pos;   // the second acquisition (or the call site)
+};
+
+class LockOrderGraph {
+ public:
+  // Records an edge; self-edges are dropped (that is double-lock
+  // territory) and duplicate (from, to) pairs keep their first witness.
+  // Returns true when a new edge was stored.
+  bool AddEdge(int from, int to, const std::string& witness,
+               gosrc::Position pos);
+
+  const std::vector<LockOrderEdge>& edges() const { return edges_; }
+
+  struct Cycle {
+    std::vector<int> nodes;  // sorted object ids of the SCC
+    std::vector<const LockOrderEdge*> witnesses;  // edges inside the SCC
+  };
+
+  // Strongly connected components with >= 2 nodes, i.e. the potential
+  // lock-order inversions, each with every witness edge inside it.
+  std::vector<Cycle> FindCycles() const;
+
+ private:
+  std::vector<LockOrderEdge> edges_;
+  std::set<std::pair<int, int>> seen_;
+};
+
+}  // namespace gocc::analysis
+
+#endif  // GOCC_SRC_ANALYSIS_LOCKORDER_H_

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/analysis/dominators.h"
+#include "src/analysis/fusion.h"
 #include "src/support/strings.h"
 
 namespace gocc::analysis {
@@ -11,22 +12,59 @@ namespace gocc::analysis {
 using gosrc::LockOp;
 using gosrc::LockOpKind;
 
+namespace {
+
+// Indexed by static_cast<int>(PairFate); the static_assert keeps the table
+// and the enum in lockstep so a new fate can't silently print as garbage.
+constexpr const char* kPairFateNames[] = {
+    "transformed",        "cold-function",      "unfit-intra",
+    "unfit-inter",        "nested-alias-intra", "nested-alias-inter",
+    "fused-multilock",
+};
+static_assert(sizeof(kPairFateNames) / sizeof(kPairFateNames[0]) ==
+                  kNumPairFates,
+              "kPairFateNames must cover every PairFate value");
+static_assert(static_cast<int>(PairFate::kFusedMultiLock) ==
+                  kNumPairFates - 1,
+              "kNumPairFates must track the last PairFate value");
+
+}  // namespace
+
 const char* PairFateName(PairFate fate) {
-  switch (fate) {
-    case PairFate::kTransformed:
-      return "transformed";
-    case PairFate::kColdFunction:
-      return "cold-function";
-    case PairFate::kUnfitIntra:
-      return "unfit-intra";
-    case PairFate::kUnfitInter:
-      return "unfit-inter";
-    case PairFate::kNestedAliasIntra:
-      return "nested-alias-intra";
-    case PairFate::kNestedAliasInter:
-      return "nested-alias-inter";
+  int index = static_cast<int>(fate);
+  if (index < 0 || index >= kNumPairFates) {
+    return "?";
   }
-  return "?";
+  return kPairFateNames[index];
+}
+
+std::string FunnelToString(const FunnelCounts& c) {
+  return StrFormat(
+      "lock_points %d\n"
+      "unlock_points %d\n"
+      "defer_unlock_points %d\n"
+      "dominance_violations %d\n"
+      "candidate_pairs %d\n"
+      "unfit_intra %d\n"
+      "unfit_inter %d\n"
+      "nested_alias_intra %d\n"
+      "nested_alias_inter %d\n"
+      "transformed %d\n"
+      "transformed_defer %d\n"
+      "transformed_with_profile %d\n"
+      "transformed_defer_with_profile %d\n"
+      "fused_pairs %d\n"
+      "fused_regions %d\n"
+      "fused_pairs_with_profile %d\n"
+      "fused_regions_with_profile %d\n"
+      "lint_findings %d\n",
+      c.lock_points, c.unlock_points, c.defer_unlock_points,
+      c.dominance_violations, c.candidate_pairs, c.unfit_intra, c.unfit_inter,
+      c.nested_alias_intra, c.nested_alias_inter, c.transformed,
+      c.transformed_defer, c.transformed_with_profile,
+      c.transformed_defer_with_profile, c.fused_pairs, c.fused_regions,
+      c.fused_pairs_with_profile, c.fused_regions_with_profile,
+      c.lint_findings);
 }
 
 std::vector<const LUPair*> AnalysisResult::TransformList(
@@ -39,6 +77,23 @@ std::vector<const LUPair*> AnalysisResult::TransformList(
         list.push_back(&pair);
       }
     }
+  }
+  return list;
+}
+
+std::vector<FusedRewrite> AnalysisResult::FusedRewrites(
+    bool use_profile) const {
+  std::vector<FusedRewrite> list;
+  for (const FusedGroup& group : fused_groups) {
+    if (use_profile && group.cold) {
+      continue;
+    }
+    FusedRewrite rewrite;
+    rewrite.defer_unlock = group.defer_unlock;
+    for (int idx : group.member_indices) {
+      rewrite.members.push_back(&functions[group.func_index].pairs[idx]);
+    }
+    list.push_back(std::move(rewrite));
   }
   return list;
 }
@@ -70,12 +125,18 @@ class ScopeAnalyzer {
   void Run(FunctionReport* report) {
     CollectPoints(report);
     MatchPairs(report);
-    for (LUPair& pair : report->pairs) {
-      ClassifyPair(&pair);
+    for (size_t i = 0; i < report->pairs.size(); ++i) {
+      ClassifyPair(i, &report->pairs[i]);
     }
     report->dominance_violations = static_cast<int>(
         unmatched_locks_.size() + unmatched_unlocks_.size());
   }
+
+  // Inputs the fusion pass needs: the (post-)dominator trees and the
+  // per-pair block geometry, indexed like FunctionReport::pairs.
+  const DominatorTree& dom() const { return dom_; }
+  const DominatorTree& pdom() const { return pdom_; }
+  const std::vector<PairGeometry>& geometry() const { return pair_blocks_; }
 
  private:
   struct Point {
@@ -208,7 +269,8 @@ class ScopeAnalyzer {
   // Blocks of the critical section guarded by pair i:
   // { B : lockBlock dom B and unlockBlock pdom B }.
   std::vector<const BasicBlock*> CriticalSectionBlocks(size_t pair_idx) const {
-    const auto& [lock_block, unlock_block] = pair_blocks_[pair_idx];
+    const BasicBlock* lock_block = pair_blocks_[pair_idx].lock_block;
+    const BasicBlock* unlock_block = pair_blocks_[pair_idx].unlock_block;
     std::vector<const BasicBlock*> cs;
     for (const auto& block : cfg_.blocks()) {
       if (dom_.Dominates(lock_block, block.get()) &&
@@ -219,8 +281,7 @@ class ScopeAnalyzer {
     return cs;
   }
 
-  void ClassifyPair(LUPair* pair) {
-    size_t idx = static_cast<size_t>(pair - &pair_blocks_owner()->pairs[0]);
+  void ClassifyPair(size_t idx, LUPair* pair) {
     const auto cs_blocks = CriticalSectionBlocks(idx);
 
     PtsSet pair_set = points_to_.MutexesOf(*pair->lock_op);
@@ -289,12 +350,6 @@ class ScopeAnalyzer {
     pair->fate = PairFate::kTransformed;
   }
 
-  // ClassifyPair needs the report to index pair_blocks_; stash it.
- public:
-  FunctionReport* pair_blocks_owner() { return report_; }
-  void set_report(FunctionReport* report) { report_ = report; }
-
- private:
   const Cfg& cfg_;
   const gosrc::TypeInfo& types_;
   const PointsTo& points_to_;
@@ -305,8 +360,7 @@ class ScopeAnalyzer {
   std::vector<Point> unlocks_;
   std::vector<Point*> unmatched_locks_;
   std::vector<Point*> unmatched_unlocks_;
-  std::vector<std::pair<const BasicBlock*, const BasicBlock*>> pair_blocks_;
-  FunctionReport* report_ = nullptr;
+  std::vector<PairGeometry> pair_blocks_;
 };
 
 }  // namespace
@@ -314,7 +368,8 @@ class ScopeAnalyzer {
 StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
                                         const PointsTo& points_to,
                                         const CallGraph& call_graph,
-                                        const profile::Profile* profile) {
+                                        const profile::Profile* profile,
+                                        bool fuse_multilock) {
   AnalysisResult result;
   for (const gosrc::FuncDecl* fd : types.functions()) {
     for (const FuncScope& scope : Cfg::ScopesOf(fd)) {
@@ -366,13 +421,19 @@ StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
       }
 
       ScopeAnalyzer analyzer(**cfg, types, points_to, call_graph);
-      analyzer.set_report(&report);
       analyzer.Run(&report);
+      if (fuse_multilock) {
+        FuseMultiLockRegions(**cfg, analyzer.dom(), analyzer.pdom(),
+                             points_to, call_graph, analyzer.geometry(),
+                             static_cast<int>(result.functions.size()),
+                             &report, &result.fused_groups);
+      }
       result.functions.push_back(std::move(report));
     }
   }
 
-  // Profile filtering: demote transformed pairs in cold functions.
+  // Profile filtering: demote transformed pairs (and fused regions) in cold
+  // functions.
   for (FunctionReport& report : result.functions) {
     for (LUPair& pair : report.pairs) {
       if (pair.fate == PairFate::kTransformed && profile != nullptr &&
@@ -380,6 +441,12 @@ StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
         pair.fate = PairFate::kColdFunction;
         pair.reason = "function below the 1% execution-time threshold";
       }
+    }
+  }
+  for (FusedGroup& group : result.fused_groups) {
+    if (profile != nullptr &&
+        !profile->IsHot(gosrc::FuncKey(*group.scope.func))) {
+      group.cold = true;
     }
   }
 
@@ -419,7 +486,19 @@ StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
           }
           break;
         }
+        case PairFate::kFusedMultiLock:
+          // Counted below per group, so the funnel also reports regions.
+          break;
       }
+    }
+  }
+  for (const FusedGroup& group : result.fused_groups) {
+    ++counts.fused_regions;
+    counts.fused_pairs += static_cast<int>(group.member_indices.size());
+    if (!group.cold) {
+      ++counts.fused_regions_with_profile;
+      counts.fused_pairs_with_profile +=
+          static_cast<int>(group.member_indices.size());
     }
   }
   if (profile == nullptr) {

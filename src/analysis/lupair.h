@@ -32,7 +32,11 @@ enum class PairFate {
   kUnfitInter,        // HTM-unfriendly instruction via a callee
   kNestedAliasIntra,  // aliasing LU-point inside the CS
   kNestedAliasInter,  // aliasing LU-point via a callee
+  kFusedMultiLock,    // absorbed into a fused multi-lock region
 };
+
+// Keep in sync with the name table in lupair.cc (static_assert'ed there).
+inline constexpr int kNumPairFates = 7;
 
 const char* PairFateName(PairFate fate);
 
@@ -56,7 +60,7 @@ struct FunctionReport {
   std::vector<LUPair> pairs;
 };
 
-// Table 1's per-repo funnel counters.
+// Table 1's per-repo funnel counters (plus the PR-9 fused/lint columns).
 struct FunnelCounts {
   int lock_points = 0;
   int unlock_points = 0;
@@ -71,23 +75,64 @@ struct FunnelCounts {
   int transformed_defer = 0;
   int transformed_with_profile = 0;
   int transformed_defer_with_profile = 0;
+  // Multi-lock fusion: pairs absorbed into fused regions, and the region
+  // count itself (each region fuses >= 2 pairs). Conservation invariant:
+  //   candidate_pairs == unfit_intra + unfit_inter + nested_alias_intra
+  //                    + nested_alias_inter + transformed + fused_pairs.
+  int fused_pairs = 0;
+  int fused_regions = 0;
+  int fused_pairs_with_profile = 0;
+  int fused_regions_with_profile = 0;
+  // Static misuse findings (filled by the lint pass via RunPipeline; zero
+  // when AnalyzeProgram is called directly).
+  int lint_findings = 0;
+};
+
+// Canonical `name value` rendering of every funnel column, one per line —
+// the format of the committed corpus/<repo>/funnel.golden files.
+std::string FunnelToString(const FunnelCounts& counts);
+
+// A fused multi-lock region: >= 2 properly nested LU-pairs over distinct
+// lock words, rewritten as one FastLockSet/FastUnlockSet episode. Indices
+// are stable across vector moves (pairs are addressed as
+// functions[func_index].pairs[member_index]).
+struct FusedGroup {
+  int func_index = -1;              // into AnalysisResult::functions
+  std::vector<int> member_indices;  // into FunctionReport::pairs, outermost
+                                    // (root) first, in acquisition order
+  FuncScope scope;
+  bool defer_unlock = false;  // the root pair releases via defer
+  bool cold = false;          // enclosing function below the 1% threshold
+};
+
+// Pointer-based view of a FusedGroup handed to the transformer.
+struct FusedRewrite {
+  std::vector<const LUPair*> members;  // outermost (root) first
+  bool defer_unlock = false;
 };
 
 struct AnalysisResult {
   std::vector<FunctionReport> functions;
+  std::vector<FusedGroup> fused_groups;
   FunnelCounts counts;
 
   // The pairs to rewrite (fate == kTransformed; when a profile was given,
   // cold pairs are excluded).
   std::vector<const LUPair*> TransformList(bool use_profile) const;
+
+  // The fused regions to rewrite (cold ones excluded under a profile).
+  std::vector<FusedRewrite> FusedRewrites(bool use_profile) const;
 };
 
 // Runs the full analysis. `profile` may be null (no profile filtering; the
 // funnel still reports the with-profile column as equal to without).
+// `fuse_multilock` enables the multi-lock region-fusion pass; pass false to
+// reproduce the paper's original single-lock funnel.
 StatusOr<AnalysisResult> AnalyzeProgram(const gosrc::TypeInfo& types,
                                         const PointsTo& points_to,
                                         const CallGraph& call_graph,
-                                        const profile::Profile* profile);
+                                        const profile::Profile* profile,
+                                        bool fuse_multilock = true);
 
 }  // namespace gocc::analysis
 

@@ -30,6 +30,14 @@ StatusOr<PipelineOutput> RunPipeline(const PipelineInput& input) {
   profile::Profile profile;
   const profile::Profile* profile_ptr = nullptr;
   if (input.has_profile) {
+    // GCC 12 misdiagnoses the inlined destructor chain of the moved-from
+    // StatusOr<Profile> temporary as freeing a non-heap pointer (the SSO
+    // buffer of a std::string inside the variant); there is no real
+    // deallocation here. Scoped suppression of the false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
     auto parsed_profile = profile::Profile::Parse(input.profile_text);
     if (!parsed_profile.ok()) {
       return parsed_profile.status();
@@ -37,18 +45,29 @@ StatusOr<PipelineOutput> RunPipeline(const PipelineInput& input) {
     profile = std::move(*parsed_profile);
     profile_ptr = &profile;
   }
+  // The temporary's destructor runs at the block's closing brace, so the
+  // suppression must span it.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   auto analysis = AnalyzeProgram(*output.types, **points_to, *call_graph,
-                                 profile_ptr);
+                                 profile_ptr, input.fuse_multilock);
   if (!analysis.ok()) {
     return analysis.status();
   }
   output.analysis = std::move(*analysis);
 
-  auto pairs = output.analysis.TransformList(/*use_profile=*/profile_ptr !=
-                                             nullptr);
+  // Lint before transforming: the rewriter mutates the AST in place.
+  output.lint = LintProgram(*output.types, **points_to, *call_graph);
+  output.analysis.counts.lint_findings =
+      static_cast<int>(output.lint.findings.size());
+
+  const bool use_profile = profile_ptr != nullptr;
+  auto pairs = output.analysis.TransformList(use_profile);
+  auto fused = output.analysis.FusedRewrites(use_profile);
   auto transformed = transform::TransformProgram(output.program.get(),
-                                                 *output.types, pairs);
+                                                 *output.types, pairs, fused);
   if (!transformed.ok()) {
     return transformed.status();
   }

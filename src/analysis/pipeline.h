@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/lint.h"
 #include "src/analysis/lupair.h"
 #include "src/gosrc/types.h"
 #include "src/profile/profile.h"
@@ -25,6 +26,9 @@ struct PipelineInput {
   // Optional profile text (§5.2.6 1% filter applies when present).
   std::string profile_text;
   bool has_profile = false;
+  // Multi-lock region fusion (DESIGN.md §4.13); false reproduces the
+  // paper's original single-lock funnel.
+  bool fuse_multilock = true;
 };
 
 struct PipelineOutput {
@@ -32,6 +36,9 @@ struct PipelineOutput {
   std::unique_ptr<gosrc::Program> program;
   std::unique_ptr<gosrc::TypeInfo> types;
   AnalysisResult analysis;
+  // Static misuse findings (gocc-lint), collected over the *untransformed*
+  // program; analysis.counts.lint_findings mirrors the finding count.
+  LintResult lint;
   transform::TransformOutcome transform;
 };
 

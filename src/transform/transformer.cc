@@ -1,6 +1,8 @@
 #include "src/transform/transformer.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "src/gosrc/printer.h"
@@ -74,6 +76,33 @@ class FileRewriter {
     touched_ = true;
   }
 
+  // Rewrites a fused multi-lock region: the root pair's two calls become
+  // optiLockN.FastLockSet(m1, ..., mk) / optiLockN.FastUnlockSet(...) —
+  // the defer form rewrites the deferred call in place — and the inner
+  // members' textual lock/unlock statements are deleted (the set episode
+  // subsumes them).
+  void RewriteFused(const analysis::FusedRewrite& rewrite) {
+    const LUPair& root = *rewrite.members.front();
+    std::string lock_name = OptiLockNameFor(root);
+
+    // One argument per member, in acquisition order; the fusion pass
+    // guarantees the printed receiver paths are pairwise distinct.
+    std::vector<const LockOp*> member_ops;
+    for (const LUPair* member : rewrite.members) {
+      member_ops.push_back(member->lock_op);
+    }
+    RewriteSetCall(*root.lock_op, lock_name, "FastLockSet", member_ops);
+    RewriteSetCall(*root.unlock_op, lock_name, "FastUnlockSet", member_ops);
+
+    std::set<const CallExpr*> inner_calls;
+    for (size_t i = 1; i < rewrite.members.size(); ++i) {
+      inner_calls.insert(rewrite.members[i]->lock_op->call);
+      inner_calls.insert(rewrite.members[i]->unlock_op->call);
+    }
+    RemoveLockStmts(const_cast<Block*>(root.scope.body()), inner_calls);
+    touched_ = true;
+  }
+
   void Finish() {
     if (!touched_) {
       return;
@@ -128,6 +157,64 @@ class FileRewriter {
     call->fn = fast_sel;
     call->args.clear();
     call->args.push_back(mutex_arg);
+  }
+
+  // Rewrites the root call of a fused region into
+  // `optiLockN.<method>(<m1 ptr>, ..., <mk ptr>)`. Each argument reuses
+  // BuildMutexPointerArg, so value receivers gain `&` and promoted
+  // anonymous mutexes their field suffix exactly like single-lock rewrites.
+  void RewriteSetCall(const LockOp& op, const std::string& lock_name,
+                      const char* method,
+                      const std::vector<const LockOp*>& member_ops) {
+    auto* call = const_cast<CallExpr*>(op.call);
+
+    auto* opti_ident = arena().New<Ident>(call->pos);
+    opti_ident->name = lock_name;
+    auto* fast_sel = arena().New<SelectorExpr>(call->pos);
+    fast_sel->x = opti_ident;
+    fast_sel->sel = method;
+
+    call->fn = fast_sel;
+    call->args.clear();
+    for (const LockOp* member : member_ops) {
+      call->args.push_back(BuildMutexPointerArg(*member));
+    }
+  }
+
+  // Deletes the plain `m.Lock()` / `m.Unlock()` expression statements of a
+  // fused region's inner members, recursing through the scope's nested
+  // blocks (but not into function literals — separate scopes).
+  void RemoveLockStmts(Block* block, const std::set<const CallExpr*>& calls) {
+    if (block == nullptr) {
+      return;
+    }
+    auto& stmts = block->stmts;
+    stmts.erase(std::remove_if(stmts.begin(), stmts.end(),
+                               [&](Stmt* stmt) {
+                                 auto* expr_stmt =
+                                     dynamic_cast<gosrc::ExprStmt*>(stmt);
+                                 return expr_stmt != nullptr &&
+                                        calls.count(dynamic_cast<CallExpr*>(
+                                            expr_stmt->x)) != 0;
+                               }),
+                stmts.end());
+    for (Stmt* stmt : stmts) {
+      if (auto* nested = dynamic_cast<Block*>(stmt)) {
+        RemoveLockStmts(nested, calls);
+      } else if (auto* ifs = dynamic_cast<gosrc::IfStmt*>(stmt)) {
+        RemoveLockStmts(ifs->then_block, calls);
+        Stmt* else_stmt = ifs->else_stmt;
+        while (auto* else_if = dynamic_cast<gosrc::IfStmt*>(else_stmt)) {
+          RemoveLockStmts(else_if->then_block, calls);
+          else_stmt = else_if->else_stmt;
+        }
+        RemoveLockStmts(dynamic_cast<Block*>(else_stmt), calls);
+      } else if (auto* fors = dynamic_cast<gosrc::ForStmt*>(stmt)) {
+        RemoveLockStmts(fors->body, calls);
+      } else if (auto* range = dynamic_cast<gosrc::RangeStmt*>(stmt)) {
+        RemoveLockStmts(range->body, calls);
+      }
+    }
   }
 
   // Builds the `*sync.Mutex`-typed argument from the receiver access path:
@@ -185,7 +272,8 @@ class FileRewriter {
 
 StatusOr<TransformOutcome> TransformProgram(
     gosrc::Program* program, const gosrc::TypeInfo& types,
-    const std::vector<const LUPair*>& pairs) {
+    const std::vector<const LUPair*>& pairs,
+    const std::vector<analysis::FusedRewrite>& fused) {
   TransformOutcome outcome;
 
   // Diff against the *pretty-printed* original AST (not the raw source) so
@@ -196,18 +284,39 @@ StatusOr<TransformOutcome> TransformProgram(
   }
 
   std::unordered_map<ParsedFile*, std::unique_ptr<FileRewriter>> rewriters;
-  for (const LUPair* pair : pairs) {
-    ParsedFile* file = FileOf(program, pair->scope.func);
+  auto rewriter_for = [&](const FuncDecl* func)
+      -> StatusOr<FileRewriter*> {
+    ParsedFile* file = FileOf(program, func);
     if (file == nullptr) {
-      return InternalError(StrFormat("no file owns function %s",
-                                     pair->scope.func->name.c_str()));
+      return InternalError(
+          StrFormat("no file owns function %s", func->name.c_str()));
     }
     auto& rewriter = rewriters[file];
     if (rewriter == nullptr) {
       rewriter = std::make_unique<FileRewriter>(file, types);
     }
-    rewriter->RewritePair(*pair);
+    return rewriter.get();
+  };
+
+  for (const LUPair* pair : pairs) {
+    auto rewriter = rewriter_for(pair->scope.func);
+    if (!rewriter.ok()) {
+      return rewriter.status();
+    }
+    (*rewriter)->RewritePair(*pair);
     ++outcome.pairs_rewritten;
+  }
+  for (const analysis::FusedRewrite& rewrite : fused) {
+    if (rewrite.members.size() < 2) {
+      return InternalError("fused rewrite with fewer than two members");
+    }
+    auto rewriter = rewriter_for(rewrite.members.front()->scope.func);
+    if (!rewriter.ok()) {
+      return rewriter.status();
+    }
+    (*rewriter)->RewriteFused(rewrite);
+    ++outcome.fused_regions_rewritten;
+    outcome.fused_members_rewritten += static_cast<int>(rewrite.members.size());
   }
   for (auto& [file, rewriter] : rewriters) {
     rewriter->Finish();

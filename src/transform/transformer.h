@@ -34,16 +34,22 @@ struct FileChange {
 };
 
 struct TransformOutcome {
-  int pairs_rewritten = 0;
+  int pairs_rewritten = 0;           // single-lock FastLock/FastUnlock pairs
+  int fused_regions_rewritten = 0;   // FastLockSet/FastUnlockSet episodes
+  int fused_members_rewritten = 0;   // pairs absorbed into those episodes
   std::vector<FileChange> files;  // every program file, touched or not
 };
 
-// Applies the rewrites for `pairs` to the ASTs in `program` (in place) and
-// renders per-file diffs. Pairs must come from an AnalyzeProgram run over
-// the same program.
+// Applies the rewrites for `pairs` (single-lock episodes) and `fused`
+// (multi-lock regions: the root pair's calls become paired
+// FastLockSet/FastUnlockSet calls over every member's mutex, and the inner
+// members' textual lock/unlock statements are deleted) to the ASTs in
+// `program` (in place), then renders per-file diffs. Both lists must come
+// from an AnalyzeProgram run over the same program.
 StatusOr<TransformOutcome> TransformProgram(
     gosrc::Program* program, const gosrc::TypeInfo& types,
-    const std::vector<const analysis::LUPair*>& pairs);
+    const std::vector<const analysis::LUPair*>& pairs,
+    const std::vector<analysis::FusedRewrite>& fused = {});
 
 }  // namespace gocc::transform
 

@@ -1,0 +1,81 @@
+// Golden-funnel regression tests: the per-repo analysis funnel (including
+// the fused multi-lock and lint columns) is pinned to a checked-in
+// `funnel.golden` file per corpus package. A mismatch prints a unified
+// diff; set GOCC_UPDATE_GOLDENS=1 to rewrite the goldens in place.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/corpus_util.h"
+#include "src/analysis/lupair.h"
+#include "src/support/diff.h"
+
+namespace gocc::bench {
+namespace {
+
+std::string GoldenPathFor(const CorpusRepo& repo) {
+  // The golden lives next to the sources: corpus/<dir>/funnel.golden.
+  const std::string& first = repo.go_files.front();
+  return first.substr(0, first.rfind('/')) + "/funnel.golden";
+}
+
+bool UpdateGoldens() {
+  const char* env = std::getenv("GOCC_UPDATE_GOLDENS");
+  return env != nullptr && env[0] == '1';
+}
+
+void CheckRepoFunnel(const CorpusRepo& repo) {
+  SCOPED_TRACE(repo.name);
+  auto output = RunOnRepo(repo, /*use_profile=*/true);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  const std::string actual =
+      analysis::FunnelToString(output->analysis.counts);
+  const std::string golden_path = GoldenPathFor(repo);
+
+  if (UpdateGoldens()) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    return;
+  }
+
+  auto golden = ReadFileToString(golden_path);
+  ASSERT_TRUE(golden.ok())
+      << golden.status().ToString()
+      << " — run with GOCC_UPDATE_GOLDENS=1 to create it";
+  EXPECT_EQ(*golden, actual) << UnifiedDiff(golden_path, "actual funnel",
+                                            *golden, actual);
+}
+
+TEST(FunnelGolden, CorpusReposMatchGoldens) {
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    CheckRepoFunnel(repo);
+  }
+}
+
+TEST(FunnelGolden, FixtureReposMatchGoldens) {
+  for (const CorpusRepo& repo : FixtureRepos(DefaultCorpusDir())) {
+    CheckRepoFunnel(repo);
+  }
+}
+
+// The five evaluated packages must stay lint-clean: gocc-lint's value
+// depends on a near-zero false-positive rate on real-world code.
+TEST(FunnelGolden, CorpusReposAreLintClean) {
+  for (const CorpusRepo& repo : CorpusRepos(DefaultCorpusDir())) {
+    SCOPED_TRACE(repo.name);
+    auto output = RunOnRepo(repo, /*use_profile=*/false);
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    for (const auto& finding : output->lint.findings) {
+      ADD_FAILURE() << repo.name << ": unexpected lint finding: "
+                    << finding.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gocc::bench

@@ -1,0 +1,294 @@
+// Multi-lock region fusion (DESIGN.md §4.13): containment-forest
+// construction, the width / mode / locality gates, rewrite shapes
+// (textual and defer unlock, '&' insertion for value receivers), profile
+// demotion of cold groups, and the re-parse round trip over the
+// multilock ledger fixture.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/corpus_util.h"
+#include "src/analysis/fusion.h"
+#include "src/analysis/lupair.h"
+#include "src/analysis/pipeline.h"
+#include "src/gosrc/parser.h"
+#include "src/gosrc/printer.h"
+
+namespace gocc::analysis {
+namespace {
+
+PipelineOutput RunFusion(const std::string& src, bool fuse = true,
+                   const std::string& profile = "") {
+  PipelineInput input;
+  input.sources.push_back({"fusion.go", src});
+  input.fuse_multilock = fuse;
+  if (!profile.empty()) {
+    input.profile_text = profile;
+    input.has_profile = true;
+  }
+  auto output = RunPipeline(input);
+  EXPECT_TRUE(output.ok()) << output.status().ToString();
+  return std::move(*output);
+}
+
+TEST(FusionTest, WidthGateSplitsOversizedNest) {
+  // A 9-deep nest exceeds kMaxFusedLockSet (8): the full subtree is
+  // rejected, the recursion fuses the widest admissible inner subtree,
+  // and the leftover root pair still transforms individually.
+  std::string src = "package p\n\nimport \"sync\"\n\nvar x int\n";
+  for (int i = 0; i < 9; ++i) {
+    src += "var m" + std::to_string(i) + " sync.Mutex\n";
+  }
+  src += "\nfunc f() {\n";
+  for (int i = 0; i < 9; ++i) {
+    src += "\tm" + std::to_string(i) + ".Lock()\n";
+  }
+  src += "\tx++\n";
+  for (int i = 8; i >= 0; --i) {
+    src += "\tm" + std::to_string(i) + ".Unlock()\n";
+  }
+  src += "}\n";
+  auto out = RunFusion(src);
+  const auto& c = out.analysis.counts;
+  EXPECT_EQ(c.candidate_pairs, 9);
+  EXPECT_EQ(c.fused_pairs, kMaxFusedLockSet);
+  EXPECT_EQ(c.fused_regions, 1);
+  EXPECT_EQ(c.transformed, 1);
+}
+
+TEST(FusionTest, ReadModeMemberBlocksFusion) {
+  // FastLockSet acquires every member in write mode; fusing an RLock
+  // would serialize the readers, so the nest stays two single episodes.
+  auto out = RunFusion(R"(package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int64
+}
+
+func f(s *S) int64 {
+	s.mu.Lock()
+	s.rw.RLock()
+	n := s.n
+	s.rw.RUnlock()
+	s.mu.Unlock()
+	return n
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 0);
+  EXPECT_EQ(out.analysis.counts.transformed, 2);
+}
+
+TEST(FusionTest, FunctionLocalMutexBlocksFusion) {
+  // The set acquisition hoists to the root lock's position, which may
+  // precede a member declared inside the function body — such members
+  // keep their own episodes.
+  auto out = RunFusion(R"(package p
+
+import "sync"
+
+var outer sync.Mutex
+var x int
+
+func f() {
+	outer.Lock()
+	var inner sync.Mutex
+	inner.Lock()
+	x++
+	inner.Unlock()
+	outer.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 0);
+}
+
+TEST(FusionTest, IdenticalReceiverTextBlocksFusion) {
+  // A statically certain self-nest is a double-lock bug, not a fusion
+  // opportunity: report it (gocc-lint) instead of papering over it.
+  auto out = RunFusion(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f() {
+	m.Lock()
+	m.Lock()
+	x++
+	m.Unlock()
+	m.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 0);
+  EXPECT_GE(out.analysis.counts.lint_findings, 1);
+}
+
+TEST(FusionTest, CallInRegionBlocksFusion) {
+  // The fused extent must satisfy Definition 5.4 over the *root* critical
+  // section: an unfriendly (external) call anywhere inside blocks the
+  // whole group, even though the inner pair alone would be clean.
+  auto out = RunFusion(R"(package p
+
+import (
+	"sync"
+	"fmt"
+)
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func f() {
+	a.Lock()
+	fmt.Println(x)
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 0);
+  // The outer pair is unfit (call in CS); the inner one still transforms.
+  EXPECT_EQ(out.analysis.counts.transformed, 1);
+  EXPECT_EQ(out.analysis.counts.unfit_intra, 1);
+}
+
+TEST(FusionTest, SiblingNestsFuseSeparately) {
+  // Two disjoint nests in one function become two independent regions,
+  // each with its own OptiLock.
+  auto out = RunFusion(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var c sync.Mutex
+var d sync.Mutex
+var x int
+
+func f() {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+	c.Lock()
+	d.Lock()
+	x++
+	d.Unlock()
+	c.Unlock()
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 4);
+  EXPECT_EQ(out.analysis.counts.fused_regions, 2);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("optiLock1.FastLockSet(&a, &b)"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("optiLock2.FastLockSet(&c, &d)"), std::string::npos)
+      << after;
+}
+
+TEST(FusionTest, ProfileDemotesColdGroupsWithoutChangingFate) {
+  const char* src = R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func hot() {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+
+func cold() {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+)";
+  auto out = RunFusion(src, /*fuse=*/true, "hot 0.9\ncold 0.001\n");
+  const auto& c = out.analysis.counts;
+  EXPECT_EQ(c.fused_pairs, 4);
+  EXPECT_EQ(c.fused_regions, 2);
+  EXPECT_EQ(c.fused_pairs_with_profile, 2);
+  EXPECT_EQ(c.fused_regions_with_profile, 1);
+  // The cold group keeps its fused fate; only the rewrite is withheld.
+  ASSERT_EQ(out.analysis.fused_groups.size(), 2u);
+  int cold_groups = 0;
+  for (const auto& group : out.analysis.fused_groups) {
+    cold_groups += group.cold ? 1 : 0;
+  }
+  EXPECT_EQ(cold_groups, 1);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("func cold() {\n\ta.Lock()"), std::string::npos)
+      << "cold body must keep its plain locks\n"
+      << after;
+}
+
+TEST(FusionTest, MultilockFixtureRoundTripsThroughReparse) {
+  // End-to-end over the checked-in ledger fixture: every nested region
+  // fuses, the rewritten source re-parses, and a second analysis pass
+  // finds nothing left to elide or fuse.
+  auto repos = bench::FixtureRepos(bench::DefaultCorpusDir());
+  ASSERT_FALSE(repos.empty());
+  auto first = bench::RunOnRepo(repos[0], /*use_profile=*/false);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->analysis.counts.fused_regions, 5);
+  EXPECT_EQ(first->analysis.counts.fused_pairs, 11);
+  EXPECT_EQ(first->analysis.counts.transformed, 2);
+
+  ASSERT_EQ(first->transform.files.size(), 1u);
+  const std::string& after = first->transform.files[0].after;
+  auto reparsed = gosrc::ParseFile("ledger2.go", after);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << after;
+  EXPECT_EQ(gosrc::PrintFile(*reparsed->file), after);
+
+  PipelineInput second_input;
+  second_input.sources.push_back({"ledger2.go", after});
+  auto second = RunPipeline(second_input);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->analysis.counts.candidate_pairs, 0) << after;
+  EXPECT_EQ(second->analysis.counts.fused_pairs, 0) << after;
+}
+
+TEST(FusionTest, DeferRootEmitsDeferredUnlockSet) {
+  auto out = RunFusion(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func f() int {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	x++
+	b.Unlock()
+	return x
+}
+)");
+  EXPECT_EQ(out.analysis.counts.fused_pairs, 2);
+  ASSERT_EQ(out.analysis.fused_groups.size(), 1u);
+  EXPECT_TRUE(out.analysis.fused_groups[0].defer_unlock);
+  const std::string& after = out.transform.files[0].after;
+  EXPECT_NE(after.find("defer optiLock1.FastUnlockSet(&a, &b)"),
+            std::string::npos)
+      << after;
+}
+
+}  // namespace
+}  // namespace gocc::analysis

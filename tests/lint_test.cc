@@ -1,0 +1,228 @@
+// gocc-lint (DESIGN.md §4.13): per-kind detection over the seeded misuse
+// fixtures, false-positive guards on clean shapes, and exhaustiveness
+// guards pinning the PairFate / LintKind name tables to their enums.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/corpus_util.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/lupair.h"
+#include "src/analysis/pipeline.h"
+
+namespace gocc::analysis {
+namespace {
+
+LintResult LintSource(const std::string& src) {
+  PipelineInput input;
+  input.sources.push_back({"lint.go", src});
+  auto output = RunPipeline(input);
+  EXPECT_TRUE(output.ok()) << output.status().ToString();
+  return std::move(output->lint);
+}
+
+std::vector<LintFinding> LintFixture(const std::string& rel) {
+  bench::CorpusRepo repo;
+  repo.name = rel;
+  repo.go_files = {bench::DefaultCorpusDir() + "/" + rel};
+  auto output = bench::RunOnRepo(repo, /*use_profile=*/false);
+  EXPECT_TRUE(output.ok()) << output.status().ToString();
+  return output.ok() ? output->lint.findings : std::vector<LintFinding>{};
+}
+
+int CountKind(const std::vector<LintFinding>& findings, LintKind kind) {
+  int n = 0;
+  for (const auto& f : findings) {
+    n += f.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+// --- exhaustiveness guards ---------------------------------------------------
+
+TEST(LintExhaustiveness, EveryLintKindHasAUniqueName) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumLintKinds; ++i) {
+    const char* name = LintKindName(static_cast<LintKind>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(LintExhaustiveness, EveryPairFateHasAUniqueName) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumPairFates; ++i) {
+    const char* name = PairFateName(static_cast<PairFate>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  // The fused fate is the newest addition; pin its spelling.
+  EXPECT_STREQ(PairFateName(PairFate::kFusedMultiLock), "fused-multilock");
+}
+
+// --- seeded fixtures ---------------------------------------------------------
+
+TEST(LintFixtures, DoubleLock) {
+  auto findings = LintFixture("misuse/double_lock.go");
+  EXPECT_EQ(CountKind(findings, LintKind::kDoubleLock), 1);
+}
+
+TEST(LintFixtures, UnlockWithoutLock) {
+  auto findings = LintFixture("misuse/unlock_without_lock.go");
+  EXPECT_EQ(CountKind(findings, LintKind::kUnlockWithoutLock), 1);
+}
+
+TEST(LintFixtures, LockLeak) {
+  auto findings = LintFixture("misuse/lock_leak.go");
+  EXPECT_EQ(CountKind(findings, LintKind::kLockLeak), 1);
+}
+
+TEST(LintFixtures, DeferUnlockInLoop) {
+  auto findings = LintFixture("misuse/defer_in_loop.go");
+  EXPECT_EQ(CountKind(findings, LintKind::kDeferUnlockInLoop), 1);
+  // The loop-carried defer also implies a real double-lock and a leak on
+  // the path where the loop runs twice; the path DFS reports them too.
+  EXPECT_GE(CountKind(findings, LintKind::kDoubleLock), 1);
+}
+
+TEST(LintFixtures, LockOrderInversionCycleNamesBothWitnesses) {
+  auto findings = LintFixture("misuse/order_inversion.go");
+  ASSERT_EQ(CountKind(findings, LintKind::kLockOrderInversion), 1);
+  for (const auto& f : findings) {
+    if (f.kind != LintKind::kLockOrderInversion) {
+      continue;
+    }
+    EXPECT_TRUE(f.function.empty()) << "cycles are whole-program findings";
+    EXPECT_NE(f.message.find("LockAB"), std::string::npos) << f.message;
+    EXPECT_NE(f.message.find("LockBA"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintFixtures, WholeMisuseSuiteIsStableAndSorted) {
+  bench::CorpusRepo repo;
+  repo.name = "misuse";
+  for (const char* file :
+       {"misuse/double_lock.go", "misuse/unlock_without_lock.go",
+        "misuse/lock_leak.go", "misuse/defer_in_loop.go",
+        "misuse/order_inversion.go"}) {
+    repo.go_files.push_back(bench::DefaultCorpusDir() + "/" + file);
+  }
+  auto output = bench::RunOnRepo(repo, /*use_profile=*/false);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  const auto& findings = output->lint.findings;
+  EXPECT_GE(findings.size(), 5u);
+  // Sorted by (function, position, kind): deterministic CLI output.
+  for (size_t i = 1; i < findings.size(); ++i) {
+    const auto& a = findings[i - 1];
+    const auto& b = findings[i];
+    EXPECT_LE(std::tie(a.function, a.pos.line, a.pos.column),
+              std::tie(b.function, b.pos.line, b.pos.column));
+  }
+  // Every seeded kind appears at least once across the suite.
+  for (int i = 0; i < kNumLintKinds; ++i) {
+    EXPECT_GE(CountKind(findings, static_cast<LintKind>(i)), 1)
+        << LintKindName(static_cast<LintKind>(i));
+  }
+}
+
+// --- false-positive guards ---------------------------------------------------
+
+TEST(LintCleanShapes, ReaderInReaderIsNotADoubleLock) {
+  auto lint = LintSource(R"(package p
+
+import "sync"
+
+var rw sync.RWMutex
+var x int
+
+func f() int {
+	rw.RLock()
+	rw.RLock()
+	n := x
+	rw.RUnlock()
+	rw.RUnlock()
+	return n
+}
+)");
+  EXPECT_EQ(CountKind(lint.findings, LintKind::kDoubleLock), 0);
+}
+
+TEST(LintCleanShapes, BalancedBranchesAreClean) {
+  auto lint = LintSource(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f(c bool) {
+	if c {
+		m.Lock()
+		x++
+		m.Unlock()
+	} else {
+		m.Lock()
+		x--
+		m.Unlock()
+	}
+}
+)");
+  EXPECT_TRUE(lint.findings.empty());
+}
+
+TEST(LintCleanShapes, DeferOutsideLoopIsClean) {
+  auto lint = LintSource(R"(package p
+
+import "sync"
+
+var m sync.Mutex
+var x int
+
+func f() {
+	m.Lock()
+	defer m.Unlock()
+	for i := 0; i < 10; i++ {
+		x++
+	}
+}
+)");
+  EXPECT_TRUE(lint.findings.empty());
+}
+
+TEST(LintCleanShapes, ConsistentOrderBuildsEdgesButNoCycle) {
+  auto lint = LintSource(R"(package p
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+var x int
+
+func f() {
+	a.Lock()
+	b.Lock()
+	x++
+	b.Unlock()
+	a.Unlock()
+}
+
+func g() {
+	a.Lock()
+	b.Lock()
+	x--
+	b.Unlock()
+	a.Unlock()
+}
+)");
+  EXPECT_GE(lint.lock_order_edges, 1);
+  EXPECT_EQ(CountKind(lint.findings, LintKind::kLockOrderInversion), 0);
+}
+
+}  // namespace
+}  // namespace gocc::analysis

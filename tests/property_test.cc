@@ -185,10 +185,13 @@ TEST_P(PipelineProperty, PipelineNeverFailsAndConservesFunnel) {
 
   const FunnelCounts& c = out.analysis.counts;
   // Funnel conservation: every candidate pair is accounted for exactly once.
+  // Fusion only relabels kTransformed / kNestedAliasIntra pairs, so the sum
+  // still covers the candidates.
   EXPECT_EQ(c.candidate_pairs, c.transformed + c.unfit_intra + c.unfit_inter +
                                    c.nested_alias_intra +
-                                   c.nested_alias_inter)
+                                   c.nested_alias_inter + c.fused_pairs)
       << src;
+  EXPECT_LE(c.fused_regions * 2, c.fused_pairs) << src;
   // Each candidate pair consumes one lock point and one unlock point.
   EXPECT_LE(c.candidate_pairs, c.lock_points) << src;
   EXPECT_LE(c.candidate_pairs, c.unlock_points) << src;
@@ -236,6 +239,10 @@ TEST_P(PipelineProperty, TransformationIsIdempotent) {
   auto second = RunPipeline(second_input);
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_EQ(second->analysis.counts.transformed, 0)
+      << first.transform.files[0].after;
+  // FastLockSet calls are not sync.Mutex operations either, so no fused
+  // region may be rediscovered on the rewritten output.
+  EXPECT_EQ(second->analysis.counts.fused_pairs, 0)
       << first.transform.files[0].after;
 }
 
