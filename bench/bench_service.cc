@@ -1,0 +1,430 @@
+// Service-tier figure: the sharded cache router (src/service, DESIGN.md
+// §4.14) driven OPEN-LOOP — arrivals come from a Poisson schedule at a
+// configured rate, not from how fast the service happens to answer, so the
+// reported tail includes the queueing delay a closed loop would hide
+// (coordinated omission). End-to-end latency per request = scheduling lag
+// (gopool::OpenLoopOp::lag_ns) + measured service time, and the same lag is
+// passed into the router as already-burned deadline budget.
+//
+// [measured] sweeps (shards × threads × arrival rate × skew) for both
+// policies — lock (Pessimistic: raw RWMutex shard sections) and gocc
+// (Elided: optiLib episodes) — plus a "storm" cell per shard count: theta
+// 0.99 with ZipfianGenerator phase shifts rotating the hot set mid-run, the
+// hot-key-storm regime the admission/hedging machinery exists for. Every
+// cell reports p50/p99/p999 end-to-end, the outcome breakdown (ok / miss /
+// shed_deadline / shed_overload / rejected_quarantine / failed), hedge and
+// health counters, and asserts the conservation identity: every issued
+// request landed in exactly one outcome. A violation fails the binary.
+//
+// [simulated]: sim::ServiceScenario mirrors the router's contention
+// structure (key_space = shards, one lock per request) through the DES at
+// 8-64 cores — the scaling range this host cannot run.
+//
+// --gate: SLO gate mode for `ctest -L perf-smoke` (Release only). Runs one
+// calibrated gocc cell at a sub-saturation arrival rate and fails unless
+// the conservation oracle holds AND end-to-end p99 stays under the
+// admission shed threshold (cfg.p99_shed_us): at a rate the service is
+// provisioned for, the robustness layer must be invisible. Retries a few
+// times so a host-load burst on shared CI does not fail the build.
+//
+// Knobs: GOCC_SVC_* (service config, src/service/service.cc),
+// GOCC_SVC_BENCH_KEYS (key space, default 1024), GOCC_SVC_BENCH_WRITE_FRAC
+// (default 0.1), GOCC_SVC_GATE_RATE (gate arrivals/sec, default 40000).
+// Flags: --quick (CI smoke), --gate (SLO gate only).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gopool/gopool.h"
+#include "src/htm/stats.h"
+#include "src/optilib/optilock.h"
+#include "src/service/router.h"
+#include "src/service/service.h"
+#include "src/support/histogram.h"
+#include "src/support/strings.h"
+#include "src/support/zipf.h"
+#include "src/workloads/policy.h"
+
+namespace gocc::bench {
+namespace {
+
+int EnvInt(const char* name, int def, int lo, int hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  int out = std::atoi(v);
+  if (out < lo) out = lo;
+  if (out > hi) out = hi;
+  return out;
+}
+
+double EnvDouble(const char* name, double def, double lo, double hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  double out = std::atof(v);
+  if (out < lo) out = lo;
+  if (out > hi) out = hi;
+  return out;
+}
+
+std::string ThetaStr(double theta) { return gocc::StrFormat("%g", theta); }
+
+struct SvcKnobs {
+  int key_space = 1024;      // keys 1..key_space (0 is the empty-slot marker)
+  double write_frac = 0.1;
+  double gate_rate = 40000.0;
+};
+
+constexpr uint64_t kSvcSeed = 0x5eedca11f005ccULL;
+constexpr uint64_t kStormRotationSeed = 0x570a4d00ULL;
+
+// Per-worker state, indexed by OpenLoopOp::thread so the measured path
+// touches nothing shared: its own Zipfian stream, its own write-mix rng,
+// its own latency histogram.
+struct Worker {
+  support::ZipfianGenerator zipf;
+  gocc::SplitMix64 op_rng;
+  support::LatencyHistogram hist;      // end-to-end: lag + service time
+  support::LatencyHistogram svc_hist;  // service time only (router-owned)
+
+  Worker(uint64_t keys, double theta, uint64_t seed)
+      : zipf(keys, theta, seed), op_rng(seed ^ 0xf00dULL) {}
+};
+
+struct CellOut {
+  double p99_ns = 0.0;          // end-to-end (includes open-loop lag)
+  double p99_service_ns = 0.0;  // service time only
+  bool oracle_ok = false;
+  uint64_t completed = 0;
+};
+
+// One (mode, shards, threads, rate, theta[, storm]) cell: build a fresh
+// service, preload the key space, warm up open-loop, then measure one
+// window and check the conservation identity against exactly the requests
+// the measured window issued.
+template <typename Policy>
+CellOut RunServiceCell(const char* mode, int shards, int threads, double rate,
+                       double theta, bool storm, const SvcKnobs& knobs,
+                       std::chrono::milliseconds window,
+                       int* oracle_failures) {
+  ResetRuntimeState();
+  service::ServiceConfig cfg = service::DefaultConfig();
+  cfg.shards = shards;
+  auto svc = std::make_unique<service::CacheService<Policy>>(cfg);
+
+  // Preload every key so reads hit (and the last-resort snapshots are
+  // populated before any quarantine could need them).
+  for (int k = 1; k <= knobs.key_space; ++k) {
+    svc->Set(static_cast<uint64_t>(k), static_cast<int64_t>(k));
+  }
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.push_back(std::make_unique<Worker>(
+        static_cast<uint64_t>(knobs.key_space), theta,
+        kSvcSeed + static_cast<uint64_t>(t)));
+    if (storm) {
+      // Same rotation seed across workers: the whole pool's hot set jumps
+      // to the same new neighbourhood, which is what storms a shard.
+      workers.back()->zipf.EnablePhaseShift(/*interval_draws=*/4096,
+                                            kStormRotationSeed);
+    }
+  }
+
+  auto body = [&](const gopool::OpenLoopOp& op) {
+    Worker& w = *workers[static_cast<size_t>(op.thread)];
+    const uint64_t key = 1 + w.zipf.Next();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (w.op_rng.NextBool(knobs.write_frac)) {
+      svc->Set(key, static_cast<int64_t>(key), op.lag_ns);
+    } else {
+      svc->Get(key, op.lag_ns);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const uint64_t service_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    w.hist.Record(op.lag_ns + service_ns);
+    w.svc_hist.Record(service_ns);
+  };
+
+  gopool::RunOpenLoop(threads, window / 4, rate, kSvcSeed ^ 0x3a3aULL, body);
+
+  // Measured window starts from clean counters; the conservation identity
+  // is then checked against exactly this window's issue count.
+  svc->stats().Reset();
+  for (auto& w : workers) {
+    w->hist.Reset();
+    w->svc_hist.Reset();
+  }
+  optilib::GlobalOptiStats().Reset();
+  htm::GlobalTxStats().Reset();
+  const gopool::OpenLoopResult run =
+      gopool::RunOpenLoop(threads, window, rate, kSvcSeed, body);
+
+  support::LatencyHistogram merged;
+  support::LatencyHistogram merged_svc;
+  for (auto& w : workers) {
+    merged.Merge(w->hist);
+    merged_svc.Merge(w->svc_hist);
+  }
+  LatencySummary lat;
+  lat.samples = merged.TotalCount();
+  lat.p50_ns = static_cast<double>(merged.P50());
+  lat.p99_ns = static_cast<double>(merged.P99());
+  lat.p999_ns = static_cast<double>(merged.P999());
+
+  const service::ServiceStats& st = svc->stats();
+  std::string why;
+  const bool oracle_ok = st.ConservationHolds(run.completed, &why);
+  if (!oracle_ok) {
+    std::fprintf(stderr,
+                 "ORACLE VIOLATION: %s shards=%d threads=%d rate=%g "
+                 "theta=%.2f — %s\n",
+                 mode, shards, threads, rate, theta, why.c_str());
+    ++*oracle_failures;
+  }
+
+  const uint64_t ok = st.Count(service::Outcome::kOk);
+  const uint64_t shed = st.Count(service::Outcome::kShedDeadline) +
+                        st.Count(service::Outcome::kShedOverload);
+  const double served_pct =
+      run.completed > 0
+          ? 100.0 * static_cast<double>(ok) / static_cast<double>(run.completed)
+          : 0.0;
+  const double shed_pct =
+      run.completed > 0
+          ? 100.0 * static_cast<double>(shed) /
+                static_cast<double>(run.completed)
+          : 0.0;
+  std::printf(
+      "  %-5s %6d %7d %9.0f %5.2f%s %10.0f %10.1f %10.1f %10.1f %6.1f%% "
+      "%6.1f%% %7s\n",
+      mode, shards, threads, rate, theta, storm ? "*" : " ",
+      run.achieved_per_sec, lat.p50_ns, lat.p99_ns, lat.p999_ns, served_pct,
+      shed_pct, oracle_ok ? "ok" : "FAIL");
+
+  if (JsonReport* report = JsonReport::Active()) {
+    JsonRecord rec;
+    rec.benchmark = gocc::StrFormat("shards=%d/rate=%g/theta=%s%s", shards,
+                                    rate, ThetaStr(theta).c_str(),
+                                    storm ? "/storm" : "");
+    rec.mode = mode;
+    rec.section = "measured";
+    rec.threads = threads;
+    rec.ops_per_sec = run.achieved_per_sec;
+    rec.ns_per_op =
+        run.completed > 0
+            ? run.wall_seconds * 1e9 / static_cast<double>(run.completed)
+            : 0.0;
+    rec.total_ops = run.completed;
+    PercentileRecorder::Fill(lat, &rec);
+    rec.counters.emplace_back("offered", static_cast<double>(run.offered));
+    rec.counters.emplace_back("max_lag_ns",
+                              static_cast<double>(run.max_lag_ns));
+    // Service-time-only percentiles (the quantity the router's admission
+    // threshold governs; the headline p* fields are end-to-end incl. lag).
+    rec.counters.emplace_back("p50_service_ns",
+                              static_cast<double>(merged_svc.P50()));
+    rec.counters.emplace_back("p99_service_ns",
+                              static_cast<double>(merged_svc.P99()));
+    rec.counters.emplace_back("p999_service_ns",
+                              static_cast<double>(merged_svc.P999()));
+    for (int i = 0; i < service::kNumOutcomes; ++i) {
+      const auto o = static_cast<service::Outcome>(i);
+      if (uint64_t n = st.Count(o); n > 0) {
+        rec.counters.emplace_back(
+            std::string("outcome.") + service::OutcomeName(o),
+            static_cast<double>(n));
+      }
+    }
+    auto diag = [&rec](const char* name, const std::atomic<uint64_t>& v) {
+      if (uint64_t n = v.load(std::memory_order_relaxed); n > 0) {
+        rec.counters.emplace_back(name, static_cast<double>(n));
+      }
+    };
+    diag("stale_reads", st.stale_reads);
+    diag("hedges_fired", st.hedges_fired);
+    diag("hedges_won", st.hedges_won);
+    diag("hedge_duplicates", st.hedge_duplicates);
+    diag("degrades", st.degrades);
+    diag("quarantines", st.quarantines);
+    diag("recoveries", st.recoveries);
+    diag("probes_admitted", st.probes_admitted);
+    diag("breaker_escalations", st.breaker_escalations);
+    diag("shard_failures", st.shard_failures);
+    rec.counters.emplace_back("oracle_ok", oracle_ok ? 1.0 : 0.0);
+    AppendRuntimeCounters(&rec.counters);
+    report->Add(std::move(rec));
+  }
+
+  CellOut out;
+  out.p99_ns = lat.p99_ns;
+  out.p99_service_ns = static_cast<double>(merged_svc.P99());
+  out.oracle_ok = oracle_ok;
+  out.completed = run.completed;
+  return out;
+}
+
+// SLO gate: one calibrated cell, retried so a multi-second CI load burst
+// cannot fail the build on its own (the same de-noising stance as
+// bench/perf_gate.cmake). Pass = conservation holds and SERVICE-TIME p99
+// is under the admission shed threshold — the same quantity the router's
+// windowed estimator governs. End-to-end p99 is reported but not gated:
+// on a time-shared single-CPU CI host the open-loop lag tail is scheduler
+// timeslices, which would gate the host, not the router.
+int RunGate(const SvcKnobs& knobs) {
+  const service::ServiceConfig& cfg = service::DefaultConfig();
+  const uint64_t slo_ns = cfg.p99_shed_us * 1000;
+  const int attempts = 3;
+  int oracle_failures = 0;
+  std::printf("== service SLO gate: p99 <= %lu us at %g req/s ==\n",
+              static_cast<unsigned long>(cfg.p99_shed_us), knobs.gate_rate);
+  std::printf(
+      "  %-5s %6s %7s %9s %6s %10s %10s %10s %10s %7s %7s %7s\n", "mode",
+      "shards", "threads", "rate", "theta", "ach/s", "p50 ns", "p99 ns",
+      "p999 ns", "ok", "shed", "oracle");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    CellOut out = RunServiceCell<gocc::workloads::Elided>(
+        "gocc", cfg.shards, 2, knobs.gate_rate, 0.9, /*storm=*/false, knobs,
+        std::chrono::milliseconds(200), &oracle_failures);
+    if (oracle_failures > 0) {
+      std::fprintf(stderr, "service gate: conservation oracle violated\n");
+      return 1;  // correctness: no retry absolves it
+    }
+    if (out.completed > 0 &&
+        out.p99_service_ns <= static_cast<double>(slo_ns)) {
+      std::printf("service gate: PASS (service p99 %.0f ns <= %lu ns)\n",
+                  out.p99_service_ns, static_cast<unsigned long>(slo_ns));
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "service gate: attempt %d/%d missed SLO (service p99 %.0f "
+                 "ns > %lu ns)%s\n",
+                 attempt + 1, attempts, out.p99_service_ns,
+                 static_cast<unsigned long>(slo_ns),
+                 attempt + 1 < attempts ? ", retrying" : "");
+    if (attempt + 1 < attempts) {
+      std::this_thread::sleep_for(std::chrono::seconds(2));
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace gocc::bench
+
+int main(int argc, char** argv) {
+  using namespace gocc::bench;
+
+  bool quick = false;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    }
+  }
+
+  SvcKnobs knobs;
+  knobs.key_space = EnvInt("GOCC_SVC_BENCH_KEYS", 1024, 2, 1 << 11);
+  knobs.write_frac = EnvDouble("GOCC_SVC_BENCH_WRITE_FRAC", 0.1, 0.0, 1.0);
+  knobs.gate_rate = EnvDouble("GOCC_SVC_GATE_RATE", 40000.0, 100.0, 1e7);
+
+  if (gate) {
+    ResetRuntimeState();
+    return RunGate(knobs);
+  }
+
+  JsonReport report("service");
+  std::printf("== service: overload-resilient sharded cache router ==\n");
+
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{8} : std::vector<int>{4, 16};
+  const std::vector<int> thread_counts =
+      quick ? std::vector<int>{2} : std::vector<int>{2, 4};
+  const std::vector<double> rates =
+      quick ? std::vector<double>{200e3} : std::vector<double>{100e3, 400e3};
+  const std::vector<double> thetas =
+      quick ? std::vector<double>{0.99} : std::vector<double>{0.6, 0.99};
+  const auto window = std::chrono::milliseconds(quick ? 60 : 150);
+
+  ResetRuntimeState();  // probes the backend before we report it
+  const gocc::service::ServiceConfig& cfg = gocc::service::DefaultConfig();
+  report.Config("quick", quick ? 1.0 : 0.0);
+  report.Config("window_ms", static_cast<double>(window.count()));
+  report.Config("key_space", static_cast<double>(knobs.key_space));
+  report.Config("write_frac", knobs.write_frac);
+  report.Config("deadline_us", static_cast<double>(cfg.deadline_us));
+  report.Config("queue_limit", static_cast<double>(cfg.queue_limit));
+  report.Config("p99_shed_us", static_cast<double>(cfg.p99_shed_us));
+  report.Config("hedge_us", static_cast<double>(cfg.hedge_us));
+
+  int oracle_failures = 0;
+  std::printf(
+      "  %-5s %6s %7s %9s %6s %10s %10s %10s %10s %7s %7s %7s  (* = "
+      "phase-shift storm)\n",
+      "mode", "shards", "threads", "rate", "theta", "ach/s", "p50 ns",
+      "p99 ns", "p999 ns", "ok", "shed", "oracle");
+
+  for (int shards : shard_counts) {
+    for (int threads : thread_counts) {
+      for (double rate : rates) {
+        for (double theta : thetas) {
+          RunServiceCell<gocc::workloads::Pessimistic>(
+              "lock", shards, threads, rate, theta, /*storm=*/false, knobs,
+              window, &oracle_failures);
+          RunServiceCell<gocc::workloads::Elided>(
+              "gocc", shards, threads, rate, theta, /*storm=*/false, knobs,
+              window, &oracle_failures);
+        }
+      }
+    }
+    // Hot-key storm cell: heaviest skew + phase shifts at the top rate.
+    RunServiceCell<gocc::workloads::Pessimistic>(
+        "lock", shards, thread_counts.back(), rates.back(), 0.99,
+        /*storm=*/true, knobs, window, &oracle_failures);
+    RunServiceCell<gocc::workloads::Elided>(
+        "gocc", shards, thread_counts.back(), rates.back(), 0.99,
+        /*storm=*/true, knobs, window, &oracle_failures);
+  }
+
+  // DES mirror: the router's contention structure at core counts this host
+  // does not have (ISSUE: 8-64 simulated cores).
+  std::vector<SimCase> sim_cases;
+  for (int shards : {8, 64}) {
+    for (double theta : thetas) {
+      const std::string name =
+          gocc::StrFormat("svc/shards=%d/theta=%s", shards,
+                          ThetaStr(theta).c_str());
+      sim_cases.push_back(
+          {name, gocc::sim::ServiceScenario(name, shards, theta,
+                                            knobs.write_frac)});
+    }
+  }
+  RunSimulated("service", sim_cases,
+               quick ? std::vector<int>{8, 64}
+                     : std::vector<int>{8, 16, 32, 64});
+
+  if (oracle_failures > 0) {
+    std::fprintf(stderr, "bench_service: %d oracle violation(s)\n",
+                 oracle_failures);
+    return 1;
+  }
+  return 0;
+}

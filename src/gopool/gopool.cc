@@ -1,6 +1,9 @@
 #include "src/gopool/gopool.h"
 
+#include <cmath>
+
 #include "src/gosync/runtime.h"
+#include "src/support/rng.h"
 
 namespace gocc::gopool {
 
@@ -92,6 +95,118 @@ BenchResult RunParallel(int threads, std::chrono::nanoseconds window,
     result.ns_per_op = result.wall_seconds * 1e9 /
                        static_cast<double>(result.total_ops);
   }
+  return result;
+}
+
+OpenLoopResult RunOpenLoop(int threads, std::chrono::nanoseconds window,
+                           double arrivals_per_sec, uint64_t seed,
+                           const std::function<void(const OpenLoopOp&)>& body) {
+  const uint64_t window_ns = static_cast<uint64_t>(window.count());
+  const double per_thread_rate =
+      arrivals_per_sec / static_cast<double>(threads < 1 ? 1 : threads);
+  // Degenerate rates fall back to back-to-back arrivals (mean 0 → closed
+  // loop); the service benches never ask for that, but don't divide by 0.
+  const double mean_gap_ns =
+      per_thread_rate > 0.0 ? 1e9 / per_thread_rate : 0.0;
+
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> max_lag{0};
+
+  int prev_procs = gosync::SetMaxProcs(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Decorrelate worker streams the same way the fault injector does.
+      SplitMix64 rng(seed ^ SplitMix64(static_cast<uint64_t>(t) + 1).Next());
+      auto next_gap = [&]() -> uint64_t {
+        if (mean_gap_ns <= 0.0) {
+          return 0;
+        }
+        // Exponential inter-arrival; 1 - u keeps log() off exact zero.
+        return static_cast<uint64_t>(-std::log(1.0 - rng.NextDouble()) *
+                                     mean_gap_ns);
+      };
+      uint64_t local_offered = 0;
+      uint64_t local_completed = 0;
+      uint64_t local_max_lag = 0;
+      uint64_t scheduled = next_gap();
+      OpenLoopOp op;
+      op.thread = t;
+      while (scheduled < window_ns) {
+        uint64_t now = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (now >= window_ns) {
+          break;  // window closed with this arrival still queued
+        }
+        if (now < scheduled) {
+          // Ahead of schedule: coarse sleep to within ~100 µs, then spin so
+          // the actual start lands tight on the scheduled instant.
+          if (scheduled - now > 200'000) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(scheduled - now - 100'000));
+          }
+          do {
+            gosync::CpuPause();
+            now = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+          } while (now < scheduled);
+        }
+        op.scheduled_ns = scheduled;
+        op.lag_ns = now - scheduled;
+        if (op.lag_ns > local_max_lag) {
+          local_max_lag = op.lag_ns;
+        }
+        body(op);
+        ++op.index;
+        ++local_offered;
+        ++local_completed;
+        scheduled += next_gap();
+      }
+      // The window closed; finish counting the arrivals the schedule still
+      // owed so `offered` reflects the configured rate, not the achieved
+      // one. Pure RNG draws — nothing is executed. (Skipped for the
+      // degenerate closed-loop rate, whose gap is identically zero.)
+      if (mean_gap_ns > 0.0) {
+        while (scheduled < window_ns) {
+          ++local_offered;
+          scheduled += next_gap();
+        }
+      }
+      offered.fetch_add(local_offered, std::memory_order_relaxed);
+      completed.fetch_add(local_completed, std::memory_order_relaxed);
+      uint64_t seen = max_lag.load(std::memory_order_relaxed);
+      while (local_max_lag > seen &&
+             !max_lag.compare_exchange_weak(seen, local_max_lag,
+                                            std::memory_order_relaxed)) {
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  gosync::SetMaxProcs(prev_procs);
+
+  OpenLoopResult result;
+  result.offered = offered.load(std::memory_order_relaxed);
+  result.completed = completed.load(std::memory_order_relaxed);
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  if (result.wall_seconds > 0.0) {
+    result.achieved_per_sec =
+        static_cast<double>(result.completed) / result.wall_seconds;
+  }
+  result.max_lag_ns = max_lag.load(std::memory_order_relaxed);
   return result;
 }
 

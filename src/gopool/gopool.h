@@ -97,6 +97,50 @@ struct BenchResult {
 BenchResult RunParallel(int threads, std::chrono::nanoseconds window,
                         const std::function<void(PB&)>& body);
 
+// --- open-loop driving (the service tier's arrival model) ---
+//
+// RunParallel is closed-loop: each thread issues its next op the moment the
+// previous one returns, so a slow server conveniently slows its own clients
+// and the measured latency hides the queueing a real front-end would see
+// (coordinated omission). The service benchmarks instead drive open-loop:
+// arrivals follow a Poisson schedule at a configured rate, fixed before the
+// run, and an op's latency is charged from its *scheduled* arrival — if the
+// server falls behind, the backlog shows up as latency, exactly as it would
+// for users behind a load balancer.
+
+// One scheduled operation, handed to the body.
+struct OpenLoopOp {
+  int thread = 0;           // worker ordinal, [0, threads)
+  uint64_t index = 0;       // per-thread arrival sequence number
+  uint64_t scheduled_ns = 0;  // arrival offset from run start
+  uint64_t lag_ns = 0;        // start - scheduled: queueing delay already
+                              // accrued before the body ran. End-to-end
+                              // latency = lag_ns + the body's service time.
+};
+
+struct OpenLoopResult {
+  // Arrivals that fell inside the window per the schedule. `offered -
+  // completed` is the backlog the drivers never got to start — nonzero
+  // means the cell was driven past saturation.
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  double wall_seconds = 0.0;
+  double achieved_per_sec = 0.0;  // completed / wall
+  uint64_t max_lag_ns = 0;
+};
+
+// Runs `body` once per scheduled arrival on `threads` workers for `window`.
+// Each worker owns an independent Poisson process at arrivals_per_sec /
+// threads (deterministic per (seed, worker)); a worker that is ahead of its
+// schedule sleeps/spins until the arrival, one that is behind starts the op
+// immediately with the deficit reported as lag_ns. Workers stop at the
+// window edge even if backlogged, and the undriven remainder of the
+// schedule is counted into `offered`. Sets gosync::SetMaxProcs(threads)
+// for the duration, like RunParallel.
+OpenLoopResult RunOpenLoop(int threads, std::chrono::nanoseconds window,
+                           double arrivals_per_sec, uint64_t seed,
+                           const std::function<void(const OpenLoopOp&)>& body);
+
 }  // namespace gocc::gopool
 
 #endif  // GOCC_SRC_GOPOOL_GOPOOL_H_

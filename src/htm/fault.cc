@@ -28,6 +28,20 @@ struct ThreadState {
   SplitMix64 rng{0};
 };
 thread_local ThreadState tls_fault;
+thread_local int tls_shard = -1;
+
+// The only_shard filter applies exclusively to the service-tier sites so a
+// mixed plan can storm one shard while injecting global transaction noise.
+bool ShardFiltered(Site site) {
+  const FaultPlan& plan = g_state.plan;
+  if (plan.only_shard < 0) {
+    return false;
+  }
+  if (site != Site::kShardStall && site != Site::kShardStorm) {
+    return false;
+  }
+  return tls_shard != plan.only_shard;
+}
 
 // Returns the calling thread's state, (re)seeded for the current arm epoch.
 ThreadState& LocalState() {
@@ -114,6 +128,10 @@ const char* SiteName(Site site) {
       return "multilock_subscribe";
     case Site::kMultiLockCommit:
       return "multilock_commit";
+    case Site::kShardStall:
+      return "shard_stall";
+    case Site::kShardStorm:
+      return "shard_storm";
   }
   return "unknown";
 }
@@ -181,12 +199,19 @@ void BindThisThread(int ordinal) {
   tls_fault.epoch = ~uint64_t{0};  // force a reseed on next use
 }
 
+void SetShardContext(int shard) { tls_shard = shard; }
+
+int ShardContext() { return tls_shard; }
+
 namespace internal {
 
 std::atomic<bool> g_armed{false};
 
 AbortCode CheckSlow(Site site) {
   g_fault_stats.checked.fetch_add(1, std::memory_order_relaxed);
+  if (ShardFiltered(site)) {
+    return AbortCode::kNone;
+  }
   ThreadState& ts = LocalState();
   const SiteRule& rule = g_state.plan.site_rules[static_cast<int>(site)];
 
@@ -206,6 +231,9 @@ AbortCode CheckSlow(Site site) {
 }
 
 void StallSlow(Site site) {
+  if (ShardFiltered(site)) {
+    return;
+  }
   ThreadState& ts = LocalState();
   const SiteRule& rule = g_state.plan.site_rules[static_cast<int>(site)];
   if (rule.stall_pauses <= 0) {

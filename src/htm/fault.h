@@ -37,6 +37,20 @@
 //     before TxCommit would have validated, modelling a conflict that lands
 //     after every subscription succeeded (blame is then inferred, not
 //     recorded).
+//   * kShardStall — service-tier chaos: a bounded stall inside a cache
+//     shard's critical section. A high-pause kShardStall rule on one shard
+//     models a stalled/hung shard (GC pause, page fault storm) and drives
+//     the router's windowed-p99 shedding and health escalation.
+//   * kShardStorm — service-tier chaos: the request against the shard fails
+//     outright, as if the shard's backing store went away mid-run. A 100%
+//     kShardStorm plan scoped to one shard (only_shard) is the "kill shard
+//     k" scenario: the router must quarantine that shard and keep its SLO
+//     on the survivors.
+//
+// Shard scoping: the service tier publishes the shard a request is touching
+// via SetShardContext() before it enters shard code; a plan with
+// only_shard >= 0 injects at the two kShard* sites only when the context
+// matches, leaving every other site's semantics untouched.
 //
 // The injector supports per-site Bernoulli probabilities (deterministic
 // per-thread SplitMix64 streams derived from the armed seed), per-thread
@@ -76,8 +90,10 @@ enum class Site : int {
   kOccPublish = 6,
   kMultiLockSubscribe = 7,
   kMultiLockCommit = 8,
+  kShardStall = 9,
+  kShardStorm = 10,
 };
-inline constexpr int kNumSites = 9;
+inline constexpr int kNumSites = 11;
 
 // Human-readable site name.
 const char* SiteName(Site site);
@@ -112,6 +128,11 @@ struct FaultPlan {
   std::vector<ScheduleStep> schedule;
   // If >= 0, only threads bound to this ordinal receive injections.
   int only_thread = -1;
+  // If >= 0, the kShardStall/kShardStorm sites fire only when the calling
+  // thread's shard context (SetShardContext) matches. Non-shard sites are
+  // unaffected, so a plan can storm shard k while still injecting global
+  // begin/commit noise.
+  int only_shard = -1;
   // Optional per-thread probability scale, indexed by ordinal % size().
   // Empty = 1.0 for every thread.
   std::vector<double> per_thread_scale;
@@ -175,6 +196,13 @@ uint64_t ArmedSeed();
 // Threads that never call this are auto-assigned ordinals in first-touch
 // order (racy across threads, deterministic within one).
 void BindThisThread(int ordinal);
+
+// Publishes the shard the calling thread is currently operating on (-1 =
+// none) so only_shard plans can target the kShard* sites. Set by the
+// service router around shard entry; cheap enough to leave in production
+// builds (one thread-local store).
+void SetShardContext(int shard);
+int ShardContext();
 
 namespace internal {
 extern std::atomic<bool> g_armed;

@@ -15,6 +15,7 @@
 #include "src/optilib/breaker.h"
 #include "src/optilib/site_cache.h"
 #include "src/support/env.h"
+#include "src/support/reprobe.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
 
@@ -361,7 +362,26 @@ std::string OptiStats::ToString() const {
   return out;
 }
 
+// Breaker escalation listener (service tier health ladder). Relaxed atomic:
+// registration happens at service construction, trips are cold.
+static std::atomic<BreakerTripListener> g_breaker_trip_listener{nullptr};
+
+// One shared gate for every "is RTM healthy again?" probe — the breaker's
+// half-open admission and the watchdog's storm trip used to each fire
+// ReprobeRtmHealth on their own cadence; both now draw from this single
+// GOCC_REPROBE_MS budget (support/reprobe.h). ForceNext on reset so tests
+// and back-to-back bench runs start with a probe available.
+static support::Reprobe& RtmReprobeGate() {
+  static support::Reprobe* gate = new support::Reprobe();
+  return *gate;
+}
+
+void SetBreakerTripListener(BreakerTripListener listener) {
+  g_breaker_trip_listener.store(listener, std::memory_order_release);
+}
+
 void ResetHardeningState() {
+  RtmReprobeGate().ForceNext();
   g_breaker.Reset();
   g_storm_streak.store(0, std::memory_order_relaxed);
   g_slow_only_until.store(0, std::memory_order_relaxed);
@@ -791,7 +811,10 @@ bool OptiLock::DecideElide() {
         // (microcode update, VM migration) would otherwise feed every
         // re-probe to dead hardware forever. On a failed probe the
         // process demotes to sw-OCC and this episode speculates there.
-        if (htm::ReprobeRtmHealth()) {
+        // The probe itself is rate-limited by the shared GOCC_REPROBE_MS
+        // gate: many cells leaving cooldown together (storm end) must not
+        // hammer dead hardware with one probe transaction each.
+        if (RtmReprobeGate().Due() && htm::ReprobeRtmHealth()) {
           Bump(OptiStats::kRtmDemotions);
           g_site_cache.BumpEpoch();
         }
@@ -1159,6 +1182,17 @@ void OptiLock::FinishSlowEpisode() {
                                 cfg_.breaker_threshold,
                                 cfg_.breaker_cooldown_episodes)) {
       Bump(OptiStats::kBreakerTrips);
+      // Escalate to any registered layer above (service shard health): a
+      // trip is the runtime's strongest per-mutex distress signal, and the
+      // listener gets the same mutex attribution the episode trace uses.
+      if (BreakerTripListener listener =
+              g_breaker_trip_listener.load(std::memory_order_acquire)) {
+        const void* tripped = target_;
+        if (kind_ == Target::kMutexSet && blamed_member_ >= 0) [[unlikely]] {
+          tripped = set_[blamed_member_];
+        }
+        listener(tripped, episode_now_);
+      }
     }
     if (cfg_.watchdog_threshold > 0) {
       uint64_t streak =
@@ -1174,8 +1208,10 @@ void OptiLock::FinishSlowEpisode() {
         g_site_cache.BumpEpoch();
         // A process-wide storm is also the signature of RTM dying mid-run;
         // re-probe the latched hardware verdict and demote to sw-OCC if the
-        // transactions really stopped committing.
-        if (htm::ReprobeRtmHealth()) {
+        // transactions really stopped committing. Same shared probe budget
+        // as the breaker path: back-to-back watchdog trips during one storm
+        // probe once per GOCC_REPROBE_MS, not once per trip.
+        if (RtmReprobeGate().Due() && htm::ReprobeRtmHealth()) {
           Bump(OptiStats::kRtmDemotions);
         }
       }

@@ -109,17 +109,25 @@ struct OptiConfig {
   // Per-(mutex, call-site) circuit breaker (see breaker.h): `threshold`
   // consecutive exhausted-budget fallbacks quarantine the pair's elision for
   // `cooldown` episodes, then re-probe once. 0 disables (default).
+  // Cooldown default retuned from bench_service (EXPERIMENTS E-service):
+  // under a storm-then-recover phase shift, 256 episodes held the victim
+  // pair on the lock well past storm end (recovery tail dominated by the
+  // quarantine, not the storm), while 192 re-probes earlier with the same
+  // zero re-trip churn once the storm has actually ended.
   int breaker_threshold = 0;
-  uint64_t breaker_cooldown_episodes = 256;
+  uint64_t breaker_cooldown_episodes = 192;
 
   // Episode watchdog: after `threshold` consecutive exhausted-budget
   // fallbacks process-wide with no intervening fast commit — the signature
   // of an abort storm or of RTM dying mid-run — hot-degrade every call site
   // to slow-path-only mode for `cooldown` episodes. In-flight episodes are
   // unaffected (the check sits in the pre-transaction decision path only).
-  // 0 disables (default).
+  // 0 disables (default). Cooldown retuned alongside the breaker (same
+  // bench_service evidence, same 4:3 ratio): process-wide slow-only mode is
+  // far more expensive than a per-pair quarantine, so it gets the shorter
+  // relative hold.
   int watchdog_threshold = 0;
-  uint64_t watchdog_cooldown_episodes = 4096;
+  uint64_t watchdog_cooldown_episodes = 3072;
 
   // Episode trace recorder (src/obs): when true, every completed episode
   // appends one compact event (site, mutex, outcome, last abort, retries,
@@ -301,6 +309,16 @@ OptiStats& GlobalOptiStats();
 // via an epoch bump (test & benchmark isolation; back-to-back runs start
 // from tick zero).
 void ResetHardeningState();
+
+// Escalation hook for layers above the runtime (the service tier's shard
+// health ladder): invoked on the episode slow path each time a breaker cell
+// trips, with the mutex the episode blamed (for multi-lock sets, the blamed
+// member when attribution succeeded, else the set's primary) and the
+// episode tick of the trip. The callback runs on the tripping thread, on a
+// path that is already pessimistic — it must be cheap and must not
+// re-enter OptiLock on the same mutex. nullptr (default) disables.
+using BreakerTripListener = void (*)(const void* mutex, uint64_t episode_now);
+void SetBreakerTripListener(BreakerTripListener listener);
 
 // Frontier of the process-wide episode clock: the next unclaimed tick
 // (test/bench observability; threads may hold claimed-but-unused ticks

@@ -475,4 +475,26 @@ double SpeedupVsLock(const Scenario& scenario, int cores,
   return (lock.ns_per_op / htm.ns_per_op - 1.0) * 100.0;
 }
 
+Scenario ServiceScenario(const std::string& name, int shards,
+                         double zipf_theta, double write_frac) {
+  Scenario s;
+  s.name = name;
+  s.kind = LockKind::kRWRead;
+  // Inside the shard CS: an open-addressed probe (a couple of Shared key
+  // loads on the common path) plus the expiry check and value load.
+  s.cs_ns = 18.0;
+  // A committing Set dirties the key/value/expiry lines of its slot.
+  s.shared_write_lines = 3;
+  s.write_prob = write_frac;
+  s.write_footprint_lines = 3;
+  // Outside: ShardFor hash, window advance pre-check, admission loads,
+  // deadline arithmetic — the router's per-request overhead.
+  s.outside_ns = 45.0;
+  s.lock_round_trips = 1;
+  s.lock_set_size = 1;
+  s.key_space = shards;
+  s.zipf_theta = zipf_theta;
+  return s;
+}
+
 }  // namespace gocc::sim

@@ -141,6 +141,20 @@ double SpeedupVsLock(const Scenario& scenario, int cores,
                      const MachineParams& params = MachineParams{},
                      bool perceptron = true);
 
+// Mirror of one src/service router cell: a request stream over `shards`
+// cache shards, each shard one RWMutex-guarded record, keys drawn Zipfian
+// with skew `zipf_theta` (hot-key storms concentrate on few shards exactly
+// as the router's ShardFor hashing concentrates hot keys), `write_frac` of
+// requests taking the write lock. Built on the keyed model: key_space =
+// shards, one lock per op — two requests interact iff they hit the same
+// shard, which is the service's actual contention structure. Cost constants
+// approximate the measured router (probe + expiry check inside the CS,
+// routing/admission arithmetic outside); bench_service sweeps the result
+// at 8–64 simulated cores so service scaling claims don't depend on host
+// core count.
+Scenario ServiceScenario(const std::string& name, int shards,
+                         double zipf_theta, double write_frac);
+
 }  // namespace gocc::sim
 
 #endif  // GOCC_SRC_SIM_DESIM_H_

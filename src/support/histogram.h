@@ -102,6 +102,82 @@ class LatencyHistogram {
   uint64_t total_;
 };
 
+// Sliding-window percentile estimator: a ring of LatencyHistogram windows.
+// Record() lands in the current window; Advance(tick) rotates to a new
+// window whenever the (caller-defined, monotone) tick moves forward,
+// clearing the windows that fell off the back. Quantile queries merge the
+// surviving windows, so the estimate reflects only the last kWindows ticks
+// — a shard that was slow five seconds ago but has recovered stops looking
+// slow once its fat samples age out.
+//
+// Like LatencyHistogram, instances are NOT thread-safe; the service layer
+// guards each shard's estimator with a short spinlock because admission
+// reads and latency records race by design.
+class WindowedPercentile {
+ public:
+  static constexpr int kWindows = 4;
+
+  WindowedPercentile() { Reset(); }
+
+  void Reset() {
+    for (auto& w : windows_) {
+      w.Reset();
+    }
+    current_ = 0;
+    last_tick_ = 0;
+  }
+
+  // Rotates the ring forward to `tick`. Ticks are monotone: a tick at or
+  // before the last observed one is ignored (returns false) so callers can
+  // feed racy clock reads without tearing the window. Advancing by k ticks
+  // clears k windows (all of them once k >= kWindows).
+  bool Advance(uint64_t tick) {
+    if (tick <= last_tick_) {
+      return false;
+    }
+    uint64_t steps = tick - last_tick_;
+    if (steps > static_cast<uint64_t>(kWindows)) {
+      steps = kWindows;
+    }
+    for (uint64_t i = 0; i < steps; ++i) {
+      current_ = (current_ + 1) % kWindows;
+      windows_[current_].Reset();
+    }
+    last_tick_ = tick;
+    return true;
+  }
+
+  void Record(uint64_t ns) { windows_[current_].Record(ns); }
+
+  uint64_t LastTick() const { return last_tick_; }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& w : windows_) {
+      total += w.TotalCount();
+    }
+    return total;
+  }
+
+  // Quantile over the merged live windows. Returns 0 when every window is
+  // empty — callers treat "no data" as "no shedding signal".
+  uint64_t ValueAtQuantile(double q) const {
+    LatencyHistogram merged;
+    for (const auto& w : windows_) {
+      merged.Merge(w);
+    }
+    return merged.ValueAtQuantile(q);
+  }
+
+  uint64_t P50() const { return ValueAtQuantile(0.50); }
+  uint64_t P99() const { return ValueAtQuantile(0.99); }
+
+ private:
+  LatencyHistogram windows_[kWindows];
+  int current_ = 0;
+  uint64_t last_tick_ = 0;
+};
+
 }  // namespace gocc::support
 
 #endif  // GOCC_SRC_SUPPORT_HISTOGRAM_H_

@@ -9,6 +9,22 @@
 // cold, while at 0.99 a handful of records absorb most of the traffic and
 // multi-lock transactions collide constantly.
 //
+// The O(items) theta→zeta precompute is shared process-wide: the first
+// generator constructed for a given (items, theta) pays the sum once and
+// every later instance — typically one per worker thread, all with the
+// same shape — reuses it. At service scale (millions of keys × dozens of
+// threads) the per-instance recompute used to dominate worker start-up.
+//
+// Phase shifts: EnablePhaseShift(interval, seed) rotates the identity of
+// the hot set every `interval` draws by adding a per-phase pseudo-random
+// offset to the popularity rank (mod items). Popularity *shape* is
+// unchanged — rank 0 is still drawn with the same probability — but which
+// key is rank 0 changes each phase, which is how real cache front-ends
+// experience hot-key storms ("yesterday's cold key is on the front page").
+// The rotation schedule is a pure function of (rotation seed, phase
+// index), so two generators given the same seed rotate identically and
+// runs replay exactly.
+//
 // Determinism matters for the same reason it does everywhere else in this
 // repo (rng.h): runs must replay exactly from a logged seed, with no
 // dependence on libstdc++ distribution internals. The generator is not
@@ -19,6 +35,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "src/support/rng.h"
 
@@ -26,13 +44,13 @@ namespace gocc::support {
 
 class ZipfianGenerator {
  public:
-  // items >= 1; theta in [0, 1) (0 = uniform). The O(items) zeta sum runs
-  // once at construction — acceptable for the ≤ ~1M-key OLTP tables; reuse
-  // one generator per (items, theta) rather than re-deriving per draw.
+  // items >= 1; theta in [0, 1) (0 = uniform). The zeta sum for a given
+  // (items, theta) runs once per process (see SharedZetan below); later
+  // instances with the same shape reuse the cached value.
   ZipfianGenerator(uint64_t items, double theta, uint64_t seed)
       : items_(items == 0 ? 1 : items), theta_(theta), rng_(seed) {
     if (theta_ > 0.0) {
-      zetan_ = Zeta(items_, theta_);
+      zetan_ = SharedZetan(items_, theta_);
       const double zeta2 = Zeta(2, theta_);
       alpha_ = 1.0 / (1.0 - theta_);
       eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_),
@@ -44,29 +62,46 @@ class ZipfianGenerator {
   uint64_t items() const { return items_; }
   double theta() const { return theta_; }
 
-  // Next rank in [0, items): rank 0 is the hottest key. Callers that want
-  // hot keys scattered across the table (cache-line dispersion) should
-  // hash the rank; for lock-contention studies popularity is what matters
-  // and the identity mapping keeps oracles simple.
-  uint64_t Next() {
-    if (theta_ <= 0.0) {
-      return rng_.NextBelow(items_);
-    }
-    const double u = rng_.NextDouble();
-    const double uz = u * zetan_;
-    if (uz < 1.0) {
-      return 0;
-    }
-    if (uz < 1.0 + std::pow(0.5, theta_)) {
-      return 1;
-    }
-    const auto rank = static_cast<uint64_t>(
-        static_cast<double>(items_) *
-        std::pow(eta_ * u - eta_ + 1.0, alpha_));
-    return rank >= items_ ? items_ - 1 : rank;
+  // Rotates the hot set every `interval_draws` draws (0 disables). All
+  // generators sharing `rotation_seed` follow the same phase schedule, so
+  // a pool of per-thread generators shifts its hot set in lockstep.
+  void EnablePhaseShift(uint64_t interval_draws, uint64_t rotation_seed) {
+    phase_interval_ = interval_draws;
+    rotation_seed_ = rotation_seed;
+    phase_index_ = 0;
+    draws_in_phase_ = 0;
+    phase_offset_ = OffsetForPhase(0);
   }
 
-  // Draws `count` *distinct* ranks into out[0..count) by resampling
+  uint64_t PhaseIndex() const { return phase_index_; }
+  uint64_t PhaseOffset() const { return phase_offset_; }
+
+  // Forces the next phase immediately (tests and storm scripting).
+  void AdvancePhase() {
+    ++phase_index_;
+    draws_in_phase_ = 0;
+    phase_offset_ = OffsetForPhase(phase_index_);
+  }
+
+  // Next key in [0, items). Without phase shift this is the popularity
+  // rank itself: rank 0 is the hottest key, and the identity mapping keeps
+  // oracles simple. With phase shift enabled the rank is rotated by the
+  // current phase offset, so the hot set walks the key space.
+  uint64_t Next() {
+    uint64_t rank = NextRank();
+    if (phase_interval_ != 0) {
+      if (++draws_in_phase_ >= phase_interval_) {
+        AdvancePhase();
+      }
+      rank += phase_offset_;
+      if (rank >= items_) {
+        rank -= items_ * (rank / items_);
+      }
+    }
+    return rank;
+  }
+
+  // Draws `count` *distinct* keys into out[0..count) by resampling
   // duplicates — the OLTP transactions need k distinct record locks.
   // count must be <= items (and in practice << items, so resampling
   // terminates in a couple of draws even at heavy skew).
@@ -88,6 +123,40 @@ class ZipfianGenerator {
     }
   }
 
+  // Process-wide (items, theta) → zeta(n) memo. A handful of distinct
+  // shapes exist per process (one per benchmark cell), so a mutex-guarded
+  // linear scan is both simple and plenty fast; the lock is only held at
+  // generator construction, never on the draw path.
+  static double SharedZetan(uint64_t items, double theta) {
+    struct Entry {
+      uint64_t items;
+      double theta;
+      double zetan;
+    };
+    static std::mutex mu;
+    static std::vector<Entry>* cache = new std::vector<Entry>();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const Entry& e : *cache) {
+        if (e.items == items && e.theta == theta) {
+          return e.zetan;
+        }
+      }
+    }
+    // Compute outside the lock: concurrent first-callers may duplicate the
+    // work, but the sum is deterministic so whichever insert wins is
+    // equivalent, and other shapes are not blocked behind an O(items) sum.
+    const double zetan = Zeta(items, theta);
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Entry& e : *cache) {
+      if (e.items == items && e.theta == theta) {
+        return e.zetan;
+      }
+    }
+    cache->push_back(Entry{items, theta, zetan});
+    return zetan;
+  }
+
  private:
   static double Zeta(uint64_t n, double theta) {
     double sum = 0.0;
@@ -97,12 +166,41 @@ class ZipfianGenerator {
     return sum;
   }
 
+  // Popularity rank in [0, items) per Gray et al.
+  uint64_t NextRank() {
+    if (theta_ <= 0.0) {
+      return rng_.NextBelow(items_);
+    }
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(items_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+  uint64_t OffsetForPhase(uint64_t phase) const {
+    SplitMix64 mix(rotation_seed_ ^ (phase * 0x9e3779b97f4a7c15ULL));
+    return mix.Next() % items_;
+  }
+
   uint64_t items_;
   double theta_;
   SplitMix64 rng_;
   double zetan_ = 0.0;
   double alpha_ = 0.0;
   double eta_ = 0.0;
+  uint64_t phase_interval_ = 0;
+  uint64_t rotation_seed_ = 0;
+  uint64_t phase_index_ = 0;
+  uint64_t draws_in_phase_ = 0;
+  uint64_t phase_offset_ = 0;
 };
 
 }  // namespace gocc::support

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/gosync/rwmutex.h"
+#include "src/htm/fault.h"
 #include "src/htm/shared.h"
 #include "src/workloads/policy.h"
 
@@ -30,6 +31,11 @@ class GoCache {
   bool Get(uint64_t key, int64_t now, int64_t* value_out) {
     bool ok = false;
     Policy::RLock(mu_, [&] {
+      // Service-tier chaos hook: a kShardStall plan stretches this critical
+      // section while the lock (or its elided subscription) is held, which
+      // is how a hung shard looks to everyone queued behind it. One relaxed
+      // load when the injector is disarmed.
+      htm::fault::MaybeStallAt(htm::fault::Site::kShardStall);
       int ix = Probe(key);
       if (ix >= 0) {
         int64_t expiry = expiries_[static_cast<size_t>(ix)].Load();
@@ -58,6 +64,7 @@ class GoCache {
 
   void Set(uint64_t key, int64_t value, int64_t expiry) {
     Policy::WLock(mu_, [&] {
+      htm::fault::MaybeStallAt(htm::fault::Site::kShardStall);
       size_t ix = static_cast<size_t>(key) & (kSlots - 1);
       for (size_t n = 0; n < kSlots; ++n) {
         uint64_t k = keys_[ix].Load();
@@ -90,6 +97,11 @@ class GoCache {
     Policy::RLock(mu_, [&] { n = count_.Load(); });
     return n;
   }
+
+  // The lock every elided episode of this cache subscribes. The service
+  // router registers its address with the breaker escalation bridge so a
+  // trip on this shard's critical sections reaches the shard health ladder.
+  gosync::RWMutex& ElisionMutex() { return mu_; }
 
  private:
   int Probe(uint64_t key) const {

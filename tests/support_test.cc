@@ -1,17 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/support/diff.h"
+#include "src/support/histogram.h"
 #include "src/support/env.h"
+#include "src/support/reprobe.h"
 #include "src/support/rng.h"
 #include "src/support/sharded.h"
 #include "src/support/stats.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
+#include "src/support/zipf.h"
 
 namespace gocc {
 namespace {
@@ -350,6 +354,224 @@ TEST(ShardedTest, OverflowDomainDegradesToExactSharedShard) {
     burn[0]->Incr(1, 3);
     EXPECT_EQ(burn[0]->Sum(1), 3u);
   }
+}
+
+
+// --- latency histogram / windowed percentile (src/support/histogram.h) ---
+
+TEST(HistogramTest, MergeAcrossThreadLocalInstances) {
+  // The documented usage: one histogram per worker thread, merged after
+  // join. The merged distribution must see every thread's samples.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<support::LatencyHistogram> hists(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hists, t] {
+      // Thread t records samples around (t+1)*1000 ns.
+      for (int i = 0; i < kPerThread; ++i) {
+        hists[static_cast<size_t>(t)].Record(
+            static_cast<uint64_t>((t + 1) * 1000 + (i % 7)));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  support::LatencyHistogram merged;
+  for (const auto& h : hists) {
+    merged.Merge(h);
+  }
+  EXPECT_EQ(merged.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // The quantiles straddle the per-thread clusters: p50 lands between the
+  // 2nd and 3rd cluster, the extremes near the outer clusters (within the
+  // documented <=12.5% bucket error).
+  EXPECT_GE(merged.P50(), 1750u);
+  EXPECT_LE(merged.P50(), 3500u);
+  EXPECT_GE(merged.P99(), 3500u);
+  EXPECT_LE(merged.ValueAtQuantile(0.01), 1200u);
+  // Order statistics are monotone in q.
+  EXPECT_LE(merged.P50(), merged.P99());
+  EXPECT_LE(merged.P99(), merged.P999());
+}
+
+TEST(HistogramTest, EmptyAndSingleSampleEdges) {
+  support::LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  h.Record(5);  // values < 8 are exact
+  EXPECT_EQ(h.P50(), 5u);
+  EXPECT_EQ(h.P999(), 5u);
+}
+
+TEST(WindowedPercentileTest, AdvanceIsMonotone) {
+  support::WindowedPercentile w;
+  EXPECT_EQ(w.LastTick(), 0u);
+  EXPECT_TRUE(w.Advance(5));
+  EXPECT_EQ(w.LastTick(), 5u);
+  // A tick at or before the frontier is ignored: racy clock reads must not
+  // tear the ring backwards.
+  EXPECT_FALSE(w.Advance(5));
+  EXPECT_FALSE(w.Advance(4));
+  EXPECT_EQ(w.LastTick(), 5u);
+  EXPECT_TRUE(w.Advance(6));
+}
+
+TEST(WindowedPercentileTest, EmptyWindowsReportZero) {
+  support::WindowedPercentile w;
+  EXPECT_EQ(w.P99(), 0u) << "no data must read as no shedding signal";
+  w.Record(1'000'000);
+  EXPECT_GT(w.P99(), 0u);
+  // Advancing past every live window ages the sample out entirely.
+  w.Advance(support::WindowedPercentile::kWindows + 1);
+  EXPECT_EQ(w.TotalCount(), 0u);
+  EXPECT_EQ(w.P99(), 0u);
+}
+
+TEST(WindowedPercentileTest, OldTailAgesOutWindowByWindow) {
+  support::WindowedPercentile w;
+  // Window 0: a fat tail. Later windows: fast samples.
+  for (int i = 0; i < 100; ++i) {
+    w.Record(50'000'000);
+  }
+  for (uint64_t tick = 1;
+       tick <= static_cast<uint64_t>(support::WindowedPercentile::kWindows);
+       ++tick) {
+    EXPECT_TRUE(w.Advance(tick));
+    for (int i = 0; i < 100; ++i) {
+      w.Record(1000);
+    }
+    if (tick < static_cast<uint64_t>(support::WindowedPercentile::kWindows)) {
+      EXPECT_GT(w.P99(), 10'000'000u)
+          << "the fat window is still live at tick " << tick;
+    }
+  }
+  // After kWindows advances the fat window fell off the back.
+  EXPECT_LT(w.P99(), 10'000u);
+  EXPECT_EQ(w.TotalCount(),
+            100u * static_cast<uint64_t>(support::WindowedPercentile::kWindows));
+}
+
+TEST(WindowedPercentileTest, TopBucketSaturates) {
+  support::WindowedPercentile w;
+  w.Record(~uint64_t{0});  // a sample beyond any bucket boundary
+  w.Record(~uint64_t{0} - 1);
+  EXPECT_EQ(w.TotalCount(), 2u);
+  // The estimate lands in the top bucket, not zero and not a crash.
+  EXPECT_GT(w.P99(), uint64_t{1} << 62);
+}
+
+// --- Zipfian generator phase shifts / shared zeta (src/support/zipf.h) ---
+
+TEST(ZipfTest, SharedZetanIsStableAcrossInstances) {
+  const double a = support::ZipfianGenerator::SharedZetan(10'000, 0.99);
+  const double b = support::ZipfianGenerator::SharedZetan(10'000, 0.99);
+  EXPECT_GT(a, 0.0);
+  EXPECT_EQ(a, b);
+  // Two generators with the same shape draw identical streams regardless
+  // of which one paid for the precompute.
+  support::ZipfianGenerator g1(10'000, 0.99, 42);
+  support::ZipfianGenerator g2(10'000, 0.99, 42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(g1.Next(), g2.Next());
+  }
+}
+
+TEST(ZipfTest, PhaseShiftRotatesHotSetDeterministically) {
+  constexpr uint64_t kItems = 1000;
+  constexpr uint64_t kInterval = 64;
+  support::ZipfianGenerator g1(kItems, 0.99, 7);
+  support::ZipfianGenerator g2(kItems, 0.99, 7);
+  g1.EnablePhaseShift(kInterval, /*rotation_seed=*/99);
+  g2.EnablePhaseShift(kInterval, /*rotation_seed=*/99);
+  const uint64_t phase0_offset = g1.PhaseOffset();
+  // Same (seed, rotation seed): identical rotated streams across phases.
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k1 = g1.Next();
+    ASSERT_EQ(k1, g2.Next());
+    ASSERT_LT(k1, kItems);
+  }
+  // The interval elapsed many times over: the phase advanced and the hot
+  // set moved (offset changed).
+  EXPECT_GE(g1.PhaseIndex(), 1000 / kInterval);
+  EXPECT_NE(g1.PhaseOffset(), phase0_offset);
+
+  // The rotation preserves the popularity SHAPE: within one phase the
+  // hottest key is rank 0 rotated by the phase offset.
+  support::ZipfianGenerator g3(kItems, 0.99, 11);
+  g3.EnablePhaseShift(1u << 30, /*rotation_seed=*/5);  // never advances
+  const uint64_t hot = g3.PhaseOffset();
+  std::vector<int> counts(kItems, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[g3.Next()];
+  }
+  const int hot_count = counts[hot];
+  for (uint64_t k = 0; k < kItems; ++k) {
+    EXPECT_LE(counts[k], hot_count) << "key " << k;
+  }
+}
+
+TEST(ZipfTest, AdvancePhaseForcesRotationImmediately) {
+  support::ZipfianGenerator g(100, 0.99, 3);
+  g.EnablePhaseShift(1u << 30, 17);
+  const uint64_t before = g.PhaseOffset();
+  g.AdvancePhase();
+  EXPECT_EQ(g.PhaseIndex(), 1u);
+  EXPECT_NE(g.PhaseOffset(), before);
+}
+
+// --- unified re-probe gate (src/support/reprobe.h) ---
+
+TEST(ReprobeTest, AtMostOneWinnerPerInterval) {
+  support::Reprobe gate(1000);
+  EXPECT_EQ(gate.interval_ms(), 1000u);
+  // First claim wins, the rest of the interval loses.
+  EXPECT_TRUE(gate.Due(5000));
+  EXPECT_FALSE(gate.Due(5000));
+  EXPECT_FALSE(gate.Due(5999));
+  EXPECT_TRUE(gate.Due(6000));
+  EXPECT_FALSE(gate.Due(6001));
+}
+
+TEST(ReprobeTest, DeferPushesTheNextProbeAFullIntervalOut) {
+  support::Reprobe gate(1000);
+  gate.Defer(10'000);
+  EXPECT_FALSE(gate.Due(10'999));
+  EXPECT_TRUE(gate.Due(11'000));
+  // ForceNext makes the very next claim fire regardless of the clock.
+  gate.Defer(20'000);
+  gate.ForceNext();
+  EXPECT_TRUE(gate.Due(20'001));
+}
+
+TEST(ReprobeTest, ConcurrentClaimsElectExactlyOneWinner) {
+  support::Reprobe gate(1'000'000);  // one slot for the whole test
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&gate, &winners] {
+      for (int i = 0; i < 1000; ++i) {
+        if (gate.Due(42)) {
+          winners.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(ReprobeTest, ReinitRearmsTheGate) {
+  support::Reprobe gate(500);
+  EXPECT_TRUE(gate.Due(100));
+  gate.Reinit(2000);
+  EXPECT_EQ(gate.interval_ms(), 2000u);
+  EXPECT_TRUE(gate.Due(100)) << "Reinit must re-arm the next probe";
+  EXPECT_FALSE(gate.Due(2099));
+  EXPECT_TRUE(gate.Due(2100));
 }
 
 }  // namespace
